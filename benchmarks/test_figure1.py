@@ -1,0 +1,139 @@
+"""Figure 1 — an array of record types (a), after splitting (b), and
+after peeling (c).
+
+Regenerates the paper's illustration with *concrete simulated
+addresses*: a hot/cold interleaved struct array is laid out, split with
+link pointers, and peeled; the bench prints each memory layout and
+asserts the structural properties the figure conveys — hot fields
+become contiguous, the cold parts move to a disjoint allocation, and
+the link pointers wire the two together element by element.
+"""
+
+from conftest import once, save_result
+
+from repro.frontend import Program
+from repro.runtime import Machine, CompiledProgram
+from repro.transform import (
+    SplitSpec, split_structure, PeelSpec, peel_structure, LINK_FIELD,
+)
+
+SRC = """
+struct rec { long hot1; long cold1; long hot2; long cold2; };
+struct rec *P;
+int main() {
+    int i;
+    P = (struct rec*) malloc(4 * sizeof(struct rec));
+    for (i = 0; i < 4; i++) {
+        P[i].hot1 = 10 + i;
+        P[i].cold1 = 20 + i;
+        P[i].hot2 = 30 + i;
+        P[i].cold2 = 40 + i;
+    }
+    return 0;
+}
+"""
+
+
+def run_and_dump(program):
+    machine = Machine()
+    compiled = CompiledProgram(program, machine)
+    compiled.run()
+    return machine, compiled
+
+
+def addr_of_global(compiled, machine, name):
+    sym = compiled.program.global_symbol(name)
+    addr = compiled.global_addr(sym)
+    return int(machine.memory.load(addr))
+
+
+def layout_lines(machine, base, rec, count):
+    lines = []
+    for i in range(count):
+        elem = base + i * rec.size
+        parts = []
+        for f in rec.fields:
+            v = machine.memory.load(elem + f.offset)
+            parts.append(f"{f.name}@0x{elem + f.offset:x}={int(v)}")
+        lines.append(f"  [{i}] " + "  ".join(parts))
+    return lines
+
+
+def build_figure():
+    out = ["(a) original array of interleaved hot/cold records"]
+    p0 = Program.from_source(SRC)
+    m0, c0 = run_and_dump(p0)
+    base0 = addr_of_global(c0, m0, "P")
+    rec0 = p0.record("rec")
+    out += layout_lines(m0, base0, rec0, 4)
+
+    out.append("\n(b) after structure splitting (link pointers)")
+    spec = SplitSpec(record=p0.record("rec"),
+                     cold_fields=["cold1", "cold2"], dead_fields=[])
+    p1 = split_structure(p0, spec)
+    m1, c1 = run_and_dump(p1)
+    base1 = addr_of_global(c1, m1, "P")
+    hot = p1.record("rec")
+    cold = p1.record("rec__cold")
+    out += layout_lines(m1, base1, hot, 4)
+    link0 = int(m1.memory.load(
+        base1 + hot.field(LINK_FIELD).offset))
+    out.append("      cold parts:")
+    out += layout_lines(m1, link0, cold, 4)
+
+    out.append("\n(c) after structure peeling (one array per field)")
+    spec2 = PeelSpec(record=p0.record("rec"), pointer="P",
+                     groups=[["hot1"], ["cold1"], ["hot2"], ["cold2"]])
+    p2 = peel_structure(p0, spec2)
+    m2, c2 = run_and_dump(p2)
+    for k, fname in enumerate(["hot1", "cold1", "hot2", "cold2"]):
+        piece = p2.record(f"rec__p{k}")
+        base = addr_of_global(c2, m2, f"P__p{k}")
+        values = [int(m2.memory.load(base + i * piece.size))
+                  for i in range(4)]
+        out.append(f"  {fname}: base=0x{base:x} stride={piece.size} "
+                   f"values={values}")
+
+    return ("\n".join(out),
+            (p0, m0, c0, base0),
+            (p1, m1, c1, base1),
+            (p2, m2, c2))
+
+
+def test_figure1(benchmark):
+    text, orig, split, peeled = once(benchmark, build_figure)
+    print("\nFigure 1 — layouts before/after splitting and peeling\n"
+          + text)
+    save_result("figure1.txt", text)
+
+    p0, m0, c0, base0 = orig
+    rec0 = p0.record("rec")
+    # (a): hot and cold interleaved within each element
+    assert rec0.field_names() == ["hot1", "cold1", "hot2", "cold2"]
+    assert rec0.size == 32
+
+    p1, m1, c1, base1 = split
+    hot = p1.record("rec")
+    cold = p1.record("rec__cold")
+    # (b): hot part holds only hot fields plus the link pointer
+    assert hot.field_names() == ["hot1", "hot2", LINK_FIELD]
+    assert cold.field_names() == ["cold1", "cold2"]
+    assert hot.size < rec0.size
+    # link pointers point at consecutive cold elements
+    links = [int(m1.memory.load(base1 + i * hot.size +
+                                hot.field(LINK_FIELD).offset))
+             for i in range(4)]
+    strides = [b - a for a, b in zip(links, links[1:])]
+    assert all(s == cold.size for s in strides)
+    # data survives: cold1 of element 2 is 22
+    assert m1.memory.load(links[2] + cold.field("cold1").offset) == 22
+
+    p2, m2, c2 = peeled
+    # (c): four disjoint dense arrays, original type gone
+    assert "rec" not in {r.name for r in p2.record_types()
+                         if r.fields}
+    for k in range(4):
+        assert p2.record(f"rec__p{k}").size == 8
+    base_h1 = addr_of_global(c2, m2, "P__p0")
+    values = [int(m2.memory.load(base_h1 + i * 8)) for i in range(4)]
+    assert values == [10, 11, 12, 13]

@@ -1,0 +1,151 @@
+"""Table 2 — relative field hotness of mcf's node_t under every
+weighting mechanism, and their correlation to the PBO baseline.
+
+Columns: PBO (train profile), PPBO (reference profile), SPBO, ISPBO,
+ISPBO.NO, ISPBO.W, DMISS, DLAT, DMISS.NO.  The paper's headline
+findings, asserted here:
+
+- PPBO correlates almost perfectly with PBO (r = 0.986 in the paper);
+- ISPBO beats SPBO and beats/matches its unscaled variant ISPBO.NO —
+  the inter-procedural propagation and the exponent both help;
+- ISPBO.W correlates strongly with ISPBO (0.94): the exponent is a
+  valid approximation of raised back-edge probabilities;
+- DMISS and DLAT are nearly interchangeable (0.96) but are *poor*
+  hotness predictors once the dominant field is discounted (r' ≈ 0.21);
+- DMISS.NO ≈ DMISS (0.996): instrumentation barely perturbs sampling.
+"""
+
+from conftest import once, save_result, lower_program
+
+from repro.profit import (
+    compute_profiles, correlation, correlation_prime, match_feedback,
+    estimate_spbo, estimate_ispbo, estimate_ispbo_w,
+)
+from repro.ir import build_call_graph, find_loops
+from repro.workloads import MCF
+
+TYPE = "node"
+DOMINANT = "potential"
+
+
+def build_columns(session):
+    program = MCF.program("train")
+    cfgs = lower_program(program)
+    nests = {name: find_loops(cfg) for name, cfg in cfgs.items()}
+    cg = build_call_graph(cfgs, program)
+
+    fb_train = session.feedback(MCF, "train", pmu_period=16)
+    fb_ref = session.feedback(MCF, "ref", pmu_period=16)
+    fb_plain = session.feedback_uninstrumented(MCF, "train",
+                                               pmu_period=16)
+
+    def rel(weights):
+        profiles = compute_profiles(program, cfgs, weights, nests)
+        return profiles[TYPE].relative_hotness()
+
+    def rel_of_samples(values):
+        peak = max(values.values(), default=0.0)
+        fields = [f.name for f in program.record(TYPE).fields]
+        if peak <= 0:
+            return {f: 0.0 for f in fields}
+        return {f: 100.0 * values.get(f, 0.0) / peak for f in fields}
+
+    columns = {
+        "PBO": rel(match_feedback(cfgs, fb_train, scheme="PBO")),
+        "PPBO": rel(match_feedback(cfgs, fb_ref, scheme="PPBO")),
+        "SPBO": rel(estimate_spbo(cfgs, nests)),
+        "ISPBO": rel(estimate_ispbo(cfgs, cg, nests)),
+        "ISPBO.NO": rel(estimate_ispbo(cfgs, cg, nests, exponent=1.0)),
+        "ISPBO.W": rel(estimate_ispbo_w(cfgs, cg, nests)),
+        "DMISS": rel_of_samples(fb_train.dmiss_for(TYPE)),
+        "DLAT": rel_of_samples(fb_train.dlat_for(TYPE)),
+        "DMISS.NO": rel_of_samples(fb_plain.dmiss_for(TYPE)),
+    }
+    return program, columns
+
+
+def render(program, columns, correlations):
+    fields = [f.name for f in program.record(TYPE).fields]
+    names = list(columns)
+    header = f"{'Field':14s}" + "".join(f"{n:>10s}" for n in names)
+    lines = [header]
+    for f in fields:
+        row = f"{f:14s}" + "".join(
+            f"{columns[n].get(f, 0.0):10.1f}" for n in names)
+        lines.append(row)
+    lines.append(f"{'r':14s}" + "".join(
+        f"{correlations[n][0]:10.3f}" for n in names))
+    lines.append(f"{'r_prime':14s}" + "".join(
+        f"{correlations[n][1]:10.3f}" for n in names))
+    return "\n".join(lines)
+
+
+def test_table2(benchmark, session):
+    program, columns = once(benchmark, lambda: build_columns(session))
+    base = columns["PBO"]
+    correlations = {
+        name: (correlation(base, col),
+               correlation_prime(base, col, dominant=DOMINANT))
+        for name, col in columns.items()
+    }
+    text = render(program, columns, correlations)
+    print("\nTable 2 — relative field hotness of node_t\n" + text)
+    save_result("table2.txt", text)
+
+    r = {n: correlations[n][0] for n in columns}
+    r_prime = {n: correlations[n][1] for n in columns}
+
+    # the baseline correlates perfectly with itself
+    assert r["PBO"] > 0.999
+
+    # PPBO ~ perfect (paper 0.986)
+    assert r["PPBO"] > 0.95
+
+    # potential is the hottest field in the measured baseline,
+    # ident unused
+    assert base[DOMINANT] == 100.0
+    assert base["ident"] == 0.0
+
+    # inter-procedural scaling beats purely local estimation
+    assert r["ISPBO"] > r["SPBO"]
+
+    # the exponent E improves or preserves the correlation vs ISPBO.NO
+    assert r["ISPBO"] >= r["ISPBO.NO"] - 0.02
+
+    # ISPBO.W validates the exponent (paper: 0.94 between the two)
+    r_w_vs_ispbo = correlation(columns["ISPBO"], columns["ISPBO.W"])
+    assert r_w_vs_ispbo > 0.9
+
+    # d-cache misses and latencies are nearly interchangeable (0.96)
+    assert correlation(columns["DMISS"], columns["DLAT"]) > 0.9
+
+    # instrumentation barely perturbs sampling (paper: 0.996)
+    assert correlation(columns["DMISS"], columns["DMISS.NO"]) > 0.95
+
+    # d-cache events are weaker hotness predictors than real profiles
+    # (the paper's stronger version — r' collapsing to 0.21 — reflects
+    # mcf's miss profile being dominated by `potential`'s pointer
+    # chasing; our uniform PMU sampling tracks hotness more closely,
+    # recorded as a deviation in EXPERIMENTS.md)
+    assert r["DMISS"] < r["PPBO"]
+    assert r_prime["DMISS"] < r_prime["PPBO"]
+
+
+def test_table2_static_histogram_flatness(benchmark, session):
+    """§2.3: static estimation yields flatter histograms than measured
+    profiles; the exponent E=1.5 sharpens separability."""
+    def build():
+        _, columns = build_columns(session)
+        return columns
+
+    columns = once(benchmark, build)
+
+    def spread(col):
+        values = sorted(col.values())
+        mid = [v for v in values if 0.0 < v < 100.0]
+        return sum(mid) / len(mid) if mid else 0.0
+
+    # SPBO's mid-range is fatter (flatter histogram) than PBO's
+    assert spread(columns["SPBO"]) > spread(columns["PBO"])
+    # the exponent pushes mids down relative to ISPBO.NO
+    assert spread(columns["ISPBO"]) < spread(columns["ISPBO.NO"])

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Comparing the weighting mechanisms of §2.3 (Table 2, live).
+
+Computes relative field hotness for mcf's node_t under every scheme —
+measured profiles (PBO/PPBO), static estimation (SPBO), inter-
+procedurally scaled estimation (ISPBO and variants), and d-cache
+samples (DMISS/DLAT) — and their correlation to the PBO baseline.
+
+Run:  python examples/weight_schemes.py
+"""
+
+from repro.ir import build_call_graph, find_loops, lower_program
+from repro.profit import (
+    collect_feedback, compute_profiles, correlation, correlation_prime,
+    estimate_ispbo, estimate_spbo, match_feedback,
+)
+from repro.workloads import MCF
+
+
+def main() -> None:
+    program = MCF.program("train")
+    cfgs = lower_program(program)
+    nests = {name: find_loops(cfg) for name, cfg in cfgs.items()}
+    callgraph = build_call_graph(cfgs, program)
+
+    print("collecting profiles (train and reference inputs)...")
+    fb_train = collect_feedback(MCF.program("train"),
+                                input_label="train")
+    fb_ref = collect_feedback(MCF.program("ref"), input_label="ref")
+
+    def hotness(weights):
+        profiles = compute_profiles(program, cfgs, weights, nests)
+        return profiles["node"].relative_hotness()
+
+    columns = {
+        "PBO": hotness(match_feedback(cfgs, fb_train)),
+        "PPBO": hotness(match_feedback(cfgs, fb_ref, scheme="PPBO")),
+        "SPBO": hotness(estimate_spbo(cfgs, nests)),
+        "ISPBO": hotness(estimate_ispbo(cfgs, callgraph, nests)),
+        "ISPBO.NO": hotness(estimate_ispbo(cfgs, callgraph, nests,
+                                           exponent=1.0)),
+    }
+
+    fields = [f.name for f in program.record("node").fields]
+    header = f"{'field':14s}" + "".join(f"{n:>10s}" for n in columns)
+    print("\n" + header)
+    for f in fields:
+        print(f"{f:14s}" + "".join(
+            f"{columns[n].get(f, 0.0):10.1f}" for n in columns))
+
+    base = columns["PBO"]
+    print("\ncorrelation to the PBO baseline:")
+    for name, col in columns.items():
+        r = correlation(base, col)
+        rp = correlation_prime(base, col, dominant="potential")
+        print(f"  {name:10s} r={r:+.3f}  r'={rp:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""The advisory tool: annotated layouts, VCG graphs, scenario advice."""
+
+from .report import (
+    advisor_report, format_type_report, AdvisorOptions, hotness_bar, rw_bar,
+)
+from .vcg import affinity_vcg, program_vcg
+from .classify import (
+    Advice, ClassifierParams, affinity_clusters, classify_type,
+    classify_report, group_affinity,
+)
+
+__all__ = [
+    "advisor_report", "format_type_report", "AdvisorOptions",
+    "hotness_bar", "rw_bar",
+    "affinity_vcg", "program_vcg",
+    "Advice", "ClassifierParams", "affinity_clusters", "classify_type",
+    "classify_report", "group_affinity",
+]
+
+from .multithread import (
+    MTParams, MTAdvice, FalseSharingCandidate, advise_multithreaded,
+    mt_report, rw_class, false_sharing_candidates,
+)
+
+__all__ += [
+    "MTParams", "MTAdvice", "FalseSharingCandidate",
+    "advise_multithreaded", "mt_report", "rw_class",
+    "false_sharing_candidates",
+]

@@ -1,0 +1,178 @@
+"""§3.3: combining d-cache misses, hotness, and affinity into advice.
+
+Given a type's profile (hotness + affinity) and its PMU samples, fields
+are clustered into affinity groups and each group / group pair is
+classified into the paper's scenarios:
+
+1. two hot groups with low mutual affinity → split *conceptually at the
+   source level* (link pointers would be prohibitive; the automatic
+   framework cannot handle this case well);
+2. two hot groups with high mutual affinity → keep/group them together,
+   especially with a high d-cache component;
+3. a cold group → split it out (the automatic transformations can
+   usually do this);
+4. a hot group with a high d-cache component → scheduling or
+   data-structure complexity hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..profit.affinity import TypeProfile
+from ..runtime.machine import FieldSample
+
+
+@dataclass
+class Advice:
+    kind: str                  # source-split | group | split-out | dcache
+    fields: list[str]
+    other_fields: list[str] = field(default_factory=list)
+    message: str = ""
+
+    def __repr__(self) -> str:
+        return f"<advice {self.kind}: {self.fields} {self.message!r}>"
+
+
+@dataclass
+class ClassifierParams:
+    #: a group is hot when its peak relative hotness exceeds this (%)
+    hot_threshold: float = 30.0
+    #: mutual affinity below this fraction of the max edge is "low"
+    #: (one-shot initialization loops leave faint cross-edges, so this
+    #: sits above the weight of a depth-1 loop relative to a hot one)
+    low_affinity: float = 0.2
+    #: mutual affinity above this fraction of the max edge is "high"
+    high_affinity: float = 0.5
+    #: miss share above this fraction marks a high d-cache component
+    dcache_threshold: float = 0.25
+    #: intra-group clustering threshold (fraction of max edge)
+    cluster_threshold: float = 0.3
+
+
+def affinity_clusters(profile: TypeProfile,
+                      threshold_fraction: float = 0.3) -> list[list[str]]:
+    """Union-find clustering of fields by affinity edges above the
+    threshold; referenced fields only."""
+    fields = [f.name for f in profile.record.fields
+              if profile.hotness(f.name) > 0.0]
+    pair_weights = {k: w for k, w in profile.affinity.items()
+                    if k[0] != k[1]}
+    peak = max(pair_weights.values(), default=0.0)
+    cutoff = threshold_fraction * peak
+    parent = {f: f for f in fields}
+
+    def find(f: str) -> str:
+        while parent[f] != f:
+            parent[f] = parent[parent[f]]
+            f = parent[f]
+        return f
+
+    for (f1, f2), w in pair_weights.items():
+        if f1 in parent and f2 in parent and w >= cutoff and w > 0.0:
+            parent[find(f1)] = find(f2)
+
+    clusters: dict[str, list[str]] = {}
+    for f in fields:
+        clusters.setdefault(find(f), []).append(f)
+    order = {f.name: f.index for f in profile.record.fields}
+    groups = [sorted(g, key=order.get) for g in clusters.values()]
+    groups.sort(key=lambda g: order[g[0]])
+    return groups
+
+
+def group_affinity(profile: TypeProfile, g1: list[str],
+                   g2: list[str]) -> float:
+    """Max cross-group affinity edge weight."""
+    best = 0.0
+    for f1 in g1:
+        for f2 in g2:
+            if f1 != f2:
+                best = max(best, profile.affinity_between(f1, f2))
+    return best
+
+
+def classify_type(profile: TypeProfile,
+                  samples: dict[str, FieldSample] | None = None,
+                  params: ClassifierParams | None = None) -> list[Advice]:
+    """Produce the §3.3 advice list for one type."""
+    params = params or ClassifierParams()
+    samples = samples or {}
+    groups = affinity_clusters(profile, params.cluster_threshold)
+    if not groups:
+        return []
+
+    rel = profile.relative_hotness()
+    peak_edge = max((w for (a, b), w in profile.affinity.items()
+                     if a != b), default=0.0)
+    total_misses = sum(s.misses for s in samples.values()) or 0
+
+    def group_hot(g: list[str]) -> float:
+        return max(rel.get(f, 0.0) for f in g)
+
+    def group_miss_share(g: list[str]) -> float:
+        if not total_misses:
+            return 0.0
+        return sum(samples[f].misses for f in g if f in samples) \
+            / total_misses
+
+    advice: list[Advice] = []
+    hot_groups = [g for g in groups
+                  if group_hot(g) >= params.hot_threshold]
+    cold_groups = [g for g in groups
+                   if group_hot(g) < params.hot_threshold]
+
+    # pairwise hot-group scenarios
+    for i, g1 in enumerate(hot_groups):
+        for g2 in hot_groups[i + 1:]:
+            aff = group_affinity(profile, g1, g2)
+            frac = aff / peak_edge if peak_edge > 0.0 else 0.0
+            if frac <= params.low_affinity:
+                advice.append(Advice(
+                    kind="source-split", fields=list(g1),
+                    other_fields=list(g2),
+                    message=(
+                        "both groups are hot but rarely used together; "
+                        "split them at the source level (link pointers "
+                        "would be prohibitive)")))
+            elif frac >= params.high_affinity:
+                dc = max(group_miss_share(g1), group_miss_share(g2))
+                extra = " (high d-cache component: latencies may hide " \
+                    "each other)" if dc >= params.dcache_threshold else ""
+                advice.append(Advice(
+                    kind="group", fields=list(g1),
+                    other_fields=list(g2),
+                    message="hot and used together; keep them on the "
+                            "same cache line" + extra))
+
+    # cold groups: candidates for (automatic) splitting out
+    for g in cold_groups:
+        advice.append(Advice(
+            kind="split-out", fields=list(g),
+            message="low hotness; split out (prefer a source-level "
+                    "split over link pointers)"))
+
+    # hot groups with a high d-cache component
+    for g in hot_groups:
+        if group_miss_share(g) >= params.dcache_threshold:
+            advice.append(Advice(
+                kind="dcache", fields=list(g),
+                message="hot with a high d-cache component; check loop "
+                        "scheduling or simplify the data structure"))
+    return advice
+
+
+def classify_report(profile: TypeProfile,
+                    samples: dict[str, FieldSample] | None = None,
+                    params: ClassifierParams | None = None) -> str:
+    """Human-readable §3.3 advice for one type."""
+    advice = classify_type(profile, samples, params)
+    lines = [f"Advice for struct {profile.record.name}:"]
+    if not advice:
+        lines.append("  (no findings)")
+    for a in advice:
+        target = ", ".join(a.fields)
+        if a.other_fields:
+            target += " vs " + ", ".join(a.other_fields)
+        lines.append(f"  [{a.kind}] {target}: {a.message}")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Multi-threaded layout advice (§2.4 / §3.3 future work).
+
+The paper: "For multi-threaded applications a different set of
+heuristics can be applied.  For example, there is a performance penalty
+if two threads access (write) disjoint hot structure fields on the same
+cache line due to costs associated with cache coherency.  These fields
+should be separated to different cache lines ... fields should
+additionally be grouped by read and write counts to minimize
+inter-processor cache coherency costs.  While we perform read/write
+analysis, we do not currently consult these values in our heuristics."
+
+This module consults them.  Given a type's profile (the same weighted
+read/write counts and affinity graph the single-threaded path uses), it
+
+- classifies fields as read-mostly / write-heavy / mixed,
+- flags *false-sharing candidates*: pairs of write-heavy fields with
+  low mutual affinity (likely touched by different threads) that the
+  current layout places on the same cache line, and
+- proposes a layout: read-mostly fields packed together, write-heavy
+  affinity clusters separated onto their own cache lines via padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from ..profit.affinity import TypeProfile
+from .classify import affinity_clusters
+
+
+@dataclass
+class MTParams:
+    #: a field is write-heavy when writes reach this share of accesses
+    #: (0.4: read-modify-write counters land just under 0.5, and for
+    #: coherency purposes any steady writer invalidates the line)
+    write_share: float = 0.4
+    #: pairs below this fraction of the max affinity edge count as
+    #: "not used together" (thread-disjoint candidates)
+    low_affinity: float = 0.2
+    #: coherency granularity
+    line_size: int = 128
+    #: only fields above this relative hotness matter (%)
+    hot_threshold: float = 10.0
+
+
+@dataclass
+class FalseSharingCandidate:
+    field_a: str
+    field_b: str
+    line: int          # the shared cache line's index within the struct
+
+    def __repr__(self) -> str:
+        return f"<false-sharing {self.field_a}/{self.field_b} " \
+               f"line {self.line}>"
+
+
+@dataclass
+class MTAdvice:
+    read_mostly: list[str] = dc_field(default_factory=list)
+    write_heavy: list[str] = dc_field(default_factory=list)
+    mixed: list[str] = dc_field(default_factory=list)
+    false_sharing: list[FalseSharingCandidate] = \
+        dc_field(default_factory=list)
+    #: proposed layout: groups in order; each write-heavy group is
+    #: intended to start a fresh cache line
+    layout_groups: list[list[str]] = dc_field(default_factory=list)
+
+
+def rw_class(profile: TypeProfile, fname: str,
+             params: MTParams) -> str:
+    reads = profile.read_counts.get(fname, 0.0)
+    writes = profile.write_counts.get(fname, 0.0)
+    total = reads + writes
+    if total <= 0.0:
+        return "unused"
+    share = writes / total
+    if share >= params.write_share:
+        return "write-heavy"
+    if share <= 1.0 - params.write_share:
+        return "read-mostly"
+    return "mixed"
+
+
+def false_sharing_candidates(profile: TypeProfile,
+                             params: MTParams
+                             ) -> list[FalseSharingCandidate]:
+    """Write-heavy, mutually non-affine hot field pairs sharing a line
+    under the *current* layout."""
+    rec = profile.record
+    rel = profile.relative_hotness()
+    pair_weights = {k: w for k, w in profile.affinity.items()
+                    if k[0] != k[1]}
+    peak = max(pair_weights.values(), default=0.0)
+    writers = [f for f in rec.fields
+               if rw_class(profile, f.name, params) == "write-heavy"
+               and rel.get(f.name, 0.0) >= params.hot_threshold]
+    out = []
+    for i, fa in enumerate(writers):
+        for fb in writers[i + 1:]:
+            aff = profile.affinity_between(fa.name, fb.name)
+            frac = aff / peak if peak > 0.0 else 0.0
+            if frac > params.low_affinity:
+                continue          # used together: same thread, fine
+            if fa.offset // params.line_size == \
+                    fb.offset // params.line_size:
+                out.append(FalseSharingCandidate(
+                    fa.name, fb.name,
+                    fa.offset // params.line_size))
+    return out
+
+
+def advise_multithreaded(profile: TypeProfile,
+                         params: MTParams | None = None) -> MTAdvice:
+    """Full multi-threaded layout advice for one type."""
+    params = params or MTParams()
+    advice = MTAdvice()
+    rec = profile.record
+    for f in rec.fields:
+        cls = rw_class(profile, f.name, params)
+        if cls == "read-mostly":
+            advice.read_mostly.append(f.name)
+        elif cls == "write-heavy":
+            advice.write_heavy.append(f.name)
+        elif cls == "mixed":
+            advice.mixed.append(f.name)
+    advice.false_sharing = false_sharing_candidates(profile, params)
+
+    # proposed layout: read-mostly + mixed + unused first (sharing
+    # lines among readers is free), then each write-heavy affinity
+    # cluster on its own line
+    writers = set(advice.write_heavy)
+    reader_group = [f.name for f in rec.fields if f.name not in writers]
+    advice.layout_groups = []
+    if reader_group:
+        advice.layout_groups.append(reader_group)
+    clusters = affinity_clusters(profile, params.low_affinity)
+    placed: set[str] = set()
+    for cluster in clusters:
+        w = [f for f in cluster if f in writers]
+        if w:
+            advice.layout_groups.append(w)
+            placed.update(w)
+    leftover = [f for f in advice.write_heavy if f not in placed]
+    for f in leftover:
+        advice.layout_groups.append([f])
+    return advice
+
+
+def mt_report(profile: TypeProfile,
+              params: MTParams | None = None) -> str:
+    """Human-readable multi-threaded advice."""
+    advice = advise_multithreaded(profile, params)
+    lines = [f"Multi-threaded layout advice for struct "
+             f"{profile.record.name}:"]
+    lines.append(f"  read-mostly : {', '.join(advice.read_mostly) or '-'}")
+    lines.append(f"  write-heavy : {', '.join(advice.write_heavy) or '-'}")
+    lines.append(f"  mixed       : {', '.join(advice.mixed) or '-'}")
+    if advice.false_sharing:
+        lines.append("  false-sharing candidates:")
+        for c in advice.false_sharing:
+            lines.append(f"    {c.field_a} / {c.field_b} share line "
+                         f"{c.line}; separate them")
+    else:
+        lines.append("  no false-sharing candidates")
+    lines.append("  proposed line groups (pad between groups):")
+    for g in advice.layout_groups:
+        lines.append(f"    [{', '.join(g)}]")
+    return "\n".join(lines)

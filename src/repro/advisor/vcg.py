@@ -1,0 +1,63 @@
+"""VCG graph output for affinity graphs (§3.2).
+
+"Sometimes a graphical representation is helpful.  For this purpose we
+also output control files for the VCG graph visualization tool and use
+colors and line-thickness to indicate higher relative weights and
+affinities."  This module emits that VCG text format (GDL), one graph
+per record type: node color encodes relative field hotness, edge
+thickness encodes relative affinity.
+"""
+
+from __future__ import annotations
+
+from ..profit.affinity import TypeProfile
+
+#: VCG color indices, coldest to hottest
+_COLORS = ["lightblue", "lightcyan", "lightgreen", "yellow",
+           "orange", "red"]
+
+
+def _color_for(percent: float) -> str:
+    idx = min(int(percent / 100.0 * len(_COLORS)), len(_COLORS) - 1)
+    return _COLORS[idx]
+
+
+def _thickness_for(fraction: float) -> int:
+    return 1 + min(int(fraction * 4.0), 4)
+
+
+def affinity_vcg(profile: TypeProfile, title: str | None = None) -> str:
+    """Render one type's affinity graph as a VCG control file."""
+    rec = profile.record
+    rel = profile.relative_hotness()
+    peak_aff = max((w for (a, b), w in profile.affinity.items()
+                    if a != b), default=0.0)
+    lines = [
+        "graph: {",
+        f'    title: "{title or "affinity " + rec.name}"',
+        "    layoutalgorithm: forcedir",
+        "    display_edge_labels: yes",
+    ]
+    for f in rec.fields:
+        pct = rel.get(f.name, 0.0)
+        lines.append(
+            f'    node: {{ title: "{f.name}" '
+            f'label: "{f.name}\\n{pct:.1f}%" '
+            f'color: {_color_for(pct)} }}')
+    for (f1, f2), w in sorted(profile.affinity.items()):
+        if f1 == f2 or w <= 0.0:
+            continue
+        frac = w / peak_aff if peak_aff > 0.0 else 0.0
+        lines.append(
+            f'    edge: {{ sourcename: "{f1}" targetname: "{f2}" '
+            f'label: "{100.0 * frac:.0f}%" '
+            f'thickness: {_thickness_for(frac)} }}')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def program_vcg(profiles: dict[str, TypeProfile]) -> str:
+    """All per-type affinity graphs concatenated into one file."""
+    parts = [affinity_vcg(p) for p in profiles.values()
+             if p.record.fields]
+    return "\n".join(parts)

@@ -1,0 +1,141 @@
+"""Field reference analysis: read/write counts, unused and dead fields.
+
+The paper distinguishes *unused* fields (no references at all — removing
+them only needs the parent type modified) from *dead* fields (stores but
+no loads — the dead stores must be removed too).  Because transformable
+types are guaranteed to have no aliases to individual fields (the ATKN
+test), a simple reference scan is sufficient, which is exactly the
+argument §2.1 makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend import ast
+from ..frontend.program import Program
+from ..frontend.typesys import RecordType
+
+
+@dataclass
+class FieldRefs:
+    """Static reference counts for one field (occurrence counts, not
+    execution counts — the weighted counts live in repro.profit)."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def referenced(self) -> bool:
+        return self.reads > 0 or self.writes > 0
+
+    @property
+    def is_dead(self) -> bool:
+        """Written but never read."""
+        return self.writes > 0 and self.reads == 0
+
+
+@dataclass
+class FieldUsage:
+    """Per-type field reference summary."""
+
+    record: RecordType
+    refs: dict[str, FieldRefs] = field(default_factory=dict)
+
+    def of(self, name: str) -> FieldRefs:
+        r = self.refs.get(name)
+        if r is None:
+            r = self.refs[name] = FieldRefs()
+        return r
+
+    def unused_fields(self) -> list[str]:
+        """Fields with no references at all."""
+        return [f.name for f in self.record.fields
+                if not self.of(f.name).referenced]
+
+    def dead_fields(self) -> list[str]:
+        """Fields with stores but no loads."""
+        return [f.name for f in self.record.fields
+                if self.of(f.name).is_dead]
+
+    def removable_fields(self) -> list[str]:
+        """Unused + dead: everything dead-field removal may drop."""
+        return [f.name for f in self.record.fields
+                if not self.of(f.name).reads]
+
+    def live_fields(self) -> list[str]:
+        return [f.name for f in self.record.fields
+                if self.of(f.name).reads > 0]
+
+
+@dataclass
+class UsageResult:
+    types: dict[str, FieldUsage] = field(default_factory=dict)
+
+    def usage(self, type_name: str) -> FieldUsage:
+        return self.types[type_name]
+
+
+def analyze_field_usage(program: Program) -> UsageResult:
+    """Count static reads/writes of every struct field in the program."""
+    result = UsageResult()
+    for rec in program.record_types():
+        if rec.fields:
+            result.types[rec.name] = FieldUsage(rec)
+
+    def usage_of(rec: RecordType) -> FieldUsage | None:
+        return result.types.get(rec.name)
+
+    def note(member: ast.Member, reads: int, writes: int) -> None:
+        if member.record is None:
+            return
+        u = usage_of(member.record)
+        if u is None:
+            return
+        r = u.of(member.name)
+        r.reads += reads
+        r.writes += writes
+
+    def scan(e: ast.Expr, as_read: bool = True) -> None:
+        if isinstance(e, ast.Assign):
+            target = e.target
+            if isinstance(target, ast.Member):
+                if e.op == "=":
+                    note(target, 0, 1)
+                else:
+                    note(target, 1, 1)     # compound: read-modify-write
+                scan(target.base)
+            else:
+                scan(target, as_read=False)
+            scan(e.value)
+            return
+        if isinstance(e, ast.Unary) and e.op in ("++", "--", "p++", "p--"):
+            if isinstance(e.operand, ast.Member):
+                note(e.operand, 1, 1)
+                scan(e.operand.base)
+            else:
+                scan(e.operand)
+            return
+        if isinstance(e, ast.Unary) and e.op == "&":
+            # &s->f is neither a read nor a write of f itself
+            if isinstance(e.operand, ast.Member):
+                scan(e.operand.base)
+            else:
+                scan(e.operand)
+            return
+        if isinstance(e, ast.Member):
+            if as_read:
+                note(e, 1, 0)
+            scan(e.base)
+            return
+        for child in ast.child_exprs(e):
+            scan(child)
+
+    for fn in program.functions():
+        for s in ast.walk_stmts(fn.body):
+            for e in ast.stmt_exprs(s):
+                scan(e)
+    for g in program.globals():
+        if g.init is not None:
+            scan(g.init)
+    return result

@@ -1,0 +1,391 @@
+"""FE legality and property analysis (§2.2 of the paper).
+
+A single pass over each function's typed AST applies the paper's eight
+practical legality tests and collects the attributes the heuristics
+consult later:
+
+- **CSTT** — a cast *to* (a pointer to) the record type, except casts of
+  allocator return values (``(T*) malloc(...)``) and null constants;
+- **CSTF** — a cast *from* (a pointer to) the record type;
+- **ATKN** — the address of a field is taken, except directly in a call
+  argument position (the paper assumes the callee will not reach other
+  fields through it);
+- **LIBC** — the type escapes to a standard-library function;
+- **IND**  — the type escapes to an indirect call;
+- **SMAL** — some allocation site allocates fewer than ``A`` elements;
+- **MSET** — the type is used in a memory-streaming op (memset/memcpy);
+- **NEST** — the type is nested in another record type (both the nested
+  type and its container are marked, an implementation limitation the
+  paper also had).
+
+The same pass records, per type: global/local variables and pointers,
+static arrays, allocation/free/realloc sites, and the ``<type,
+function>`` escape tuples consumed by the IPA escape analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend import ast
+from ..frontend.program import Program
+from ..frontend.sema import ALLOC_FUNCTIONS, MEMSTREAM_FUNCTIONS
+from ..frontend.typesys import RecordType, Type
+
+#: the paper's legality-violation codes
+ALL_REASONS = ("CSTT", "CSTF", "ATKN", "LIBC", "IND", "SMAL", "MSET", "NEST")
+#: the three tests a field-sensitive points-to analysis could sharpen;
+#: Table 1's "Relax" column tolerates exactly these
+RELAXABLE_REASONS = frozenset({"CSTT", "CSTF", "ATKN"})
+
+#: SMAL threshold A: allocations of fewer elements mark the type
+SMAL_THRESHOLD = 2
+
+
+@dataclass(eq=False)
+class AllocSite:
+    """One dynamic allocation of a record type."""
+
+    record: RecordType
+    function: str
+    call: ast.Call
+    line: int
+    #: statically-known element count, or None when dynamic
+    count: int | None = None
+    kind: str = "malloc"       # malloc / calloc / realloc
+
+    def __repr__(self) -> str:
+        n = self.count if self.count is not None else "?"
+        return f"<alloc {self.record.name}[{n}] in {self.function}:" \
+               f"{self.line}>"
+
+
+@dataclass(eq=False)
+class TypeInfo:
+    """Everything the FE learned about one record type."""
+
+    record: RecordType
+    invalid_reasons: set[str] = field(default_factory=set)
+    #: <type, function> escape tuples (callee names)
+    escapes_to: set[str] = field(default_factory=set)
+    alloc_sites: list[AllocSite] = field(default_factory=list)
+    has_global_var: bool = False
+    has_local_var: bool = False
+    has_global_ptr: bool = False
+    has_local_ptr: bool = False
+    has_static_array: bool = False
+    freed: bool = False
+    realloced: bool = False
+    address_taken_fields: set[str] = field(default_factory=set)
+    #: global pointer symbols of type T* (peeling candidates)
+    global_ptr_symbols: list = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.record.name
+
+    @property
+    def allocated(self) -> bool:
+        return bool(self.alloc_sites)
+
+    def is_legal(self, relaxed: bool = False) -> bool:
+        reasons = self.invalid_reasons
+        if relaxed:
+            reasons = reasons - RELAXABLE_REASONS
+        return not reasons
+
+    def attributes(self) -> list[str]:
+        """Short attribute codes, advisor-report style (LPTR, GPTR, ...)."""
+        out = []
+        if self.has_local_ptr:
+            out.append("LPTR")
+        if self.has_global_ptr:
+            out.append("GPTR")
+        if self.has_local_var:
+            out.append("LVAR")
+        if self.has_global_var:
+            out.append("GVAR")
+        if self.has_static_array:
+            out.append("SARR")
+        if self.allocated:
+            out.append("DYN")
+        if self.freed:
+            out.append("FREE")
+        if self.realloced:
+            out.append("REAL")
+        return out
+
+    def __repr__(self) -> str:
+        bad = ",".join(sorted(self.invalid_reasons)) or "OK"
+        return f"<TypeInfo {self.name}: {bad}>"
+
+
+@dataclass
+class LegalityResult:
+    """Aggregated legality analysis for a whole program."""
+
+    program: Program
+    types: dict[str, TypeInfo] = field(default_factory=dict)
+
+    def info(self, name: str) -> TypeInfo:
+        return self.types[name]
+
+    def legal_types(self, relaxed: bool = False) -> list[TypeInfo]:
+        return [t for t in self.types.values() if t.is_legal(relaxed)]
+
+    def invalid_types(self, relaxed: bool = False) -> list[TypeInfo]:
+        return [t for t in self.types.values() if not t.is_legal(relaxed)]
+
+    def counts(self) -> tuple[int, int, int]:
+        """(total types, legal, legal-under-relaxation) — one Table 1 row."""
+        total = len(self.types)
+        legal = len(self.legal_types(relaxed=False))
+        relaxed = len(self.legal_types(relaxed=True))
+        return total, legal, relaxed
+
+
+def record_of(t: Type) -> RecordType | None:
+    """The record type behind ``t`` (through typedefs and pointers)."""
+    t = t.strip()
+    while t.is_pointer():
+        t = t.pointee.strip()
+    while t.is_array():
+        t = t.elem.strip()
+    return t if t.is_record() else None
+
+
+def direct_record_of(t: Type) -> RecordType | None:
+    """The record type behind one level of pointer/typedef (no arrays)."""
+    t = t.strip()
+    if t.is_pointer():
+        t = t.pointee.strip()
+    return t if t.is_record() else None
+
+
+class LegalityAnalyzer:
+    """Runs the FE pass over every function and global."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.result = LegalityResult(program)
+        for rec in program.record_types():
+            if rec.fields:   # ignore empty forward declarations
+                self.result.types[rec.name] = TypeInfo(rec)
+
+    def _info(self, rec: RecordType | None) -> TypeInfo | None:
+        if rec is None:
+            return None
+        return self.result.types.get(rec.name)
+
+    def invalidate(self, rec: RecordType | None, reason: str) -> None:
+        info = self._info(rec)
+        if info is not None:
+            info.invalid_reasons.add(reason)
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> LegalityResult:
+        self._scan_type_nesting()
+        self._scan_globals()
+        for fn in self.program.functions():
+            self._scan_function(fn)
+        self._apply_smal()
+        return self.result
+
+    # -- structural scans ---------------------------------------------------
+
+    def _scan_type_nesting(self) -> None:
+        for info in self.result.types.values():
+            for inner in info.record.nested_records():
+                self.invalidate(inner, "NEST")
+                self.invalidate(info.record, "NEST")
+
+    def _scan_globals(self) -> None:
+        for g in self.program.globals():
+            t = g.decl_type.strip()
+            rec = record_of(t)
+            info = self._info(rec)
+            if info is None:
+                continue
+            if t.is_pointer():
+                info.has_global_ptr = True
+                if direct_record_of(t) is rec:
+                    info.global_ptr_symbols.append(g.symbol)
+            elif t.is_array():
+                info.has_static_array = True
+            elif t.is_record():
+                info.has_global_var = True
+
+    # -- function scan ---------------------------------------------------------
+
+    def _scan_function(self, fn: ast.FunctionDef) -> None:
+        for p in fn.params:
+            self._note_var(p.type, is_local=True)
+        for s in ast.walk_stmts(fn.body):
+            if isinstance(s, ast.DeclStmt):
+                self._note_var(s.decl_type, is_local=True)
+            for e in ast.stmt_exprs(s):
+                self._scan_expr(e, fn, in_call_arg=False)
+
+    def _note_var(self, t: Type, is_local: bool) -> None:
+        t = t.strip()
+        rec = record_of(t)
+        info = self._info(rec)
+        if info is None:
+            return
+        if t.is_pointer():
+            if is_local:
+                info.has_local_ptr = True
+        elif t.is_array():
+            info.has_static_array = True
+        elif t.is_record():
+            if is_local:
+                info.has_local_var = True
+
+    # -- expression scan ---------------------------------------------------------
+
+    def _scan_expr(self, e: ast.Expr, fn: ast.FunctionDef,
+                   in_call_arg: bool) -> None:
+        if isinstance(e, ast.Cast):
+            self._scan_cast(e, fn)
+            self._scan_expr(e.operand, fn, in_call_arg=False)
+            return
+        if isinstance(e, ast.Unary) and e.op == "&":
+            if isinstance(e.operand, ast.Member):
+                if not in_call_arg:
+                    self.invalidate(e.operand.record, "ATKN")
+                    info = self._info(e.operand.record)
+                    if info is not None:
+                        info.address_taken_fields.add(e.operand.name)
+            self._scan_expr(e.operand, fn, in_call_arg=False)
+            return
+        if isinstance(e, ast.Call):
+            self._scan_call(e, fn)
+            return
+        for child in ast.child_exprs(e):
+            self._scan_expr(child, fn, in_call_arg=False)
+
+    def _scan_cast(self, e: ast.Cast, fn: ast.FunctionDef) -> None:
+        to_rec = direct_record_of(e.to)
+        from_rec = direct_record_of(e.operand.type) \
+            if e.operand.type is not None else None
+        if to_rec is not None and to_rec is not from_rec:
+            if not self._tolerated_cast_source(e.operand):
+                self.invalidate(to_rec, "CSTT")
+        if from_rec is not None and from_rec is not to_rec:
+            self.invalidate(from_rec, "CSTF")
+        # allocation-site detection: (T*) malloc(...) and friends
+        if to_rec is not None and isinstance(e.operand, ast.Call):
+            callee = e.operand.callee_name
+            if callee in ALLOC_FUNCTIONS:
+                self._record_alloc(to_rec, e.operand, fn, callee)
+
+    def _tolerated_cast_source(self, operand: ast.Expr) -> bool:
+        """Casts of allocator results and null constants are tolerated —
+        the paper keeps a list of allocator return values for this."""
+        if isinstance(operand, ast.Call) and \
+                operand.callee_name in ALLOC_FUNCTIONS:
+            return True
+        if isinstance(operand, (ast.NullLit,)):
+            return True
+        if isinstance(operand, ast.IntLit) and operand.value == 0:
+            return True
+        return False
+
+    def _record_alloc(self, rec: RecordType, call: ast.Call,
+                      fn: ast.FunctionDef, kind: str) -> None:
+        info = self._info(rec)
+        if info is None:
+            return
+        count = _alloc_count(call, rec)
+        info.alloc_sites.append(AllocSite(
+            record=rec, function=fn.name, call=call, line=call.line,
+            count=count, kind=kind))
+        if kind == "realloc":
+            info.realloced = True
+
+    def _scan_call(self, e: ast.Call, fn: ast.FunctionDef) -> None:
+        callee = e.resolved_callee
+        self._scan_expr(e.func, fn, in_call_arg=False)
+
+        # classify the callee
+        is_indirect = callee is None
+        sym = None if is_indirect else \
+            self.program.function_symbol(callee)
+        is_defined = (not is_indirect) and \
+            self.program.has_function(callee)
+        is_libc = sym is not None and getattr(sym, "is_libc", False) \
+            and not is_defined
+
+        for arg in e.args:
+            self._scan_expr(arg, fn, in_call_arg=True)
+            rec = record_of(arg.type) if arg.type is not None else None
+            info = self._info(rec)
+            if info is None:
+                continue
+            if is_indirect:
+                self.invalidate(rec, "IND")
+            elif callee == "free":
+                info.freed = True
+            elif callee in ALLOC_FUNCTIONS:
+                if callee == "realloc":
+                    info.realloced = True
+            elif callee in MEMSTREAM_FUNCTIONS:
+                self.invalidate(rec, "MSET")
+            elif is_libc:
+                self.invalidate(rec, "LIBC")
+            else:
+                # non-library callee: record the <type, function> tuple;
+                # the IPA escape analysis decides whether the callee is
+                # inside the compilation scope (see analysis.escape)
+                info.escapes_to.add(callee)
+
+    # -- SMAL --------------------------------------------------------------
+
+    def _apply_smal(self) -> None:
+        for info in self.result.types.values():
+            for site in info.alloc_sites:
+                if site.count is not None and site.count < SMAL_THRESHOLD:
+                    info.invalid_reasons.add("SMAL")
+                    break
+
+
+def _alloc_count(call: ast.Call, rec: RecordType) -> int | None:
+    """Statically-known element count of an allocation, or None.
+
+    Recognizes ``malloc(sizeof(T))``, ``malloc(N * sizeof(T))``,
+    ``malloc(sizeof(T) * N)``, ``calloc(N, sizeof(T))`` with literal N.
+    """
+    name = call.callee_name
+    if name == "calloc" and len(call.args) == 2:
+        n = _literal_int(call.args[0])
+        return n
+    if name in ("malloc", "realloc"):
+        size_arg = call.args[-1]
+        if _is_sizeof(size_arg, rec):
+            return 1
+        if isinstance(size_arg, ast.Binary) and size_arg.op == "*":
+            left, right = size_arg.left, size_arg.right
+            if _is_sizeof(right, rec):
+                return _literal_int(left)
+            if _is_sizeof(left, rec):
+                return _literal_int(right)
+    return None
+
+
+def _is_sizeof(e: ast.Expr, rec: RecordType) -> bool:
+    if isinstance(e, ast.SizeofType):
+        t = e.of.strip()
+        return t.is_record() and t.name == rec.name
+    return False
+
+
+def _literal_int(e: ast.Expr) -> int | None:
+    if isinstance(e, ast.IntLit):
+        return e.value
+    return None
+
+
+def analyze_legality(program: Program) -> LegalityResult:
+    """Run the FE legality/property analysis over a whole program."""
+    return LegalityAnalyzer(program).run()

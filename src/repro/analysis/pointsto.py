@@ -1,0 +1,458 @@
+"""Field-sensitive, flow-insensitive points-to analysis (Andersen style).
+
+The paper's practical legality tests are deliberately conservative; §2.2
+notes that the compiler's field-sensitive points-to analysis can derive
+sharper results for the CSTT, CSTF and ATKN tests — e.g. proving that an
+exposed field address can never reach another field, in which case the
+operation does not block the transformation, and *collapsing* the
+points-to sets of all fields when it can.
+
+This module implements that analysis: inclusion-based constraint solving
+over abstract locations (variables and heap allocation sites), with one
+sub-location per structure field.  Its output is
+
+- points-to sets for every pointer variable, and
+- the set of *collapsed* record types — types for which field-sensitivity
+  was lost (field addresses flowing into pointer arithmetic, or casts
+  between distinct record pointer types).
+
+A record invalidated only by CSTT/CSTF/ATKN whose type is **not**
+collapsed is safe to transform — the justification behind Table 1's
+"Relax" column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend import ast
+from ..frontend.program import Program
+from ..frontend.sema import ALLOC_FUNCTIONS
+from .legality import LegalityResult, direct_record_of
+
+
+# -- abstract locations ------------------------------------------------------
+
+@dataclass(frozen=True)
+class Loc:
+    """An abstract memory location.
+
+    ``kind`` is 'var' (a variable), 'heap' (an allocation site), or
+    'field' (a field sub-location of another location).
+    """
+
+    kind: str
+    name: str                 # variable name / site label
+    field: str | None = None  # set for field sub-locations
+    record: str | None = None  # record type of the base location
+
+    def with_field(self, fname: str) -> "Loc":
+        return Loc("field", self.name, fname, self.record)
+
+    def __str__(self) -> str:
+        base = self.name if self.kind != "heap" else f"heap:{self.name}"
+        return f"{base}.{self.field}" if self.field else base
+
+
+class PointsToResult:
+    """Solved points-to sets plus the collapse summary."""
+
+    def __init__(self):
+        self.pts: dict[str, set[Loc]] = {}
+        self.collapsed: set[str] = set()
+        self.heap_sites: list[Loc] = []
+
+    def points_to(self, node: str) -> set[Loc]:
+        return self.pts.get(node, set())
+
+    def points_to_var(self, var_name: str) -> set[Loc]:
+        return self.points_to(f"v:{var_name}")
+
+    def is_field_safe(self, record_name: str) -> bool:
+        """True when field-sensitivity survived for this record — the
+        sharper legality criterion for CSTT/CSTF/ATKN."""
+        return record_name not in self.collapsed
+
+    def may_alias(self, a: str, b: str) -> bool:
+        return bool(self.points_to_var(a) & self.points_to_var(b))
+
+
+class _Solver:
+    """Inclusion-based constraint solver with a worklist."""
+
+    def __init__(self):
+        self.pts: dict[str, set[Loc]] = {}
+        self.copy_edges: dict[str, set[str]] = {}
+        #: (src_node, field|None, dst_node): dst ⊇ pts(loc[.field]) ∀ loc
+        self.load_cs: list[tuple[str, str | None, str]] = []
+        #: (dst_node, field|None, src_node): pts(loc[.field]) ⊇ pts(src)
+        self.store_cs: list[tuple[str, str | None, str]] = []
+        self.collapsed: set[str] = set()
+
+    def base(self, node: str) -> set[Loc]:
+        s = self.pts.get(node)
+        if s is None:
+            s = self.pts[node] = set()
+        return s
+
+    def add_loc(self, node: str, loc: Loc) -> None:
+        self.base(node).add(loc)
+
+    def add_copy(self, dst: str, src: str) -> None:
+        if dst != src:
+            self.copy_edges.setdefault(src, set()).add(dst)
+
+    def add_load(self, dst: str, src: str, fname: str | None) -> None:
+        self.load_cs.append((src, fname, dst))
+
+    def add_store(self, dst: str, src: str, fname: str | None) -> None:
+        self.store_cs.append((dst, fname, src))
+
+    def collapse(self, record: str | None) -> None:
+        if record:
+            self.collapsed.add(record)
+
+    @staticmethod
+    def loc_node(loc: Loc, fname: str | None) -> str:
+        """The solver node holding what is stored *in* a location."""
+        if fname is not None and loc.field is None:
+            loc = loc.with_field(fname)
+        return f"l:{loc.kind}:{loc.name}:{loc.field or ''}"
+
+    def solve(self) -> None:
+        changed = True
+        # iterate to fixpoint; programs here are small, so the simple
+        # O(n * constraints) loop is fine
+        while changed:
+            changed = False
+            # copy edges
+            for src, dsts in list(self.copy_edges.items()):
+                sset = self.pts.get(src)
+                if not sset:
+                    continue
+                for dst in dsts:
+                    d = self.base(dst)
+                    before = len(d)
+                    d |= sset
+                    if len(d) != before:
+                        changed = True
+            # loads: dst ⊇ contents(loc.field) for loc in pts(src)
+            for src, fname, dst in self.load_cs:
+                for loc in list(self.pts.get(src, ())):
+                    node = self.loc_node(loc, fname)
+                    sset = self.pts.get(node)
+                    if not sset:
+                        continue
+                    d = self.base(dst)
+                    before = len(d)
+                    d |= sset
+                    if len(d) != before:
+                        changed = True
+            # stores: contents(loc.field) ⊇ pts(src) for loc in pts(dst)
+            for dst, fname, src in self.store_cs:
+                sset = self.pts.get(src)
+                if not sset:
+                    continue
+                for loc in list(self.pts.get(dst, ())):
+                    node = self.loc_node(loc, fname)
+                    d = self.base(node)
+                    before = len(d)
+                    d |= sset
+                    if len(d) != before:
+                        changed = True
+
+
+class PointsToAnalyzer:
+    def __init__(self, program: Program):
+        self.program = program
+        self.solver = _Solver()
+        self._temp = 0
+        self._site = 0
+        self.heap_sites: list[Loc] = []
+        #: deferred (dst, base, field) "address of field" constraints
+        self._field_addr_cs: list[tuple[str, str, str]] = []
+        #: nodes that flowed through pointer arithmetic
+        self._arith_nodes: set[str] = set()
+
+    # -- nodes ---------------------------------------------------------------
+
+    def temp(self) -> str:
+        self._temp += 1
+        return f"t:{self._temp}"
+
+    @staticmethod
+    def var_node(sym) -> str:
+        return f"v:{sym.name}" if sym.kind == "global" \
+            else f"v:{sym.name}#{sym.uid if sym.uid >= 0 else id(sym)}"
+
+    @staticmethod
+    def ret_node(fn_name: str) -> str:
+        return f"r:{fn_name}"
+
+    # -- function scan ----------------------------------------------------------
+
+    def _scan_function(self, fn: ast.FunctionDef) -> None:
+        self.current_fn = fn
+        for s in ast.walk_stmts(fn.body):
+            if isinstance(s, ast.DeclStmt) and s.init is not None:
+                src = self.value(s.init)
+                self.solver.add_copy(self.var_node(s.symbol), src)
+            elif isinstance(s, ast.Return) and s.value is not None:
+                src = self.value(s.value)
+                self.solver.add_copy(self.ret_node(fn.name), src)
+            for e in ast.stmt_exprs(s):
+                if not isinstance(s, ast.Return):
+                    self.value(e)
+
+    # -- expression evaluation → solver node --------------------------------
+
+    def value(self, e: ast.Expr) -> str:
+        """Return the solver node whose points-to set models ``e``'s
+        pointer value, generating constraints along the way."""
+        if isinstance(e, ast.Ident):
+            sym = e.symbol
+            if sym is not None and not sym.is_function:
+                return self.var_node(sym)
+            return self.temp()
+        if isinstance(e, ast.Assign):
+            return self._assign(e)
+        if isinstance(e, ast.Cast):
+            self._check_record_cast(e)
+            if isinstance(e.operand, ast.Call) and \
+                    e.operand.callee_name in ALLOC_FUNCTIONS:
+                # (T*) malloc(...): one heap location, typed by the cast
+                for a in e.operand.args:
+                    self.value(a)
+                return self._heap_node(e)
+            return self.value(e.operand)
+        if isinstance(e, ast.Unary):
+            return self._unary(e)
+        if isinstance(e, ast.Member):
+            base = self._member_base(e)
+            t = self.temp()
+            self.solver.add_load(t, base, e.name)
+            return t
+        if isinstance(e, ast.Index):
+            base = self.value(e.base)
+            self.value(e.index)
+            t = self.temp()
+            # an indexed element aliases the site itself (arrays are
+            # modeled as a single summarized element)
+            bt = e.base.type.strip() if e.base.type is not None else None
+            if bt is not None and (bt.is_pointer() or bt.is_array()):
+                elem = bt.pointee if bt.is_pointer() else bt.elem
+                if elem.strip().is_record():
+                    # p[i] used as a struct lvalue: address flows through
+                    self.solver.add_copy(t, base)
+                    return t
+            self.solver.add_load(t, base, None)
+            return t
+        if isinstance(e, ast.Binary):
+            return self._binary(e)
+        if isinstance(e, ast.Call):
+            return self._call(e)
+        if isinstance(e, ast.Conditional):
+            self.value(e.cond)
+            t = self.temp()
+            self.solver.add_copy(t, self.value(e.then))
+            self.solver.add_copy(t, self.value(e.els))
+            return t
+        if isinstance(e, ast.Comma):
+            node = self.temp()
+            for p in e.parts:
+                node = self.value(p)
+            return node
+        # literals, sizeof: no pointers
+        for child in ast.child_exprs(e):
+            self.value(child)
+        return self.temp()
+
+    def _member_base(self, e: ast.Member) -> str:
+        """Node for the location(s) whose field ``e.name`` is accessed."""
+        if e.arrow:
+            return self.value(e.base)
+        # s.f: base is a struct lvalue; its address is the location
+        return self._addr_of(e.base)
+
+    def _addr_of(self, e: ast.Expr) -> str:
+        if isinstance(e, ast.Ident):
+            sym = e.symbol
+            t = self.temp()
+            rec = None
+            st = sym.type.strip()
+            if st.is_record():
+                rec = st.name
+            self.solver.add_loc(t, Loc("var", sym.name, record=rec))
+            return t
+        if isinstance(e, ast.Unary) and e.op == "*":
+            return self.value(e.operand)
+        if isinstance(e, ast.Index):
+            return self.value(e.base)
+        if isinstance(e, ast.Member):
+            base = self._member_base(e)
+            t = self.temp()
+            # address of a field: field sub-locations of all base locs
+            self._field_addr(t, base, e.name)
+            return t
+        if isinstance(e, ast.Cast):
+            return self._addr_of(e.operand)
+        return self.temp()
+
+    def _field_addr(self, dst: str, base: str, fname: str) -> None:
+        """pts(dst) ⊇ { loc.field : loc ∈ pts(base) } — modeled by a
+        dedicated constraint the solver re-evaluates via copy edges from
+        a synthetic node we refresh during solving.  For simplicity we
+        pre-solve once here and again after solving (two-pass)."""
+        self._field_addr_cs.append((dst, base, fname))
+
+    def _unary(self, e: ast.Unary) -> str:
+        if e.op == "&":
+            if isinstance(e.operand, ast.Member):
+                base = self._member_base(e.operand)
+                t = self.temp()
+                self._field_addr(t, base, e.operand.name)
+                return t
+            return self._addr_of(e.operand)
+        if e.op == "*":
+            src = self.value(e.operand)
+            t = self.temp()
+            self.solver.add_load(t, src, None)
+            return t
+        if e.op in ("++", "--", "p++", "p--"):
+            # pointer stepping: value flows through, and if the pointer
+            # holds field addresses, sensitivity is lost
+            src = self.value(e.operand)
+            t = e.operand.type.strip() if e.operand.type is not None \
+                else None
+            if t is not None and t.is_pointer():
+                self._mark_arith(src)
+            return src
+        return self.value(e.operand)
+
+    def _binary(self, e: ast.Binary) -> str:
+        lt = e.left.type.strip() if e.left.type is not None else None
+        l = self.value(e.left)
+        r = self.value(e.right)
+        if e.op in ("+", "-") and lt is not None and lt.is_pointer():
+            self._mark_arith(l)
+            return l
+        rt = e.right.type.strip() if e.right.type is not None else None
+        if e.op == "+" and rt is not None and rt.is_pointer():
+            self._mark_arith(r)
+            return r
+        return self.temp()
+
+    def _assign(self, e: ast.Assign) -> str:
+        src = self.value(e.value)
+        target = e.target
+        if isinstance(target, ast.Ident) and target.symbol is not None:
+            self.solver.add_copy(self.var_node(target.symbol), src)
+            return src
+        if isinstance(target, ast.Member):
+            base = self._member_base(target)
+            self.solver.add_store(base, src, target.name)
+            return src
+        if isinstance(target, ast.Unary) and target.op == "*":
+            dst = self.value(target.operand)
+            self.solver.add_store(dst, src, None)
+            return src
+        if isinstance(target, ast.Index):
+            dst = self.value(target.base)
+            self.value(target.index)
+            self.solver.add_store(dst, src, None)
+            return src
+        return src
+
+    def _call(self, e: ast.Call) -> str:
+        callee = e.callee_name
+        arg_nodes = [self.value(a) for a in e.args]
+        if callee is not None and self.program.has_function(callee):
+            fn = self.program.function(callee)
+            for p, a in zip(fn.params, arg_nodes):
+                self.solver.add_copy(self.var_node(p.symbol), a)
+            return self.ret_node(callee)
+        if callee in ALLOC_FUNCTIONS:
+            return self._heap_node(e)
+        return self.temp()
+
+    def _heap_node(self, e: ast.Expr) -> str:
+        self._site += 1
+        rec = direct_record_of(e.type) if e.type is not None else None
+        loc = Loc("heap", f"s{self._site}",
+                  record=rec.name if rec is not None else None)
+        self.heap_sites.append(loc)
+        t = self.temp()
+        self.solver.add_loc(t, loc)
+        return t
+
+    def _mark_arith(self, node: str) -> None:
+        self._arith_nodes.add(node)
+
+    def _check_record_cast(self, e: ast.Cast) -> None:
+        to_rec = direct_record_of(e.to)
+        from_rec = direct_record_of(e.operand.type) \
+            if e.operand.type is not None else None
+        if to_rec is not None and from_rec is not None \
+                and to_rec is not from_rec:
+            # reinterpreting one record as another collapses both
+            self.solver.collapse(to_rec.name)
+            self.solver.collapse(from_rec.name)
+
+
+def analyze_points_to(program: Program) -> PointsToResult:
+    """Run the field-sensitive points-to analysis over a program."""
+    an = PointsToAnalyzer(program)
+    # first pass: generate constraints
+    for fn in program.functions():
+        an._scan_function(fn)
+    for g in program.globals():
+        if g.init is not None:
+            an.solver.add_copy(
+                an.var_node(g.symbol), an.value(g.init))
+    # iterate: solve, apply field-address constraints, re-solve
+    for _ in range(4):
+        an.solver.solve()
+        changed = False
+        for dst, base, fname in an._field_addr_cs:
+            for loc in list(an.solver.pts.get(base, ())):
+                if loc.field is not None:
+                    continue
+                floc = loc.with_field(fname)
+                s = an.solver.base(dst)
+                if floc not in s:
+                    s.add(floc)
+                    changed = True
+        if not changed:
+            break
+    an.solver.solve()
+    # pointer arithmetic on nodes holding field addresses collapses
+    for node in an._arith_nodes:
+        for loc in an.solver.pts.get(node, ()):
+            if loc.field is not None and loc.record is not None:
+                an.solver.collapse(loc.record)
+
+    result = PointsToResult()
+    result.pts = dict(an.solver.pts)
+    for k, v in list(result.pts.items()):
+        if k.startswith("v:") and "#" in k:
+            plain = "v:" + k[2:].split("#", 1)[0]
+            result.pts.setdefault(plain, set()).update(v)
+    result.collapsed = set(an.solver.collapsed)
+    result.heap_sites = list(an.heap_sites)
+    return result
+
+
+def relaxed_legal_types(legality: LegalityResult,
+                        pointsto: PointsToResult) -> list[str]:
+    """Types transformable under the sharper points-to-verified relaxation:
+    their only violations are the relaxable three AND field-sensitivity
+    survived for them."""
+    out = []
+    for info in legality.types.values():
+        if info.is_legal(relaxed=False):
+            out.append(info.name)
+            continue
+        if info.is_legal(relaxed=True) and \
+                pointsto.is_field_safe(info.name):
+            out.append(info.name)
+    return out

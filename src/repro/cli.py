@@ -1,0 +1,230 @@
+"""Command-line interface: the standalone layout tool of §5.
+
+The paper closes by "considering re-packaging the analysis phase into a
+standalone tool"; this module is that tool for the reproduction:
+
+- ``repro analyze FILE...``    — legality + heuristics summary
+- ``repro advise FILE...``     — the Figure-2 advisory report
+                                 (``--profile`` collects PBO + PMU data
+                                 by running the program first)
+- ``repro transform FILE...``  — apply the transformations and emit the
+                                 rewritten MiniC source
+- ``repro run FILE...``        — execute on the simulated machine and
+                                 report cycles and cache statistics
+- ``repro compare FILE...``    — measure original vs transformed
+
+Invoke as ``python -m repro <command> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .advisor import advisor_report, classify_report, program_vcg
+from .core import Compiler, CompilerOptions
+from .frontend import Program
+from .profit import collect_feedback
+from .runtime import run_program
+from .transform import HeuristicParams, program_sources
+
+
+def _load_program(paths: list[str]) -> Program:
+    sources = []
+    for p in paths:
+        path = Path(p)
+        sources.append((path.name, path.read_text()))
+    return Program.from_sources(sources)
+
+
+def _options(args) -> CompilerOptions:
+    params = HeuristicParams()
+    if getattr(args, "ts", None) is not None:
+        params.ts_static = args.ts
+        params.ts_profile = args.ts
+    if getattr(args, "peel_mode", None):
+        params.peel_mode = args.peel_mode
+    feedback = None
+    scheme = getattr(args, "scheme", "ISPBO")
+    if getattr(args, "profile", False):
+        feedback = collect_feedback(_load_program(args.files))
+        scheme = "PBO"
+    return CompilerOptions(
+        scheme=scheme, feedback=feedback, params=params,
+        relax_legality=getattr(args, "relax", False)), feedback
+
+
+def cmd_analyze(args) -> int:
+    program = _load_program(args.files)
+    options, _ = _options(args)
+    options.transform = False
+    result = Compiler(options).compile(program)
+
+    types, legal, relaxed = result.table1_row()
+    print(f"record types: {types}  legal: {legal}  "
+          f"legal under relaxation: {relaxed}")
+    print()
+    for name in sorted(result.legality.types):
+        info = result.legality.types[name]
+        status = "OK" if info.is_legal() else \
+            ",".join(sorted(info.invalid_reasons))
+        attrs = " ".join(info.attributes())
+        d = result.decision_for(name)
+        plan = d.action if d is not None else "none"
+        notes = "; ".join(d.notes) if d is not None else ""
+        print(f"  {name:24s} [{status:>14s}] {attrs:20s} "
+              f"plan={plan:5s} {notes}")
+    return 0
+
+
+def cmd_advise(args) -> int:
+    program = _load_program(args.files)
+    options, feedback = _options(args)
+    options.transform = False
+    result = Compiler(options).compile(program)
+    print(advisor_report(result, feedback=feedback))
+    print("scenario advice (section 3.3):")
+    for name, profile in result.profiles.items():
+        if profile.type_hotness() > 0.0:
+            samples = {}
+            if feedback is not None:
+                samples = {f: s for (r, f), s in
+                           feedback.field_samples.items() if r == name}
+            print(classify_report(profile, samples))
+    if args.mt:
+        from .advisor import mt_report
+        print("\nmulti-threaded layout advice (section 2.4):")
+        for name, profile in result.profiles.items():
+            if profile.type_hotness() > 0.0:
+                print(mt_report(profile))
+    if args.vcg:
+        Path(args.vcg).write_text(program_vcg(result.profiles))
+        print(f"\nVCG affinity graphs written to {args.vcg}")
+    return 0
+
+
+def cmd_transform(args) -> int:
+    program = _load_program(args.files)
+    options, _ = _options(args)
+    result = Compiler(options).compile(program)
+    transformed = result.transformed_types()
+    print(f"transformed {len(transformed)} type(s): "
+          f"{', '.join(d.type_name for d in transformed) or '-'}",
+          file=sys.stderr)
+    for unit_name, text in program_sources(result.transformed):
+        header = f"/* === {unit_name} === */\n"
+        if args.output:
+            out = Path(args.output)
+            if len(result.transformed.units) > 1:
+                out = out.with_name(f"{out.stem}_{unit_name}")
+            out.write_text(text)
+            print(f"wrote {out}", file=sys.stderr)
+        else:
+            sys.stdout.write(header + text)
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _load_program(args.files)
+    result = run_program(program, cycle_limit=args.cycle_limit)
+    sys.stdout.write(result.stdout)
+    print(f"\n[exit {result.exit_code}; {result.cycles:,} cycles]")
+    if args.stats:
+        for level, stats in result.cache_stats.items():
+            print(f"  {level}: {stats}")
+    return result.exit_code
+
+
+def cmd_compare(args) -> int:
+    program = _load_program(args.files)
+    options, _ = _options(args)
+    result = Compiler(options).compile(program)
+    before = run_program(result.program, cycle_limit=args.cycle_limit)
+    after = run_program(result.transformed,
+                        cycle_limit=args.cycle_limit)
+    if before.stdout != after.stdout:
+        print("ERROR: transformation changed program output!",
+              file=sys.stderr)
+        return 1
+    gain = 100.0 * (before.cycles / after.cycles - 1.0)
+    print(f"output   : {before.stdout.strip()}")
+    print(f"before   : {before.cycles:,} cycles")
+    print(f"after    : {after.cycles:,} cycles")
+    print(f"effect   : {gain:+.2f}%")
+    for d in result.transformed_types():
+        print(f"  {d.type_name}: {d.action} cold={d.cold_fields} "
+              f"dead={d.dead_fields}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Structure layout optimization and advice "
+                    "(CGO 2006 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, scheme=True):
+        p.add_argument("files", nargs="+",
+                       help="MiniC source files (one program)")
+        if scheme:
+            p.add_argument("--scheme", default="ISPBO",
+                           choices=["SPBO", "ISPBO", "ISPBO.NO",
+                                    "ISPBO.W"],
+                           help="weight estimation scheme")
+            p.add_argument("--profile", action="store_true",
+                           help="collect a PBO profile first "
+                                "(runs the program instrumented)")
+            p.add_argument("--relax", action="store_true",
+                           help="tolerate CSTT/CSTF/ATKN when "
+                                "points-to proves field safety")
+            p.add_argument("--ts", type=float, default=None,
+                           help="splitting threshold T_s in percent")
+            p.add_argument("--peel-mode", default=None,
+                           choices=["auto", "per-field", "hot-cold",
+                                    "affinity"])
+
+    p = sub.add_parser("analyze", help="legality + planned transforms")
+    add_common(p)
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("advise", help="the advisory report (Figure 2)")
+    add_common(p)
+    p.add_argument("--vcg", default=None, metavar="FILE",
+                   help="also write VCG affinity graphs")
+    p.add_argument("--mt", action="store_true",
+                   help="add multi-threaded layout advice "
+                        "(read/write grouping, false sharing)")
+    p.set_defaults(fn=cmd_advise)
+
+    p = sub.add_parser("transform",
+                       help="apply transformations, emit MiniC")
+    add_common(p)
+    p.add_argument("-o", "--output", default=None,
+                   help="output file (stdout by default)")
+    p.set_defaults(fn=cmd_transform)
+
+    p = sub.add_parser("run", help="execute on the simulated machine")
+    add_common(p, scheme=False)
+    p.add_argument("--stats", action="store_true",
+                   help="print cache statistics")
+    p.add_argument("--cycle-limit", type=int, default=2_000_000_000)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compare",
+                       help="measure original vs transformed")
+    add_common(p)
+    p.add_argument("--cycle-limit", type=int, default=2_000_000_000)
+    p.set_defaults(fn=cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

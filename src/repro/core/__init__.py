@@ -1,0 +1,11 @@
+"""Pipeline driver: the FE -> IPA -> BE compiler."""
+
+from .pipeline import (
+    Compiler, CompilerOptions, CompilationResult, compile_program,
+    compile_source, SCHEMES,
+)
+
+__all__ = [
+    "Compiler", "CompilerOptions", "CompilationResult", "compile_program",
+    "compile_source", "SCHEMES",
+]

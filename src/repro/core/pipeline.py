@@ -1,0 +1,192 @@
+"""The compilation pipeline: FE → IPA → BE (§2 of the paper).
+
+:class:`Compiler` mirrors the SYZYGY phase structure:
+
+- **FE** (per translation unit, parallelizable in the paper): legality
+  and property analysis, field reference counting, loop recognition —
+  everything summarized per unit;
+- **IPA**: summary aggregation, escape analysis, weight estimation
+  (ISPBO by default; PBO when a feedback file is supplied), affinity
+  graph construction, and the transformation heuristics;
+- **BE**: application of the planned transformations and re-typing.
+
+Per-phase wall-clock timings are recorded so the §2.5 compile-time
+overhead claim can be measured rather than asserted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..frontend.program import Program
+from ..ir.cfg import FunctionCFG, lower_program
+from ..ir.callgraph import CallGraph, build_call_graph
+from ..ir.loops import LoopNest, find_loops
+from ..analysis.deadfields import UsageResult, analyze_field_usage
+from ..analysis.escape import EscapeResult, analyze_escapes
+from ..analysis.legality import LegalityResult, analyze_legality
+from ..profit.affinity import TypeProfile, compute_profiles
+from ..profit.feedback import FeedbackFile, match_feedback
+from ..profit.weights import (
+    ProgramWeights, estimate_ispbo, estimate_ispbo_w, estimate_spbo,
+)
+from ..transform.heuristics import (
+    HeuristicParams, TransformDecision, apply_decisions,
+    decide_transforms,
+)
+
+#: weight schemes the pipeline can drive transformations with
+SCHEMES = ("SPBO", "ISPBO", "ISPBO.NO", "ISPBO.W", "PBO", "PPBO")
+
+
+@dataclass
+class CompilerOptions:
+    """Knobs for one compilation."""
+
+    scheme: str = "ISPBO"
+    feedback: FeedbackFile | None = None
+    params: HeuristicParams = field(default_factory=HeuristicParams)
+    #: apply the transformations (False = analyze/advise only)
+    transform: bool = True
+    #: tolerate CSTT/CSTF/ATKN when the field-sensitive points-to
+    #: analysis proves field-sensitivity survived (§2.2's internal flag,
+    #: verified instead of assumed)
+    relax_legality: bool = False
+    entry: str = "main"
+
+    def __post_init__(self):
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}; "
+                             f"choose from {SCHEMES}")
+        if self.scheme in ("PBO", "PPBO") and self.feedback is None:
+            raise ValueError(f"{self.scheme} requires a feedback file")
+
+
+@dataclass
+class CompilationResult:
+    """Everything one compilation produced."""
+
+    program: Program
+    options: CompilerOptions
+    cfgs: dict[str, FunctionCFG]
+    nests: dict[str, LoopNest]
+    callgraph: CallGraph
+    legality: LegalityResult
+    escape: EscapeResult
+    usage: UsageResult
+    weights: ProgramWeights
+    profiles: dict[str, TypeProfile]
+    decisions: list[TransformDecision]
+    transformed: Program
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def decision_for(self, type_name: str) -> TransformDecision | None:
+        for d in self.decisions:
+            if d.type_name == type_name:
+                return d
+        return None
+
+    def transformed_types(self) -> list[TransformDecision]:
+        return [d for d in self.decisions if d.transformed]
+
+    def table1_row(self) -> tuple[int, int, int]:
+        """(types, legal, relaxed) — one row of Table 1."""
+        return self.legality.counts()
+
+    def table3_row(self) -> tuple[int, int, int]:
+        """(types, transformed types, fields split-out+dead)."""
+        transformed = self.transformed_types()
+        return (len(self.legality.types), len(transformed),
+                sum(d.fields_affected for d in transformed))
+
+
+class Compiler:
+    """Drives one FE → IPA → BE compilation."""
+
+    def __init__(self, options: CompilerOptions | None = None):
+        self.options = options or CompilerOptions()
+
+    def compile(self, program: Program) -> CompilationResult:
+        opts = self.options
+        timings: dict[str, float] = {}
+
+        # ---- FE: per-unit analysis ----
+        t0 = time.perf_counter()
+        cfgs = lower_program(program)
+        nests = {name: find_loops(cfg) for name, cfg in cfgs.items()}
+        legality = analyze_legality(program)
+        usage = analyze_field_usage(program)
+        timings["fe"] = time.perf_counter() - t0
+
+        # ---- IPA: aggregation, weights, heuristics ----
+        t0 = time.perf_counter()
+        callgraph = build_call_graph(cfgs, program)
+        escape = analyze_escapes(program, legality)
+        if opts.relax_legality:
+            self._relax(program, legality)
+        weights = self._weights(cfgs, callgraph, nests)
+        profiles = compute_profiles(program, cfgs, weights, nests)
+        decisions = decide_transforms(program, legality, usage, profiles,
+                                      weights.scheme, opts.params)
+        timings["ipa"] = time.perf_counter() - t0
+
+        # ---- BE: transformation ----
+        t0 = time.perf_counter()
+        transformed = program
+        if opts.transform:
+            transformed = apply_decisions(program, decisions)
+        timings["be"] = time.perf_counter() - t0
+
+        return CompilationResult(
+            program=program, options=opts, cfgs=cfgs, nests=nests,
+            callgraph=callgraph, legality=legality, escape=escape,
+            usage=usage, weights=weights, profiles=profiles,
+            decisions=decisions, transformed=transformed,
+            timings=timings)
+
+    @staticmethod
+    def _relax(program, legality) -> None:
+        """Clear the relaxable violations for types whose points-to
+        sets did not collapse — the sharper legality the paper
+        estimates an upper bound for with its internal flag."""
+        from ..analysis.legality import RELAXABLE_REASONS
+        from ..analysis.pointsto import analyze_points_to
+        pointsto = analyze_points_to(program)
+        for info in legality.types.values():
+            if info.invalid_reasons and \
+                    info.invalid_reasons <= RELAXABLE_REASONS and \
+                    pointsto.is_field_safe(info.name):
+                info.invalid_reasons.clear()
+
+    def _weights(self, cfgs, callgraph, nests) -> ProgramWeights:
+        opts = self.options
+        scheme = opts.scheme
+        if scheme in ("PBO", "PPBO"):
+            return match_feedback(cfgs, opts.feedback, scheme=scheme)
+        if scheme == "SPBO":
+            return estimate_spbo(cfgs, nests)
+        if scheme == "ISPBO":
+            return estimate_ispbo(cfgs, callgraph, nests,
+                                  entry=opts.entry)
+        if scheme == "ISPBO.NO":
+            return estimate_ispbo(cfgs, callgraph, nests, exponent=1.0,
+                                  entry=opts.entry)
+        if scheme == "ISPBO.W":
+            return estimate_ispbo_w(cfgs, callgraph, nests,
+                                    entry=opts.entry)
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def compile_program(program: Program,
+                    options: CompilerOptions | None = None
+                    ) -> CompilationResult:
+    """One-call convenience wrapper around :class:`Compiler`."""
+    return Compiler(options).compile(program)
+
+
+def compile_source(source: str,
+                   options: CompilerOptions | None = None
+                   ) -> CompilationResult:
+    """Compile MiniC source text directly."""
+    return compile_program(Program.from_source(source), options)

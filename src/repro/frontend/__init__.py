@@ -1,0 +1,22 @@
+"""MiniC frontend: lexer, parser, type system, semantic analysis."""
+
+from .lexer import tokenize, LexError, Token
+from .parser import parse, parse_expr, ParseError
+from .program import Program
+from .sema import analyze, SemaError, LIBC_SIGNATURES, ALLOC_FUNCTIONS
+from .typesys import (
+    Type, VoidType, IntType, FloatType, PointerType, ArrayType,
+    FunctionType, RecordType, Field, NamedType,
+    VOID, CHAR, UCHAR, SHORT, USHORT, INT, UINT, LONG, ULONG,
+    FLOAT, DOUBLE, VOID_PTR, CHAR_PTR, pointer_to, array_of,
+)
+
+__all__ = [
+    "tokenize", "LexError", "Token", "parse", "parse_expr", "ParseError",
+    "Program", "analyze", "SemaError", "LIBC_SIGNATURES", "ALLOC_FUNCTIONS",
+    "Type", "VoidType", "IntType", "FloatType", "PointerType", "ArrayType",
+    "FunctionType", "RecordType", "Field", "NamedType",
+    "VOID", "CHAR", "UCHAR", "SHORT", "USHORT", "INT", "UINT", "LONG",
+    "ULONG", "FLOAT", "DOUBLE", "VOID_PTR", "CHAR_PTR",
+    "pointer_to", "array_of",
+]

@@ -1,0 +1,568 @@
+"""Recursive-descent parser for MiniC.
+
+Produces a :class:`~repro.frontend.ast.TranslationUnit`.  The parser keeps
+a type environment (struct tags and typedef names) so it can distinguish
+declarations from expressions and parse casts, exactly the information a
+C parser needs.  Function pointers are supported through the
+``ret (*name)(params)`` declarator form — they are what the paper's IND
+legality test fires on.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .lexer import Token, tokenize
+from .typesys import (
+    BUILTIN_TYPES, RecordType, Field, NamedType, PointerType, ArrayType,
+    FunctionType, Type,
+)
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}: {message} (at {token.text!r})")
+        self.token = token
+
+
+_BASE_TYPE_KWS = frozenset({
+    "void", "char", "short", "int", "long", "float", "double",
+    "unsigned", "signed",
+})
+
+
+class Parser:
+    def __init__(self, tokens: list[Token], unit_name: str = "<unit>"):
+        self.tokens = tokens
+        self.pos = 0
+        self.unit_name = unit_name
+        self.struct_tags: dict[str, RecordType] = {}
+        self.typedefs: dict[str, NamedType] = {}
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def advance(self) -> Token:
+        t = self.tok
+        if t.kind != "eof":
+            self.pos += 1
+        return t
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        t = self.tok
+        return t.kind == kind and (text is None or t.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}", self.tok)
+        return self.advance()
+
+    def error(self, msg: str) -> ParseError:
+        return ParseError(msg, self.tok)
+
+    # -- type recognition -----------------------------------------------
+
+    def at_type(self) -> bool:
+        t = self.tok
+        if t.kind == "kw" and (t.text in _BASE_TYPE_KWS or t.text == "struct"
+                               or t.text in ("const", "static", "extern")):
+            return True
+        return t.kind == "id" and t.text in self.typedefs
+
+    def parse_type_specifier(self) -> Type:
+        """Parse the base type: builtin combination, struct, or typedef."""
+        while self.accept("kw", "const") or self.accept("kw", "static") \
+                or self.accept("kw", "extern"):
+            pass
+        if self.check("kw", "struct"):
+            return self._parse_struct_specifier()
+        if self.tok.kind == "id" and self.tok.text in self.typedefs:
+            return self.typedefs[self.advance().text]
+        words: list[str] = []
+        while self.tok.kind == "kw" and self.tok.text in _BASE_TYPE_KWS:
+            words.append(self.advance().text)
+        if not words:
+            raise self.error("expected a type")
+        return _resolve_base_type(words, self.tok)
+
+    def _parse_struct_specifier(self) -> RecordType:
+        self.expect("kw", "struct")
+        tag = None
+        if self.tok.kind == "id":
+            tag = self.advance().text
+        if self.check("op", "{"):
+            if tag is None:
+                tag = f"__anon_{self.tok.line}"
+            rec = self.struct_tags.get(tag)
+            if rec is None:
+                rec = RecordType(tag)
+                self.struct_tags[tag] = rec
+            elif rec.fields:
+                raise self.error(f"redefinition of struct {tag}")
+            self._parse_struct_body(rec)
+            return rec
+        if tag is None:
+            raise self.error("expected struct tag or body")
+        rec = self.struct_tags.get(tag)
+        if rec is None:
+            rec = RecordType(tag)   # forward reference
+            self.struct_tags[tag] = rec
+        return rec
+
+    def _parse_struct_body(self, rec: RecordType) -> None:
+        self.expect("op", "{")
+        while not self.check("op", "}"):
+            base = self.parse_type_specifier()
+            while True:
+                ftype, fname = self.parse_declarator(base)
+                width = None
+                if self.accept("op", ":"):
+                    width_tok = self.expect("int")
+                    width = int(width_tok.value)
+                rec.add_field(Field(fname, ftype, bit_width=width))
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ";")
+        self.expect("op", "}")
+        rec.layout()
+
+    def parse_declarator(self, base: Type) -> tuple[Type, str]:
+        """Parse pointers, the name, and array / function suffixes."""
+        t = base
+        while self.accept("op", "*"):
+            t = PointerType(t)
+        # function-pointer declarator: ( * name ) ( params )
+        if self.check("op", "(") and self.peek().text == "*":
+            self.expect("op", "(")
+            self.expect("op", "*")
+            name = self.expect("id").text
+            self.expect("op", ")")
+            params, varargs = self._parse_param_types()
+            return PointerType(FunctionType(t, tuple(params), varargs)), name
+        name = self.expect("id").text
+        dims: list[int] = []
+        while self.accept("op", "["):
+            n_tok = self.expect("int")
+            dims.append(int(n_tok.value))
+            self.expect("op", "]")
+        for n in reversed(dims):
+            t = ArrayType(t, n)
+        return t, name
+
+    def parse_abstract_type(self) -> Type:
+        """Type without a declarator name, for casts and sizeof."""
+        t = self.parse_type_specifier()
+        while self.accept("op", "*"):
+            t = PointerType(t)
+        return t
+
+    def _parse_param_types(self) -> tuple[list[Type], bool]:
+        self.expect("op", "(")
+        params: list[Type] = []
+        varargs = False
+        if self.check("kw", "void") and self.peek().text == ")":
+            self.advance()
+        if not self.check("op", ")"):
+            while True:
+                if self.accept("op", "..."):
+                    varargs = True
+                    break
+                pt = self.parse_type_specifier()
+                while self.accept("op", "*"):
+                    pt = PointerType(pt)
+                if self.tok.kind == "id":
+                    self.advance()
+                params.append(pt)
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return params, varargs
+
+    # -- top level --------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(name=self.unit_name)
+        while not self.check("eof"):
+            unit.decls.extend(self.parse_top_decl())
+        return unit
+
+    def parse_top_decl(self) -> list[ast.Node]:
+        line = self.tok.line
+        if self.accept("kw", "typedef"):
+            base = self.parse_type_specifier()
+            t, name = self.parse_declarator(base)
+            self.expect("op", ";")
+            alias = NamedType(name, t)
+            self.typedefs[name] = alias
+            return [ast.TypedefDecl(line=line, name=name, aliased=t)]
+
+        is_static = False
+        while self.check("kw", "static") or self.check("kw", "extern") \
+                or self.check("kw", "const"):
+            if self.tok.text == "static":
+                is_static = True
+            self.advance()
+
+        if self.check("kw", "struct") and self.peek().kind == "id" \
+                and self.peek(2).text == "{":
+            rec = self._parse_struct_specifier()
+            if self.accept("op", ";"):
+                return [ast.StructDecl(line=line, record=rec)]
+            # struct definition followed by declarators: fall through
+            decls: list[ast.Node] = [ast.StructDecl(line=line, record=rec)]
+            decls.extend(self._parse_init_declarators(rec, line, is_static))
+            return decls
+
+        base = self.parse_type_specifier()
+
+        # bare type declaration: "struct s;" (forward declaration)
+        if self.accept("op", ";"):
+            return []
+
+        # function definition / declaration?  (a '(' after the declarator
+        # name is a parameter list — function-pointer declarators have
+        # already consumed theirs inside parse_declarator)
+        save = self.pos
+        t, name = self.parse_declarator(base)
+        if self.check("op", "("):
+            return [self._parse_function(t, name, line, is_static)]
+        self.pos = save
+        return self._parse_init_declarators(base, line, is_static)
+
+    def _parse_init_declarators(self, base: Type, line: int,
+                                is_static: bool) -> list[ast.Node]:
+        decls: list[ast.Node] = []
+        while True:
+            t, name = self.parse_declarator(base)
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_assignment()
+            decls.append(ast.GlobalVar(line=line, name=name, decl_type=t,
+                                       init=init, is_static=is_static))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        return decls
+
+    def _parse_function(self, ret: Type, name: str, line: int,
+                        is_static: bool) -> ast.FunctionDef:
+        self.expect("op", "(")
+        params: list[ast.Param] = []
+        if not self.check("op", ")"):
+            if self.check("kw", "void") and self.peek().text == ")":
+                self.advance()
+            else:
+                while True:
+                    pline = self.tok.line
+                    pbase = self.parse_type_specifier()
+                    ptype, pname = self.parse_declarator(pbase)
+                    if ptype.is_array():
+                        ptype = PointerType(ptype.strip().elem)
+                    params.append(ast.Param(line=pline, name=pname,
+                                            type=ptype))
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        body = None
+        if self.check("op", "{"):
+            body = self.parse_block()
+        else:
+            self.expect("op", ";")
+        return ast.FunctionDef(line=line, name=name, ret_type=ret,
+                               params=params, body=body, is_static=is_static)
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        line = self.tok.line
+        self.expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while not self.check("op", "}"):
+            stmts.extend(self.parse_statement())
+        self.expect("op", "}")
+        return ast.Block(line=line, stmts=stmts)
+
+    def parse_statement(self) -> list[ast.Stmt]:
+        line = self.tok.line
+        if self.check("op", "{"):
+            return [self.parse_block()]
+        if self.accept("kw", "if"):
+            self.expect("op", "(")
+            cond = self.parse_expression()
+            self.expect("op", ")")
+            then = _single(self.parse_statement())
+            els = None
+            if self.accept("kw", "else"):
+                els = _single(self.parse_statement())
+            return [ast.If(line=line, cond=cond, then=then, els=els)]
+        if self.accept("kw", "while"):
+            self.expect("op", "(")
+            cond = self.parse_expression()
+            self.expect("op", ")")
+            body = _single(self.parse_statement())
+            return [ast.While(line=line, cond=cond, body=body)]
+        if self.accept("kw", "do"):
+            body = _single(self.parse_statement())
+            self.expect("kw", "while")
+            self.expect("op", "(")
+            cond = self.parse_expression()
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return [ast.DoWhile(line=line, body=body, cond=cond)]
+        if self.accept("kw", "for"):
+            self.expect("op", "(")
+            init: ast.Stmt | None = None
+            if not self.check("op", ";"):
+                if self.at_type():
+                    init = _single(self.parse_decl_statement())
+                else:
+                    init = ast.ExprStmt(line=line,
+                                        expr=self.parse_expression())
+                    self.expect("op", ";")
+            else:
+                self.expect("op", ";")
+            cond = None
+            if not self.check("op", ";"):
+                cond = self.parse_expression()
+            self.expect("op", ";")
+            step = None
+            if not self.check("op", ")"):
+                step = self.parse_expression()
+            self.expect("op", ")")
+            body = _single(self.parse_statement())
+            return [ast.For(line=line, init=init, cond=cond, step=step,
+                            body=body)]
+        if self.accept("kw", "return"):
+            value = None
+            if not self.check("op", ";"):
+                value = self.parse_expression()
+            self.expect("op", ";")
+            return [ast.Return(line=line, value=value)]
+        if self.accept("kw", "break"):
+            self.expect("op", ";")
+            return [ast.Break(line=line)]
+        if self.accept("kw", "continue"):
+            self.expect("op", ";")
+            return [ast.Continue(line=line)]
+        if self.accept("op", ";"):
+            return []
+        if self.at_type():
+            return self.parse_decl_statement()
+        expr = self.parse_expression()
+        self.expect("op", ";")
+        return [ast.ExprStmt(line=line, expr=expr)]
+
+    def parse_decl_statement(self) -> list[ast.Stmt]:
+        line = self.tok.line
+        base = self.parse_type_specifier()
+        out: list[ast.Stmt] = []
+        while True:
+            t, name = self.parse_declarator(base)
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_assignment()
+            out.append(ast.DeclStmt(line=line, name=name, decl_type=t,
+                                    init=init))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        return out
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        first = self.parse_assignment()
+        if not self.check("op", ","):
+            return first
+        parts = [first]
+        while self.accept("op", ","):
+            parts.append(self.parse_assignment())
+        return ast.Comma(line=first.line, parts=parts)
+
+    _ASSIGN_OPS = frozenset(
+        {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self.parse_conditional()
+        if self.tok.kind == "op" and self.tok.text in self._ASSIGN_OPS:
+            op = self.advance().text
+            right = self.parse_assignment()
+            return ast.Assign(line=left.line, op=op, target=left, value=right)
+        return left
+
+    def parse_conditional(self) -> ast.Expr:
+        cond = self.parse_binary(0)
+        if self.accept("op", "?"):
+            then = self.parse_expression()
+            self.expect("op", ":")
+            els = self.parse_conditional()
+            return ast.Conditional(line=cond.line, cond=cond, then=then,
+                                   els=els)
+        return cond
+
+    _PRECEDENCE = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", ">", "<=", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        ops = self._PRECEDENCE[level]
+        left = self.parse_binary(level + 1)
+        while self.tok.kind == "op" and self.tok.text in ops:
+            op = self.advance().text
+            right = self.parse_binary(level + 1)
+            left = ast.Binary(line=left.line, op=op, left=left, right=right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        line = self.tok.line
+        if self.accept("op", "-"):
+            return ast.Unary(line=line, op="-", operand=self.parse_unary())
+        if self.accept("op", "+"):
+            return self.parse_unary()
+        if self.accept("op", "!"):
+            return ast.Unary(line=line, op="!", operand=self.parse_unary())
+        if self.accept("op", "~"):
+            return ast.Unary(line=line, op="~", operand=self.parse_unary())
+        if self.accept("op", "*"):
+            return ast.Unary(line=line, op="*", operand=self.parse_unary())
+        if self.accept("op", "&"):
+            return ast.Unary(line=line, op="&", operand=self.parse_unary())
+        if self.accept("op", "++"):
+            return ast.Unary(line=line, op="++", operand=self.parse_unary())
+        if self.accept("op", "--"):
+            return ast.Unary(line=line, op="--", operand=self.parse_unary())
+        if self.accept("kw", "sizeof"):
+            if self.check("op", "(") and self._type_follows_paren():
+                self.expect("op", "(")
+                t = self.parse_abstract_type()
+                self.expect("op", ")")
+                return ast.SizeofType(line=line, of=t)
+            return ast.SizeofExpr(line=line, operand=self.parse_unary())
+        # cast
+        if self.check("op", "(") and self._type_follows_paren():
+            self.expect("op", "(")
+            t = self.parse_abstract_type()
+            self.expect("op", ")")
+            return ast.Cast(line=line, to=t, operand=self.parse_unary())
+        return self.parse_postfix()
+
+    def _type_follows_paren(self) -> bool:
+        nxt = self.peek()
+        if nxt.kind == "kw" and (nxt.text in _BASE_TYPE_KWS
+                                 or nxt.text in ("struct", "const")):
+            return True
+        return nxt.kind == "id" and nxt.text in self.typedefs
+
+    def parse_postfix(self) -> ast.Expr:
+        e = self.parse_primary()
+        while True:
+            line = self.tok.line
+            if self.accept("op", "["):
+                idx = self.parse_expression()
+                self.expect("op", "]")
+                e = ast.Index(line=line, base=e, index=idx)
+            elif self.accept("op", "("):
+                args: list[ast.Expr] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                e = ast.Call(line=line, func=e, args=args)
+            elif self.accept("op", "."):
+                name = self.expect("id").text
+                e = ast.Member(line=line, base=e, name=name, arrow=False)
+            elif self.accept("op", "->"):
+                name = self.expect("id").text
+                e = ast.Member(line=line, base=e, name=name, arrow=True)
+            elif self.accept("op", "++"):
+                e = ast.Unary(line=line, op="p++", operand=e)
+            elif self.accept("op", "--"):
+                e = ast.Unary(line=line, op="p--", operand=e)
+            else:
+                return e
+
+    def parse_primary(self) -> ast.Expr:
+        t = self.tok
+        if t.kind == "int" or t.kind == "char":
+            self.advance()
+            return ast.IntLit(line=t.line, value=int(t.value))
+        if t.kind == "float":
+            self.advance()
+            return ast.FloatLit(line=t.line, value=float(t.value))
+        if t.kind == "str":
+            self.advance()
+            return ast.StrLit(line=t.line, value=str(t.value))
+        if t.kind == "kw" and t.text == "NULL":
+            self.advance()
+            return ast.NullLit(line=t.line)
+        if t.kind == "id":
+            self.advance()
+            return ast.Ident(line=t.line, name=t.text)
+        if self.accept("op", "("):
+            e = self.parse_expression()
+            self.expect("op", ")")
+            return e
+        raise self.error("expected an expression")
+
+
+def _single(stmts: list[ast.Stmt]) -> ast.Stmt:
+    if len(stmts) == 1:
+        return stmts[0]
+    return ast.Block(line=stmts[0].line if stmts else 0, stmts=stmts)
+
+
+def _resolve_base_type(words: list[str], tok: Token) -> Type:
+    unsigned = "unsigned" in words
+    words = [w for w in words if w not in ("unsigned", "signed")]
+    key = " ".join(words) if words else "int"
+    if key == "long long":
+        key = "long"
+    if key == "long int":
+        key = "long"
+    if key == "short int":
+        key = "short"
+    if unsigned:
+        key = f"unsigned {key}" if key != "int" else "unsigned int"
+    t = BUILTIN_TYPES.get(key)
+    if t is None:
+        raise ParseError(f"unknown type {' '.join(words)!r}", tok)
+    return t
+
+
+def parse(source: str, unit_name: str = "<unit>") -> ast.TranslationUnit:
+    """Parse MiniC source text into a translation unit."""
+    return Parser(tokenize(source, unit_name), unit_name) \
+        .parse_translation_unit()
+
+
+def parse_expr(source: str) -> ast.Expr:
+    """Parse a single expression (testing convenience)."""
+    p = Parser(tokenize(source))
+    e = p.parse_expression()
+    p.expect("eof")
+    return e

@@ -1,0 +1,82 @@
+"""Whole-program container: the IPA compilation scope.
+
+A :class:`Program` aggregates one or more translation units, a type-unified
+record-type table, and the program-level symbol table.  Struct tags and
+typedefs are shared across units (as if every unit included the same
+headers), which is how the paper's IPA phase unifies types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast
+from .lexer import tokenize
+from .parser import Parser
+from .sema import SemanticAnalyzer
+from .symbols import ProgramSymbols, FunctionSymbol, Symbol
+from .typesys import RecordType, NamedType
+
+
+@dataclass
+class Program:
+    units: list[ast.TranslationUnit] = field(default_factory=list)
+    symbols: ProgramSymbols = field(default_factory=ProgramSymbols)
+    records: dict[str, RecordType] = field(default_factory=dict)
+    typedefs: dict[str, NamedType] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_sources(cls, sources: list[tuple[str, str]]) -> "Program":
+        """Build a program from ``[(unit_name, source_text), ...]``."""
+        prog = cls()
+        sema = SemanticAnalyzer(prog.symbols)
+        for unit_name, text in sources:
+            parser = Parser(tokenize(text, unit_name), unit_name)
+            parser.struct_tags = prog.records
+            parser.typedefs = prog.typedefs
+            unit = parser.parse_translation_unit()
+            sema.analyze(unit)
+            prog.units.append(unit)
+        return prog
+
+    @classmethod
+    def from_source(cls, text: str, unit_name: str = "main.c") -> "Program":
+        return cls.from_sources([(unit_name, text)])
+
+    # -- queries -------------------------------------------------------------
+
+    def functions(self) -> list[ast.FunctionDef]:
+        out: list[ast.FunctionDef] = []
+        for unit in self.units:
+            out.extend(unit.functions())
+        return out
+
+    def function(self, name: str) -> ast.FunctionDef:
+        for fn in self.functions():
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function {name!r}")
+
+    def has_function(self, name: str) -> bool:
+        return any(fn.name == name for fn in self.functions())
+
+    def globals(self) -> list[ast.GlobalVar]:
+        out: list[ast.GlobalVar] = []
+        for unit in self.units:
+            out.extend(unit.globals())
+        return out
+
+    def record_types(self) -> list[RecordType]:
+        """All record types in the program, in definition order."""
+        return list(self.records.values())
+
+    def record(self, name: str) -> RecordType:
+        return self.records[name]
+
+    def function_symbol(self, name: str) -> FunctionSymbol | None:
+        return self.symbols.functions.get(name)
+
+    def global_symbol(self, name: str) -> Symbol | None:
+        return self.symbols.globals.get(name)

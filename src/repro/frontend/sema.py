@@ -1,0 +1,366 @@
+"""Semantic analysis for MiniC.
+
+Resolves every identifier to a :class:`~repro.frontend.symbols.Symbol`,
+annotates every expression with its type, resolves ``Member`` accesses to
+their owning record type, and checks the handful of rules the rest of the
+pipeline relies on (calls match arity, member access on record types only,
+assignable targets).  The output is the *typed AST* consumed by the CFG
+lowering, the legality/profitability analyses, and the transformations.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .symbols import Symbol, FunctionSymbol, Scope, ProgramSymbols
+from .typesys import (
+    Type, RecordType, PointerType, FunctionType,
+    VOID, CHAR, INT, UINT, LONG, ULONG, DOUBLE, VOID_PTR, CHAR_PTR,
+    common_arithmetic_type,
+)
+
+
+class SemaError(Exception):
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+#: Standard library functions, "marked specially in the header files" as the
+#: paper puts it.  Types escaping to one of these trigger the LIBC test.
+#: Allocation and memory-streaming builtins are modeled precisely because
+#: the legality tests (SMAL, MSET) and the transformations need them.
+LIBC_SIGNATURES: dict[str, FunctionType] = {
+    "malloc": FunctionType(VOID_PTR, (ULONG,)),
+    "calloc": FunctionType(VOID_PTR, (ULONG, ULONG)),
+    "realloc": FunctionType(VOID_PTR, (VOID_PTR, ULONG)),
+    "free": FunctionType(VOID, (VOID_PTR,)),
+    "memset": FunctionType(VOID_PTR, (VOID_PTR, INT, ULONG)),
+    "memcpy": FunctionType(VOID_PTR, (VOID_PTR, VOID_PTR, ULONG)),
+    "printf": FunctionType(INT, (CHAR_PTR,), varargs=True),
+    "fprintf": FunctionType(INT, (VOID_PTR, CHAR_PTR), varargs=True),
+    "fwrite": FunctionType(ULONG, (VOID_PTR, ULONG, ULONG, VOID_PTR)),
+    "fread": FunctionType(ULONG, (VOID_PTR, ULONG, ULONG, VOID_PTR)),
+    "fopen": FunctionType(VOID_PTR, (CHAR_PTR, CHAR_PTR)),
+    "fclose": FunctionType(INT, (VOID_PTR,)),
+    "exit": FunctionType(VOID, (INT,)),
+    "abort": FunctionType(VOID, ()),
+    "sqrt": FunctionType(DOUBLE, (DOUBLE,)),
+    "fabs": FunctionType(DOUBLE, (DOUBLE,)),
+    "exp": FunctionType(DOUBLE, (DOUBLE,)),
+    "log": FunctionType(DOUBLE, (DOUBLE,)),
+    "pow": FunctionType(DOUBLE, (DOUBLE, DOUBLE)),
+    "floor": FunctionType(DOUBLE, (DOUBLE,)),
+    "abs": FunctionType(INT, (INT,)),
+    "rand": FunctionType(INT, ()),
+    "srand": FunctionType(VOID, (UINT,)),
+    "strcmp": FunctionType(INT, (CHAR_PTR, CHAR_PTR)),
+    "strlen": FunctionType(ULONG, (CHAR_PTR,)),
+    "clock": FunctionType(LONG, ()),
+}
+
+#: Calls that allocate heap memory (SMAL / transformation rewriting).
+ALLOC_FUNCTIONS = frozenset({"malloc", "calloc", "realloc"})
+#: Memory-streaming operations (MSET legality test).
+MEMSTREAM_FUNCTIONS = frozenset({"memset", "memcpy"})
+
+
+class SemanticAnalyzer:
+    """Resolve and type one translation unit."""
+
+    def __init__(self, program_symbols: ProgramSymbols | None = None):
+        self.psyms = program_symbols or ProgramSymbols()
+        self.unit_name = "<unit>"
+        self._file_scope = Scope()
+        self._scope = self._file_scope
+        self._current_fn: ast.FunctionDef | None = None
+        self._install_libc()
+
+    def _install_libc(self) -> None:
+        for name, ftype in LIBC_SIGNATURES.items():
+            sym = FunctionSymbol(name=name, type=ftype, is_builtin=True,
+                                 is_libc=True)
+            self.psyms.intern(sym)
+            self._file_scope.define(sym)
+
+    # -- driver ----------------------------------------------------------
+
+    def analyze(self, unit: ast.TranslationUnit) -> ast.TranslationUnit:
+        self.unit_name = unit.name
+        # Pass 1: declare all globals and functions (allows forward calls).
+        for decl in unit.decls:
+            if isinstance(decl, ast.FunctionDef):
+                self._declare_function(decl)
+            elif isinstance(decl, ast.GlobalVar):
+                self._declare_global(decl)
+        # Pass 2: bodies and initializers.
+        for decl in unit.decls:
+            if isinstance(decl, ast.FunctionDef) and decl.is_definition:
+                self._check_function(decl)
+            elif isinstance(decl, ast.GlobalVar) and decl.init is not None:
+                self._check_expr(decl.init)
+        return unit
+
+    def _declare_function(self, fn: ast.FunctionDef) -> None:
+        ftype = FunctionType(fn.ret_type,
+                             tuple(p.type for p in fn.params))
+        existing = self._file_scope.symbols.get(fn.name)
+        if existing is None:
+            sym = FunctionSymbol(name=fn.name, type=ftype,
+                                 unit=self.unit_name,
+                                 is_static=fn.is_static)
+            self.psyms.intern(sym)
+            self._file_scope.define(sym)
+
+    def _declare_global(self, g: ast.GlobalVar) -> None:
+        existing = self._file_scope.symbols.get(g.name)
+        if existing is not None:
+            g.symbol = existing
+            return
+        sym = Symbol(name=g.name, type=g.decl_type, kind="global",
+                     unit=self.unit_name, is_static=g.is_static)
+        self.psyms.intern(sym)
+        self._file_scope.define(sym)
+        g.symbol = sym
+
+    # -- functions ----------------------------------------------------------
+
+    def _check_function(self, fn: ast.FunctionDef) -> None:
+        self._current_fn = fn
+        self._scope = Scope(self._file_scope)
+        for p in fn.params:
+            sym = Symbol(name=p.name, type=p.type, kind="param",
+                         unit=self.unit_name)
+            self._scope.define(sym)
+            p.symbol = sym
+        self._check_stmt(fn.body)
+        self._scope = self._file_scope
+        self._current_fn = None
+
+    # -- statements ----------------------------------------------------------
+
+    def _check_stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.Block):
+            outer = self._scope
+            self._scope = Scope(outer)
+            for inner in s.stmts:
+                self._check_stmt(inner)
+            self._scope = outer
+        elif isinstance(s, ast.DeclStmt):
+            if s.init is not None:
+                self._check_expr(s.init)
+            sym = Symbol(name=s.name, type=s.decl_type, kind="local",
+                         unit=self.unit_name)
+            self._scope.define(sym)
+            s.symbol = sym
+        elif isinstance(s, ast.ExprStmt):
+            self._check_expr(s.expr)
+        elif isinstance(s, ast.If):
+            self._check_expr(s.cond)
+            self._check_stmt(s.then)
+            if s.els is not None:
+                self._check_stmt(s.els)
+        elif isinstance(s, ast.While):
+            self._check_expr(s.cond)
+            self._check_stmt(s.body)
+        elif isinstance(s, ast.DoWhile):
+            self._check_stmt(s.body)
+            self._check_expr(s.cond)
+        elif isinstance(s, ast.For):
+            outer = self._scope
+            self._scope = Scope(outer)
+            if s.init is not None:
+                self._check_stmt(s.init)
+            if s.cond is not None:
+                self._check_expr(s.cond)
+            if s.step is not None:
+                self._check_expr(s.step)
+            self._check_stmt(s.body)
+            self._scope = outer
+        elif isinstance(s, ast.Return):
+            if s.value is not None:
+                self._check_expr(s.value)
+        elif isinstance(s, (ast.Break, ast.Continue)):
+            pass
+        else:
+            raise SemaError(f"unhandled statement {type(s).__name__}", s.line)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _check_expr(self, e: ast.Expr) -> Type:
+        t = self._infer(e)
+        e.type = t
+        return t
+
+    def _infer(self, e: ast.Expr) -> Type:
+        if isinstance(e, ast.IntLit):
+            return LONG if abs(e.value) > 0x7FFFFFFF else INT
+        if isinstance(e, ast.FloatLit):
+            return DOUBLE
+        if isinstance(e, ast.StrLit):
+            return CHAR_PTR
+        if isinstance(e, ast.NullLit):
+            return VOID_PTR
+        if isinstance(e, ast.Ident):
+            sym = self._scope.lookup(e.name)
+            if sym is None:
+                raise SemaError(f"undeclared identifier {e.name!r}", e.line)
+            e.symbol = sym
+            return sym.type
+        if isinstance(e, ast.Unary):
+            return self._infer_unary(e)
+        if isinstance(e, ast.Binary):
+            return self._infer_binary(e)
+        if isinstance(e, ast.Assign):
+            target_t = self._check_expr(e.target)
+            self._check_expr(e.value)
+            self._require_lvalue(e.target)
+            return target_t
+        if isinstance(e, ast.Conditional):
+            self._check_expr(e.cond)
+            t1 = self._check_expr(e.then)
+            t2 = self._check_expr(e.els)
+            if t1.strip().is_void() or t2.strip().is_void():
+                return VOID
+            if t1.strip().is_pointer():
+                return t1
+            if t2.strip().is_pointer():
+                return t2
+            return common_arithmetic_type(t1, t2)
+        if isinstance(e, ast.Comma):
+            t = VOID
+            for part in e.parts:
+                t = self._check_expr(part)
+            return t
+        if isinstance(e, ast.Call):
+            return self._infer_call(e)
+        if isinstance(e, ast.Index):
+            base_t = self._check_expr(e.base).strip()
+            self._check_expr(e.index)
+            if base_t.is_array():
+                return base_t.elem
+            if base_t.is_pointer():
+                return base_t.pointee
+            raise SemaError("indexing a non-array, non-pointer value",
+                            e.line)
+        if isinstance(e, ast.Member):
+            return self._infer_member(e)
+        if isinstance(e, ast.Cast):
+            self._check_expr(e.operand)
+            return e.to
+        if isinstance(e, (ast.SizeofType, ast.SizeofExpr)):
+            if isinstance(e, ast.SizeofExpr):
+                self._check_expr(e.operand)
+            return ULONG
+        raise SemaError(f"unhandled expression {type(e).__name__}", e.line)
+
+    def _infer_unary(self, e: ast.Unary) -> Type:
+        t = self._check_expr(e.operand).strip()
+        op = e.op
+        if op == "*":
+            if t.is_pointer():
+                return t.pointee
+            if t.is_array():
+                return t.elem
+            raise SemaError("dereferencing a non-pointer", e.line)
+        if op == "&":
+            self._require_lvalue(e.operand, allow_func=True)
+            inner = e.operand.type
+            if inner.strip().is_function():
+                return PointerType(inner)
+            return PointerType(inner)
+        if op in ("!",):
+            return INT
+        if op in ("~",):
+            if not t.is_integer():
+                raise SemaError("~ requires an integer", e.line)
+            return e.operand.type
+        if op in ("-",):
+            if not t.is_scalar():
+                raise SemaError("- requires a scalar", e.line)
+            return e.operand.type
+        if op in ("++", "--", "p++", "p--"):
+            self._require_lvalue(e.operand)
+            return e.operand.type
+        raise SemaError(f"unhandled unary operator {op!r}", e.line)
+
+    def _infer_binary(self, e: ast.Binary) -> Type:
+        lt = self._check_expr(e.left).strip()
+        rt = self._check_expr(e.right).strip()
+        op = e.op
+        if op in ("&&", "||", "==", "!=", "<", ">", "<=", ">="):
+            return INT
+        if op in ("<<", ">>", "&", "|", "^", "%"):
+            if not (lt.is_integer() and rt.is_integer()):
+                raise SemaError(f"{op} requires integers", e.line)
+            return common_arithmetic_type(lt, rt)
+        if op == "+" or op == "-":
+            # pointer arithmetic
+            if lt.is_pointer() and rt.is_integer():
+                return e.left.type
+            if lt.is_array() and rt.is_integer():
+                return PointerType(lt.elem)
+            if op == "+" and lt.is_integer() and (rt.is_pointer()
+                                                  or rt.is_array()):
+                return e.right.type if rt.is_pointer() \
+                    else PointerType(rt.elem)
+            if op == "-" and lt.is_pointer() and (rt.is_pointer()
+                                                  or rt.is_array()):
+                return LONG
+        if not (lt.is_scalar() or lt.is_array()) \
+                or not (rt.is_scalar() or rt.is_array()):
+            raise SemaError(f"invalid operands to {op}", e.line)
+        return common_arithmetic_type(lt, rt)
+
+    def _infer_call(self, e: ast.Call) -> Type:
+        func_t = self._check_expr(e.func).strip()
+        for a in e.args:
+            self._check_expr(a)
+        if func_t.is_pointer() and func_t.pointee.strip().is_function():
+            func_t = func_t.pointee.strip()
+        if not func_t.is_function():
+            raise SemaError("calling a non-function value", e.line)
+        if not func_t.varargs and len(e.args) != len(func_t.params):
+            name = e.callee_name or "<indirect>"
+            raise SemaError(
+                f"call to {name} with {len(e.args)} args, "
+                f"expected {len(func_t.params)}", e.line)
+        return func_t.ret
+
+    def _infer_member(self, e: ast.Member) -> Type:
+        base_t = self._check_expr(e.base).strip()
+        if e.arrow:
+            if not base_t.is_pointer():
+                raise SemaError("-> on a non-pointer", e.line)
+            rec_t = base_t.pointee.strip()
+        else:
+            rec_t = base_t
+        if not rec_t.is_record():
+            raise SemaError(f"member access on non-struct type {rec_t}",
+                            e.line)
+        rec: RecordType = rec_t  # type: ignore[assignment]
+        f = rec.field(e.name)
+        e.record = rec
+        return f.type
+
+    def _require_lvalue(self, e: ast.Expr, allow_func: bool = False) -> None:
+        if isinstance(e, ast.Ident):
+            if e.symbol is not None and e.symbol.is_function \
+                    and not allow_func:
+                raise SemaError("function name is not assignable", e.line)
+            return
+        if isinstance(e, (ast.Member, ast.Index)):
+            return
+        if isinstance(e, ast.Unary) and e.op == "*":
+            return
+        if isinstance(e, ast.Cast):
+            # tolerated: C programs do write through casted lvalues; the
+            # legality analysis will invalidate the involved types anyway.
+            return self._require_lvalue(e.operand, allow_func)
+        raise SemaError(f"{type(e).__name__} is not an lvalue", e.line)
+
+
+def analyze(unit: ast.TranslationUnit,
+            program_symbols: ProgramSymbols | None = None
+            ) -> ast.TranslationUnit:
+    """Run semantic analysis over a translation unit (in place)."""
+    return SemanticAnalyzer(program_symbols).analyze(unit)

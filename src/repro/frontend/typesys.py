@@ -1,0 +1,481 @@
+"""Type system for the MiniC frontend.
+
+Models the C type system closely enough to reproduce the paper's analyses:
+scalar types with Itanium LP64 sizes and alignments, pointers, arrays, and
+record (struct) types with C-compatible layout: fields are placed at
+offsets aligned to their natural alignment, the struct size is rounded up
+to the maximum field alignment, and bit-fields are packed into their
+declared base type's storage units.
+
+Record layout is recomputed on demand so that the transformation passes can
+reorder, remove, and split fields and immediately observe the new offsets
+and sizes (this is what Figure 1 of the paper illustrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class TypeError_(Exception):
+    """Raised for inconsistencies while building or laying out types."""
+
+
+class Type:
+    """Base class of all MiniC types."""
+
+    #: byte size; record types override via a computed property
+    size: int = 0
+    #: required alignment in bytes
+    align: int = 1
+
+    def is_scalar(self) -> bool:
+        return False
+
+    def is_integer(self) -> bool:
+        return False
+
+    def is_float(self) -> bool:
+        return False
+
+    def is_pointer(self) -> bool:
+        return False
+
+    def is_record(self) -> bool:
+        return False
+
+    def is_array(self) -> bool:
+        return False
+
+    def is_void(self) -> bool:
+        return False
+
+    def is_function(self) -> bool:
+        return False
+
+    def strip(self) -> "Type":
+        """Return the type with typedef sugar removed (identity by default)."""
+        return self
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    size: int = 0
+    align: int = 1
+
+    def is_void(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """Integer type with LP64 sizes (char 1, short 2, int 4, long 8)."""
+
+    name: str = "int"
+    size: int = 4
+    align: int = 4
+    signed: bool = True
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def is_integer(self) -> bool:
+        return True
+
+    def min_value(self) -> int:
+        if not self.signed:
+            return 0
+        return -(1 << (8 * self.size - 1))
+
+    def max_value(self) -> int:
+        if not self.signed:
+            return (1 << (8 * self.size)) - 1
+        return (1 << (8 * self.size - 1)) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap a Python integer into this type's representable range."""
+        bits = 8 * self.size
+        value &= (1 << bits) - 1
+        if self.signed and value >= (1 << (bits - 1)):
+            value -= 1 << bits
+        return value
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    name: str = "double"
+    size: int = 8
+    align: int = 8
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def is_float(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    pointee: Type = None  # type: ignore[assignment]
+    size: int = 8
+    align: int = 8
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def is_pointer(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    elem: Type = None  # type: ignore[assignment]
+    length: int = 0
+
+    def is_array(self) -> bool:
+        return True
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.elem.size * self.length
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.elem.align
+
+    def __str__(self) -> str:
+        return f"{self.elem}[{self.length}]"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    ret: Type = None  # type: ignore[assignment]
+    params: tuple = ()
+    varargs: bool = False
+    size: int = 8
+    align: int = 8
+
+    def is_function(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        ps = ", ".join(str(p) for p in self.params)
+        if self.varargs:
+            ps = ps + ", ..." if ps else "..."
+        return f"{self.ret}({ps})"
+
+
+@dataclass
+class Field:
+    """A struct member.
+
+    ``bit_width`` is ``None`` for ordinary fields; bit-fields carry their
+    declared width and are packed into units of their base type.  Offsets
+    are assigned by :meth:`RecordType.layout`.
+    """
+
+    name: str
+    type: Type
+    bit_width: int | None = None
+    offset: int = -1
+    bit_offset: int = 0
+    index: int = -1
+
+    @property
+    def is_bitfield(self) -> bool:
+        return self.bit_width is not None
+
+    @property
+    def size(self) -> int:
+        return self.type.size
+
+    def __str__(self) -> str:
+        if self.is_bitfield:
+            return f"{self.type} {self.name} : {self.bit_width}"
+        return f"{self.type} {self.name}"
+
+
+class RecordType(Type):
+    """A struct type with C layout rules.
+
+    The field list is mutable on purpose: the BE transformations create new
+    record types and edit field lists, then call :meth:`layout` to assign
+    offsets.  ``origin`` records the record this type was derived from by a
+    transformation (e.g. the cold part created by splitting points back to
+    the original struct).
+    """
+
+    def __init__(self, name: str, fields: list[Field] | None = None,
+                 origin: "RecordType | None" = None):
+        self.name = name
+        self.fields: list[Field] = []
+        self.origin = origin
+        self._size = 0
+        self._align = 1
+        self._laid_out = False
+        if fields:
+            for f in fields:
+                self.add_field(f)
+            self.layout()
+
+    # -- construction -------------------------------------------------
+
+    def add_field(self, f: Field) -> None:
+        if any(existing.name == f.name for existing in self.fields):
+            raise TypeError_(
+                f"duplicate field {f.name!r} in struct {self.name}")
+        f.index = len(self.fields)
+        self.fields.append(f)
+        self._laid_out = False
+
+    def field(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise TypeError_(f"struct {self.name} has no field {name!r}")
+
+    def has_field(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    # -- layout --------------------------------------------------------
+
+    def layout(self) -> None:
+        """Assign offsets with C struct layout rules.
+
+        Ordinary fields go at the next offset aligned to their natural
+        alignment.  Consecutive bit-fields pack into storage units of their
+        base type; a bit-field that does not fit into the remaining bits of
+        the current unit starts a new unit.
+        """
+        offset = 0
+        max_align = 1
+        bit_cursor = -1   # bit position inside the current bit-field unit
+        unit_start = -1   # byte offset of the current bit-field unit
+        unit_bits = 0
+
+        for idx, f in enumerate(self.fields):
+            f.index = idx
+            if f.is_bitfield:
+                base = f.type
+                if not base.is_integer():
+                    raise TypeError_(
+                        f"bit-field {f.name} must have integer type")
+                if f.bit_width > 8 * base.size:
+                    raise TypeError_(
+                        f"bit-field {f.name} wider than its type")
+                fits = (
+                    bit_cursor >= 0
+                    and unit_bits == 8 * base.size
+                    and bit_cursor + f.bit_width <= unit_bits
+                )
+                if not fits:
+                    offset = _round_up(offset, base.align)
+                    unit_start = offset
+                    unit_bits = 8 * base.size
+                    bit_cursor = 0
+                    offset += base.size
+                f.offset = unit_start
+                f.bit_offset = bit_cursor
+                bit_cursor += f.bit_width
+                max_align = max(max_align, base.align)
+            else:
+                bit_cursor = -1
+                offset = _round_up(offset, f.type.align)
+                f.offset = offset
+                f.bit_offset = 0
+                offset += f.type.size
+                max_align = max(max_align, f.type.align)
+
+        self._align = max_align
+        self._size = _round_up(max(offset, 1), max_align) if self.fields else 0
+        self._laid_out = True
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        if not self._laid_out:
+            self.layout()
+        return self._size
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        if not self._laid_out:
+            self.layout()
+        return self._align
+
+    # -- queries used by the analyses ----------------------------------
+
+    def is_record(self) -> bool:
+        return True
+
+    def has_bitfields(self) -> bool:
+        return any(f.is_bitfield for f in self.fields)
+
+    def is_recursive(self) -> bool:
+        """True when some field (transitively through pointers) points back
+        to this record — the shape that forces splitting over peeling."""
+        for f in self.fields:
+            t = f.type.strip()
+            while t.is_pointer():
+                t = t.pointee.strip()
+            if t is self:
+                return True
+        return False
+
+    def nested_records(self) -> list["RecordType"]:
+        """Record types embedded by value (directly or via arrays)."""
+        out = []
+        for f in self.fields:
+            t = f.type.strip()
+            while t.is_array():
+                t = t.elem.strip()
+            if t.is_record():
+                out.append(t)
+        return out
+
+    def field_at_offset(self, offset: int) -> Field | None:
+        for f in self.fields:
+            if f.offset <= offset < f.offset + max(f.type.size, 1):
+                return f
+        return None
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+    def definition(self) -> str:
+        """Render a C-style definition (used by examples and the advisor)."""
+        lines = [f"struct {self.name} {{"]
+        for f in self.fields:
+            lines.append(f"    {f};  /* offset {f.offset} */")
+        lines.append("};")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class NamedType(Type):
+    """A typedef: a name bound to an underlying type."""
+
+    name: str = ""
+    aliased: Type = None  # type: ignore[assignment]
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.aliased.size
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.aliased.align
+
+    def strip(self) -> Type:
+        return self.aliased.strip()
+
+    def is_scalar(self) -> bool:
+        return self.aliased.is_scalar()
+
+    def is_integer(self) -> bool:
+        return self.aliased.is_integer()
+
+    def is_float(self) -> bool:
+        return self.aliased.is_float()
+
+    def is_pointer(self) -> bool:
+        return self.aliased.is_pointer()
+
+    def is_record(self) -> bool:
+        return self.aliased.is_record()
+
+    def is_array(self) -> bool:
+        return self.aliased.is_array()
+
+    def is_void(self) -> bool:
+        return self.aliased.is_void()
+
+    def is_function(self) -> bool:
+        return self.aliased.is_function()
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+# Canonical scalar instances (LP64 / Itanium).
+VOID = VoidType()
+CHAR = IntType("char", 1, 1, True)
+UCHAR = IntType("unsigned char", 1, 1, False)
+SHORT = IntType("short", 2, 2, True)
+USHORT = IntType("unsigned short", 2, 2, False)
+INT = IntType("int", 4, 4, True)
+UINT = IntType("unsigned int", 4, 4, False)
+LONG = IntType("long", 8, 8, True)
+ULONG = IntType("unsigned long", 8, 8, False)
+FLOAT = FloatType("float", 4, 4)
+DOUBLE = FloatType("double", 8, 8)
+VOID_PTR = PointerType(VOID)
+CHAR_PTR = PointerType(CHAR)
+
+#: lookup used by the parser for builtin type names
+BUILTIN_TYPES: dict[str, Type] = {
+    "void": VOID,
+    "char": CHAR,
+    "unsigned char": UCHAR,
+    "short": SHORT,
+    "unsigned short": USHORT,
+    "int": INT,
+    "unsigned int": UINT,
+    "unsigned": UINT,
+    "long": LONG,
+    "unsigned long": ULONG,
+    "float": FLOAT,
+    "double": DOUBLE,
+}
+
+
+def pointer_to(t: Type) -> PointerType:
+    return PointerType(t)
+
+
+def array_of(t: Type, n: int) -> ArrayType:
+    return ArrayType(t, n)
+
+
+def common_arithmetic_type(a: Type, b: Type) -> Type:
+    """Usual arithmetic conversions, simplified: float beats int, wider
+    beats narrower, unsigned beats signed at equal width."""
+    a, b = a.strip(), b.strip()
+    if a.is_pointer():
+        return a
+    if b.is_pointer():
+        return b
+    if a.is_float() or b.is_float():
+        if a.is_float() and b.is_float():
+            return a if a.size >= b.size else b
+        return a if a.is_float() else b
+    if not (a.is_integer() and b.is_integer()):
+        raise TypeError_(f"no common type for {a} and {b}")
+    if a.size != b.size:
+        wide = a if a.size > b.size else b
+        if wide.size < 4:
+            return INT
+        return wide
+    if a.size < 4:
+        return INT
+    if a.signed == b.signed:
+        return a
+    return a if not a.signed else b

@@ -1,0 +1,13 @@
+"""IR layer: CFG lowering, dominators, loop nesting, call graph."""
+
+from .cfg import BasicBlock, Edge, FunctionCFG, lower_function, lower_program
+from .dominators import immediate_dominators, dominates
+from .loops import Loop, LoopNest, find_loops
+from .callgraph import CallGraph, CallSite, build_call_graph
+
+__all__ = [
+    "BasicBlock", "Edge", "FunctionCFG", "lower_function", "lower_program",
+    "immediate_dominators", "dominates",
+    "Loop", "LoopNest", "find_loops",
+    "CallGraph", "CallSite", "build_call_graph",
+]

@@ -1,0 +1,114 @@
+"""Call graph construction with recursion (SCC) handling.
+
+Nodes are defined functions; edges are direct call sites.  Calls to
+builtins are recorded separately (they feed the LIBC legality test) and
+indirect calls are flagged (they feed the IND test and force conservative
+propagation in ISPBO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..frontend import ast
+from .cfg import BasicBlock, FunctionCFG
+
+
+@dataclass(eq=False)
+class CallSite:
+    caller: str
+    callee: str | None          # None for indirect calls
+    block: BasicBlock
+    call: ast.Call
+    is_builtin: bool = False
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.callee is None
+
+    def __repr__(self) -> str:
+        target = self.callee or "<indirect>"
+        return f"<call {self.caller} -> {target} @B{self.block.id}>"
+
+
+@dataclass
+class CallGraph:
+    cfgs: dict[str, FunctionCFG]
+    sites: list[CallSite] = field(default_factory=list)
+    graph: nx.MultiDiGraph = field(default_factory=nx.MultiDiGraph)
+
+    def callees(self, name: str) -> list[str]:
+        return sorted(set(self.graph.successors(name))) \
+            if name in self.graph else []
+
+    def callers(self, name: str) -> list[str]:
+        return sorted(set(self.graph.predecessors(name))) \
+            if name in self.graph else []
+
+    def sites_in(self, caller: str) -> list[CallSite]:
+        return [s for s in self.sites if s.caller == caller]
+
+    def sites_to(self, callee: str) -> list[CallSite]:
+        return [s for s in self.sites if s.callee == callee]
+
+    def indirect_sites(self) -> list[CallSite]:
+        return [s for s in self.sites if s.is_indirect]
+
+    def builtin_sites(self) -> list[CallSite]:
+        return [s for s in self.sites if s.is_builtin]
+
+    def sccs(self) -> list[set[str]]:
+        """Strongly connected components in reverse topological order of
+        the condensation — the order bottom-up propagation wants."""
+        return list(nx.strongly_connected_components(self.graph))
+
+    def topo_order(self) -> list[set[str]]:
+        """SCCs in topological (top-down, callers-first) order."""
+        cond = nx.condensation(self.graph)
+        order = list(nx.topological_sort(cond))
+        return [cond.nodes[n]["members"] for n in order]
+
+    def is_recursive(self, name: str) -> bool:
+        if name not in self.graph:
+            return False
+        if self.graph.has_edge(name, name):
+            return True
+        for scc in self.sccs():
+            if name in scc:
+                return len(scc) > 1
+        return False
+
+
+def build_call_graph(cfgs: dict[str, FunctionCFG],
+                     program=None) -> CallGraph:
+    """Build the call graph from lowered functions.
+
+    ``program`` (optional) supplies symbol information to classify builtin
+    callees; without it, any direct callee that is not a defined function
+    is treated as builtin.
+    """
+    cg = CallGraph(cfgs=cfgs)
+    defined = set(cfgs)
+    for name in defined:
+        cg.graph.add_node(name)
+
+    for name, cfg in cfgs.items():
+        for block, call in cfg.calls():
+            callee = call.resolved_callee
+            if callee is None:
+                cg.sites.append(CallSite(name, None, block, call))
+                continue
+            if callee in defined:
+                cg.sites.append(CallSite(name, callee, block, call))
+                cg.graph.add_edge(name, callee)
+            else:
+                is_builtin = True
+                if program is not None:
+                    sym = program.function_symbol(callee)
+                    is_builtin = sym is None or sym.is_builtin
+                cg.sites.append(
+                    CallSite(name, callee, block, call,
+                             is_builtin=is_builtin))
+    return cg

@@ -1,0 +1,307 @@
+"""Control-flow graph lowering for MiniC functions.
+
+The structured AST of each function is lowered to basic blocks holding a
+flat list of simple statements (expression statements and declarations)
+plus a terminator (conditional branch, jump, or return).  Short-circuit
+operators stay inside condition expressions — the paper's affinity
+granularity is the *loop*, so sub-block control flow does not matter for
+the analyses, while edge profiling and the static weight estimators need
+exactly the loop/branch edges this lowering produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend import ast
+
+
+@dataclass(eq=False)
+class Edge:
+    """A CFG edge; ``kind`` is 'jump', 'true', 'false', or 'fall'."""
+    src: "BasicBlock"
+    dst: "BasicBlock"
+    kind: str = "jump"
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.src.id, self.dst.id)
+
+    def __repr__(self) -> str:
+        return f"B{self.src.id}-{self.kind}->B{self.dst.id}"
+
+
+@dataclass(eq=False)
+class BasicBlock:
+    id: int
+    stmts: list[ast.Stmt] = field(default_factory=list)
+    #: terminator: None (falls to exit), ('jump',), ('branch', cond_expr),
+    #: or ('return', value_expr|None)
+    term: tuple = ()
+    succs: list[Edge] = field(default_factory=list)
+    preds: list[Edge] = field(default_factory=list)
+    line: int = 0
+
+    @property
+    def is_return(self) -> bool:
+        return bool(self.term) and self.term[0] == "return"
+
+    @property
+    def branch_cond(self) -> ast.Expr | None:
+        if self.term and self.term[0] == "branch":
+            return self.term[1]
+        return None
+
+    def succ_blocks(self) -> list["BasicBlock"]:
+        return [e.dst for e in self.succs]
+
+    def pred_blocks(self) -> list["BasicBlock"]:
+        return [e.src for e in self.preds]
+
+    def __repr__(self) -> str:
+        return f"B{self.id}"
+
+
+class FunctionCFG:
+    """The CFG of one function, plus places for analysis results.
+
+    ``entry`` is a dedicated empty block; ``exit`` is a synthetic block
+    every return edge targets, so edge-count flow equations balance.
+    """
+
+    def __init__(self, fn: ast.FunctionDef):
+        self.fn = fn
+        self.name = fn.name
+        self.blocks: list[BasicBlock] = []
+        self.entry = self.new_block(fn.line)
+        self.exit = self.new_block(fn.line)
+
+    def new_block(self, line: int = 0) -> BasicBlock:
+        b = BasicBlock(id=len(self.blocks), line=line)
+        self.blocks.append(b)
+        return b
+
+    def add_edge(self, src: BasicBlock, dst: BasicBlock,
+                 kind: str = "jump") -> Edge:
+        e = Edge(src, dst, kind)
+        src.succs.append(e)
+        dst.preds.append(e)
+        return e
+
+    def edges(self) -> list[Edge]:
+        out = []
+        for b in self.blocks:
+            out.extend(b.succs)
+        return out
+
+    def reachable_blocks(self) -> list[BasicBlock]:
+        """Blocks reachable from entry, in reverse postorder."""
+        seen: set[int] = set()
+        order: list[BasicBlock] = []
+
+        def dfs(b: BasicBlock) -> None:
+            stack = [(b, iter(b.succ_blocks()))]
+            seen.add(b.id)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt.id not in seen:
+                        seen.add(nxt.id)
+                        stack.append((nxt, iter(nxt.succ_blocks())))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        dfs(self.entry)
+        order.reverse()
+        return order
+
+    def calls(self):
+        """Yield ``(block, Call)`` for every call expression."""
+        for b in self.blocks:
+            for s in b.stmts:
+                for e in ast.stmt_exprs(s):
+                    for node in ast.walk_expr(e):
+                        if isinstance(node, ast.Call):
+                            yield b, node
+            cond = self.branch_exprs(b)
+            for e in cond:
+                for node in ast.walk_expr(e):
+                    if isinstance(node, ast.Call):
+                        yield b, node
+
+    @staticmethod
+    def branch_exprs(b: BasicBlock) -> list[ast.Expr]:
+        if not b.term:
+            return []
+        if b.term[0] == "branch":
+            return [b.term[1]]
+        if b.term[0] == "return" and b.term[1] is not None:
+            return [b.term[1]]
+        return []
+
+    def block_exprs(self, b: BasicBlock):
+        """Yield every top-level expression evaluated in block ``b``."""
+        for s in b.stmts:
+            yield from ast.stmt_exprs(s)
+        yield from self.branch_exprs(b)
+
+    def __repr__(self) -> str:
+        return f"<CFG {self.name}: {len(self.blocks)} blocks>"
+
+
+class _Lowerer:
+    def __init__(self, fn: ast.FunctionDef):
+        self.cfg = FunctionCFG(fn)
+        self.cur: BasicBlock | None = None
+        # (break_target, continue_target) stack
+        self.loop_stack: list[tuple[BasicBlock, BasicBlock]] = []
+
+    def lower(self) -> FunctionCFG:
+        body_entry = self.cfg.new_block(self.cfg.fn.line)
+        self.cfg.add_edge(self.cfg.entry, body_entry)
+        self.cur = body_entry
+        self.stmt(self.cfg.fn.body)
+        self.finish_block_to(self.cfg.exit)
+        return self.cfg
+
+    # -- plumbing ------------------------------------------------------
+
+    def finish_block_to(self, target: BasicBlock, kind: str = "jump") -> None:
+        """Close the current block with a jump to ``target`` (if open)."""
+        if self.cur is not None:
+            self.cur.term = ("jump",)
+            self.cfg.add_edge(self.cur, target, kind)
+            self.cur = None
+
+    def emit(self, s: ast.Stmt) -> None:
+        if self.cur is None:      # unreachable code after return/break
+            self.cur = self.cfg.new_block(s.line)
+        self.cur.stmts.append(s)
+
+    # -- statements -----------------------------------------------------
+
+    def stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.Block):
+            for inner in s.stmts:
+                self.stmt(inner)
+        elif isinstance(s, (ast.ExprStmt, ast.DeclStmt)):
+            self.emit(s)
+        elif isinstance(s, ast.If):
+            self.lower_if(s)
+        elif isinstance(s, ast.While):
+            self.lower_while(s)
+        elif isinstance(s, ast.DoWhile):
+            self.lower_do_while(s)
+        elif isinstance(s, ast.For):
+            self.lower_for(s)
+        elif isinstance(s, ast.Return):
+            if self.cur is None:
+                self.cur = self.cfg.new_block(s.line)
+            self.cur.term = ("return", s.value)
+            self.cfg.add_edge(self.cur, self.cfg.exit, "jump")
+            self.cur = None
+        elif isinstance(s, ast.Break):
+            if not self.loop_stack:
+                raise ValueError(f"line {s.line}: break outside a loop")
+            if self.cur is not None:
+                self.finish_block_to(self.loop_stack[-1][0])
+        elif isinstance(s, ast.Continue):
+            if not self.loop_stack:
+                raise ValueError(f"line {s.line}: continue outside a loop")
+            if self.cur is not None:
+                self.finish_block_to(self.loop_stack[-1][1])
+        else:
+            raise ValueError(f"cannot lower {type(s).__name__}")
+
+    def branch(self, cond: ast.Expr, true_bb: BasicBlock,
+               false_bb: BasicBlock) -> None:
+        if self.cur is None:
+            self.cur = self.cfg.new_block(cond.line)
+        self.cur.term = ("branch", cond)
+        self.cfg.add_edge(self.cur, true_bb, "true")
+        self.cfg.add_edge(self.cur, false_bb, "false")
+        self.cur = None
+
+    def lower_if(self, s: ast.If) -> None:
+        then_bb = self.cfg.new_block(s.then.line)
+        join_bb = self.cfg.new_block(s.line)
+        if s.els is not None:
+            else_bb = self.cfg.new_block(s.els.line)
+            self.branch(s.cond, then_bb, else_bb)
+            self.cur = else_bb
+            self.stmt(s.els)
+            self.finish_block_to(join_bb)
+        else:
+            self.branch(s.cond, then_bb, join_bb)
+        self.cur = then_bb
+        self.stmt(s.then)
+        self.finish_block_to(join_bb)
+        self.cur = join_bb
+
+    def lower_while(self, s: ast.While) -> None:
+        header = self.cfg.new_block(s.line)
+        body = self.cfg.new_block(s.body.line)
+        exit_bb = self.cfg.new_block(s.line)
+        self.finish_block_to(header)
+        self.cur = header
+        self.branch(s.cond, body, exit_bb)
+        self.loop_stack.append((exit_bb, header))
+        self.cur = body
+        self.stmt(s.body)
+        self.finish_block_to(header)      # back edge
+        self.loop_stack.pop()
+        self.cur = exit_bb
+
+    def lower_do_while(self, s: ast.DoWhile) -> None:
+        body = self.cfg.new_block(s.body.line)
+        cond_bb = self.cfg.new_block(s.cond.line)
+        exit_bb = self.cfg.new_block(s.line)
+        self.finish_block_to(body)
+        self.loop_stack.append((exit_bb, cond_bb))
+        self.cur = body
+        self.stmt(s.body)
+        self.finish_block_to(cond_bb)
+        self.loop_stack.pop()
+        self.cur = cond_bb
+        self.branch(s.cond, body, exit_bb)  # back edge on 'true'
+        self.cur = exit_bb
+
+    def lower_for(self, s: ast.For) -> None:
+        if s.init is not None:
+            self.stmt(s.init)
+        header = self.cfg.new_block(s.line)
+        body = self.cfg.new_block(s.body.line)
+        step_bb = self.cfg.new_block(s.line)
+        exit_bb = self.cfg.new_block(s.line)
+        self.finish_block_to(header)
+        self.cur = header
+        if s.cond is not None:
+            self.branch(s.cond, body, exit_bb)
+        else:
+            self.finish_block_to(body)
+        self.loop_stack.append((exit_bb, step_bb))
+        self.cur = body
+        self.stmt(s.body)
+        self.finish_block_to(step_bb)
+        self.loop_stack.pop()
+        self.cur = step_bb
+        if s.step is not None:
+            self.emit(ast.ExprStmt(line=s.line, expr=s.step))
+        self.finish_block_to(header)      # back edge
+        self.cur = exit_bb
+
+
+def lower_function(fn: ast.FunctionDef) -> FunctionCFG:
+    """Lower a function definition to its control-flow graph."""
+    if fn.body is None:
+        raise ValueError(f"{fn.name} has no body")
+    return _Lowerer(fn).lower()
+
+
+def lower_program(program) -> dict[str, FunctionCFG]:
+    """Lower every defined function; returns ``{name: FunctionCFG}``."""
+    return {fn.name: lower_function(fn) for fn in program.functions()}

@@ -1,0 +1,53 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from .cfg import BasicBlock, FunctionCFG
+
+
+def immediate_dominators(cfg: FunctionCFG) -> dict[BasicBlock, BasicBlock]:
+    """Immediate dominators of all blocks reachable from entry.
+
+    The entry block's idom is itself, mirroring the usual convention.
+    """
+    rpo = cfg.reachable_blocks()
+    index = {b: i for i, b in enumerate(rpo)}
+    idom: dict[BasicBlock, BasicBlock] = {cfg.entry: cfg.entry}
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for b in rpo:
+            if b is cfg.entry:
+                continue
+            preds = [p for p in b.pred_blocks() if p in index]
+            new_idom = None
+            for p in preds:
+                if p in idom:
+                    new_idom = p if new_idom is None \
+                        else intersect(p, new_idom)
+            if new_idom is not None and idom.get(b) is not new_idom:
+                idom[b] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: dict[BasicBlock, BasicBlock],
+              a: BasicBlock, b: BasicBlock) -> bool:
+    """True when ``a`` dominates ``b`` under the given idom tree."""
+    node = b
+    while True:
+        if node is a:
+            return True
+        parent = idom.get(node)
+        if parent is None or parent is node:
+            return False
+        node = parent

@@ -1,0 +1,31 @@
+"""Profitability analysis: weights, affinity, hotness, feedback."""
+
+from .weights import (
+    ProgramWeights, FunctionWeights, estimate_local, estimate_spbo,
+    estimate_ispbo, estimate_ispbo_w, propagate_call_counts,
+    weights_from_edge_counts, edge_probabilities,
+    BACK_PROB_INT, BACK_PROB_FP, BACK_PROB_INT_W, BACK_PROB_FP_W,
+    ISPBO_EXPONENT,
+)
+from .affinity import (
+    AffinityGroup, TypeProfile, AffinityAnalyzer, compute_profiles,
+    field_refs_in_expr,
+)
+from .correlate import pearson, correlation, correlation_prime
+from .feedback import (
+    FeedbackFile, FeedbackMismatch, collect_feedback,
+    sample_uninstrumented, match_feedback, cfg_checksum,
+)
+
+__all__ = [
+    "ProgramWeights", "FunctionWeights", "estimate_local", "estimate_spbo",
+    "estimate_ispbo", "estimate_ispbo_w", "propagate_call_counts",
+    "weights_from_edge_counts", "edge_probabilities",
+    "BACK_PROB_INT", "BACK_PROB_FP", "BACK_PROB_INT_W", "BACK_PROB_FP_W",
+    "ISPBO_EXPONENT",
+    "AffinityGroup", "TypeProfile", "AffinityAnalyzer", "compute_profiles",
+    "field_refs_in_expr",
+    "pearson", "correlation", "correlation_prime",
+    "FeedbackFile", "FeedbackMismatch", "collect_feedback",
+    "sample_uninstrumented", "match_feedback", "cfg_checksum",
+]

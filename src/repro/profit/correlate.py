@@ -1,0 +1,58 @@
+"""Correlation of hotness estimates against the PBO baseline (§2.3).
+
+The paper measures the quality of each weighting mechanism with the
+linear (Pearson) correlation coefficient ``r`` between relative field
+hotness vectors, and ``r'`` — the same correlation disregarding the
+dominant field (``potential`` in 181.mcf's ``node_t``), which exposes
+how much of the agreement a single spike accounts for.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def pearson(xs: list[float], ys: list[float]) -> float:
+    """Linear correlation coefficient r; 0.0 for degenerate inputs."""
+    if len(xs) != len(ys):
+        raise ValueError("vectors must have equal length")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    denom = math.sqrt(vx) * math.sqrt(vy)
+    if denom <= 0.0:
+        return 0.0
+    return max(-1.0, min(1.0, cov / denom))
+
+
+def correlation(baseline: dict[str, float], other: dict[str, float],
+                exclude: set[str] | None = None) -> float:
+    """Pearson r over the shared keys, optionally excluding fields.
+
+    ``baseline`` and ``other`` map field names to (relative) hotness.
+    """
+    exclude = exclude or set()
+    keys = [k for k in baseline if k in other and k not in exclude]
+    xs = [baseline[k] for k in keys]
+    ys = [other[k] for k in keys]
+    return pearson(xs, ys)
+
+
+def correlation_prime(baseline: dict[str, float],
+                      other: dict[str, float],
+                      dominant: str | None = None) -> float:
+    """The paper's r': correlation disregarding the dominant field.
+
+    When ``dominant`` is None the hottest baseline field is dropped
+    (for 181.mcf that is ``potential``, the field the paper names).
+    """
+    if dominant is None:
+        if not baseline:
+            return 0.0
+        dominant = max(baseline, key=lambda k: baseline[k])
+    return correlation(baseline, other, exclude={dominant})

@@ -1,0 +1,180 @@
+"""PBO feedback files: collection and use phases (§3.1).
+
+Collection: the program is compiled with edge instrumentation and run
+with a training input while the simulated PMU samples d-cache events.
+The resulting feedback file holds both edge counts and per-field cache
+samples — the same two ingredients HP's infrastructure stores (edge
+counts from compiler instrumentation, samples from HP Caliper).
+
+Use: the feedback file is matched against the CFG of the current
+compile.  Matching is validated with a per-function structural checksum
+plus source-line information, standing in for the paper's CFG matching
+("supported by source line information and an additional counting
+mechanism").  A mismatch raises — stale feedback must not silently
+corrupt weights.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..frontend.program import Program
+from ..ir.cfg import FunctionCFG, lower_program
+from ..runtime.cache import CacheConfig, ITANIUM2_SCALED
+from ..runtime.codegen import CompiledProgram
+from ..runtime.machine import Machine, FieldSample
+from .weights import ProgramWeights, weights_from_edge_counts
+
+
+class FeedbackMismatch(Exception):
+    """The feedback file does not match the program being compiled."""
+
+
+def cfg_checksum(cfg: FunctionCFG) -> str:
+    """A structural checksum of a function's CFG: block count plus the
+    sorted edge list with source lines."""
+    edges = sorted((e.src.id, e.dst.id, e.kind) for e in cfg.edges())
+    lines = tuple(b.line for b in cfg.blocks)
+    return f"{len(cfg.blocks)}:{hash((tuple(edges), lines)) & 0xFFFFFFFF:x}"
+
+
+@dataclass
+class FeedbackFile:
+    """Edge counts + d-cache field samples from one training run."""
+
+    #: (function, src_block, dst_block) -> executed count
+    edge_counts: dict[tuple[str, int, int], float] = \
+        field(default_factory=dict)
+    #: (record, field) -> aggregated samples
+    field_samples: dict[tuple[str, str], FieldSample] = \
+        field(default_factory=dict)
+    checksums: dict[str, str] = field(default_factory=dict)
+    input_label: str = ""
+    pmu_period: int = 0
+    instrumented_cycles: int = 0
+
+    # -- queries -------------------------------------------------------------
+
+    def dmiss(self) -> dict[tuple[str, str], float]:
+        """Sampled d-cache miss counts per field (the DMISS metric)."""
+        return {k: float(s.misses) for k, s in self.field_samples.items()}
+
+    def dlat(self) -> dict[tuple[str, str], float]:
+        """Sampled total latency per field (the DLAT metric)."""
+        return {k: float(s.total_latency)
+                for k, s in self.field_samples.items()}
+
+    def dmiss_for(self, record: str) -> dict[str, float]:
+        return {f: v for (r, f), v in self.dmiss().items() if r == record}
+
+    def dlat_for(self, record: str) -> dict[str, float]:
+        return {f: v for (r, f), v in self.dlat().items() if r == record}
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "input_label": self.input_label,
+            "pmu_period": self.pmu_period,
+            "instrumented_cycles": self.instrumented_cycles,
+            "checksums": self.checksums,
+            "edges": [[f, s, d, c]
+                      for (f, s, d), c in self.edge_counts.items()],
+            "samples": [[r, f, s.accesses, s.misses, s.total_latency]
+                        for (r, f), s in self.field_samples.items()],
+        }, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FeedbackFile":
+        data = json.loads(text)
+        fb = cls(input_label=data.get("input_label", ""),
+                 pmu_period=data.get("pmu_period", 0),
+                 instrumented_cycles=data.get("instrumented_cycles", 0),
+                 checksums=dict(data.get("checksums", {})))
+        for f, s, d, c in data.get("edges", []):
+            fb.edge_counts[(f, int(s), int(d))] = float(c)
+        for r, f, acc, miss, lat in data.get("samples", []):
+            fb.field_samples[(r, f)] = FieldSample(
+                accesses=int(acc), misses=int(miss),
+                total_latency=int(lat))
+        return fb
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FeedbackFile":
+        return cls.from_json(Path(path).read_text())
+
+
+def collect_feedback(program: Program,
+                     cache_config: CacheConfig = ITANIUM2_SCALED,
+                     pmu_period: int = 16,
+                     input_label: str = "train",
+                     cycle_limit: int = 2_000_000_000,
+                     cfgs: dict[str, FunctionCFG] | None = None
+                     ) -> FeedbackFile:
+    """The PBO collection phase: run instrumented with the PMU sampling.
+
+    The instrumented binary's counter updates go through the simulated
+    caches, so the perturbation the paper measures (DMISS vs DMISS.NO)
+    is reproduced rather than assumed.
+    """
+    if cfgs is None:
+        cfgs = lower_program(program)
+    machine = Machine(cache_config=cache_config, instrument=True,
+                      pmu_period=pmu_period, cycle_limit=cycle_limit)
+    compiled = CompiledProgram(program, machine, cfgs=cfgs)
+    compiled.run()
+    fb = FeedbackFile(input_label=input_label, pmu_period=pmu_period,
+                      instrumented_cycles=machine.cycles)
+    assert machine.profiler is not None
+    fb.edge_counts = {k: float(v)
+                      for k, v in machine.profiler.counts.items()}
+    assert machine.pmu is not None
+    fb.field_samples = machine.pmu.by_field(compiled.sites)
+    fb.checksums = {name: cfg_checksum(cfg) for name, cfg in cfgs.items()}
+    return fb
+
+
+def sample_uninstrumented(program: Program,
+                          cache_config: CacheConfig = ITANIUM2_SCALED,
+                          pmu_period: int = 16,
+                          cycle_limit: int = 2_000_000_000,
+                          cfgs: dict[str, FunctionCFG] | None = None
+                          ) -> FeedbackFile:
+    """PMU sampling without edge instrumentation — the DMISS.NO run."""
+    if cfgs is None:
+        cfgs = lower_program(program)
+    machine = Machine(cache_config=cache_config, instrument=False,
+                      pmu_period=pmu_period, cycle_limit=cycle_limit)
+    compiled = CompiledProgram(program, machine, cfgs=cfgs)
+    compiled.run()
+    fb = FeedbackFile(input_label="no-instrument", pmu_period=pmu_period,
+                      instrumented_cycles=machine.cycles)
+    assert machine.pmu is not None
+    fb.field_samples = machine.pmu.by_field(compiled.sites)
+    fb.checksums = {name: cfg_checksum(cfg) for name, cfg in cfgs.items()}
+    return fb
+
+
+def match_feedback(cfgs: dict[str, FunctionCFG], feedback: FeedbackFile,
+                   scheme: str = "PBO",
+                   strict: bool = True) -> ProgramWeights:
+    """The PBO use phase: match feedback against the current CFGs and
+    return measured weights.  Raises :class:`FeedbackMismatch` when the
+    structural checksums disagree (stale profile)."""
+    if strict:
+        for name, cfg in cfgs.items():
+            want = feedback.checksums.get(name)
+            if want is None:
+                raise FeedbackMismatch(f"no profile data for {name!r}")
+            have = cfg_checksum(cfg)
+            if want != have:
+                raise FeedbackMismatch(
+                    f"CFG of {name!r} changed since profiling "
+                    f"({want} != {have})")
+    return weights_from_edge_counts(cfgs, feedback.edge_counts,
+                                    scheme=scheme)

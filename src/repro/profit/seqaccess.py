@@ -1,0 +1,188 @@
+"""Sequential- vs random-access classification of loop field references.
+
+Whether peeling a record helps or hurts depends on the access pattern:
+
+- a *sequential* sweep (``P[i].f`` with ``i`` the loop induction
+  variable) touches ``piece_size / line_size`` cache lines per element —
+  denser pieces mean proportionally less traffic, so fine-grained
+  peeling wins (179.art);
+- a *random* access (``atoms[pairs[k].a].x`` or pointer-chasing
+  ``n->pred->f``) touches one line per piece regardless of density, so
+  fields used together must stay in the same piece (moldyn's force
+  loop).
+
+This module classifies, per loop, which locals are *affine* (assigned
+only from literals, loop-invariant values and other affine variables via
+``+ - * / % << >>``, i.e. induction variables and their linear
+derivations — a small induction-variable analysis) and then whether all
+of a record's accesses inside the loop are affine-addressed.  The
+result feeds the grouping cost model in
+:mod:`repro.transform.heuristics`.
+"""
+
+from __future__ import annotations
+
+from ..frontend import ast
+from ..ir.cfg import FunctionCFG
+from ..ir.loops import Loop
+
+#: operators preserving the "predictable, spatially local" property the
+#: classification is after.  '%' is deliberately excluded: modular
+#: indexing like A[(i*409) % N] is a permutation sweep — affine in the
+#: polyhedral sense but with no spatial locality, which is what the
+#: peel-grouping cost model cares about.
+_AFFINE_BINOPS = frozenset({"+", "-", "*", "/", "<<", ">>", "&"})
+
+
+def _assignments_in(cfg: FunctionCFG, loop: Loop):
+    """Yield ``(symbol, rhs_expr_or_None)`` for every assignment to a
+    local inside the loop (None rhs = opaque, e.g. address taken)."""
+    for b in loop.blocks:
+        for e in cfg.block_exprs(b):
+            for node in ast.walk_expr(e):
+                if isinstance(node, ast.Assign) and \
+                        isinstance(node.target, ast.Ident):
+                    sym = node.target.symbol
+                    if sym is not None and sym.kind in ("local", "param"):
+                        yield sym, node.value
+                elif isinstance(node, ast.Unary) and \
+                        node.op in ("++", "--", "p++", "p--") and \
+                        isinstance(node.operand, ast.Ident):
+                    sym = node.operand.symbol
+                    if sym is not None and sym.kind in ("local", "param"):
+                        yield sym, node.operand   # v = v +/- 1: affine
+        for s in b.stmts:
+            if isinstance(s, ast.DeclStmt) and s.symbol is not None:
+                yield s.symbol, s.init
+
+
+def _globals_assigned_in(cfg: FunctionCFG, loop: Loop) -> set:
+    out = set()
+    for b in loop.blocks:
+        for e in cfg.block_exprs(b):
+            for node in ast.walk_expr(e):
+                if isinstance(node, ast.Assign) and \
+                        isinstance(node.target, ast.Ident):
+                    sym = node.target.symbol
+                    if sym is not None and sym.kind == "global":
+                        out.add(sym)
+    return out
+
+
+class LoopAccessInfo:
+    """Affine variables and invariant globals of one loop."""
+
+    def __init__(self, cfg: FunctionCFG, loop: Loop):
+        self.cfg = cfg
+        self.loop = loop
+        self._mutated_globals = _globals_assigned_in(cfg, loop)
+        self._assigns: dict = {}
+        for sym, rhs in _assignments_in(cfg, loop):
+            self._assigns.setdefault(sym, []).append(rhs)
+        self.affine_vars = self._solve()
+
+    def _solve(self) -> set:
+        """Greatest fixpoint: start assuming every assigned local is
+        affine, remove any with a non-affine right-hand side."""
+        affine = set(self._assigns)
+        changed = True
+        while changed:
+            changed = False
+            for sym, rhss in self._assigns.items():
+                if sym not in affine:
+                    continue
+                for rhs in rhss:
+                    if rhs is None or not self._is_affine(rhs, affine):
+                        affine.discard(sym)
+                        changed = True
+                        break
+        return affine
+
+    # -- affine expressions ---------------------------------------------
+
+    def _is_affine(self, e: ast.Expr, affine: set) -> bool:
+        if isinstance(e, (ast.IntLit, ast.FloatLit, ast.NullLit,
+                          ast.SizeofType, ast.SizeofExpr)):
+            return True
+        if isinstance(e, ast.Ident):
+            sym = e.symbol
+            if sym is None:
+                return False
+            if sym.kind == "global":
+                return sym not in self._mutated_globals
+            if sym in self._assigns:
+                return sym in affine
+            return True      # loop-invariant local
+        if isinstance(e, ast.Binary):
+            return e.op in _AFFINE_BINOPS and \
+                self._is_affine(e.left, affine) and \
+                self._is_affine(e.right, affine)
+        if isinstance(e, ast.Unary):
+            if e.op == "-":
+                return self._is_affine(e.operand, affine)
+            if e.op == "&":
+                return self._is_affine_address(e.operand, affine)
+            return False
+        if isinstance(e, ast.Cast):
+            return self._is_affine(e.operand, affine)
+        if isinstance(e, ast.Conditional):
+            return (self._is_affine(e.cond, affine)
+                    and self._is_affine(e.then, affine)
+                    and self._is_affine(e.els, affine))
+        return False
+
+    def _is_affine_address(self, e: ast.Expr, affine: set) -> bool:
+        """Addresses of array elements with affine indexes are affine
+        (``&P[i]`` — the pointer locals of mcf-style loops)."""
+        if isinstance(e, ast.Index):
+            return self._is_affine(e.base, affine) and \
+                self._is_affine(e.index, affine)
+        if isinstance(e, ast.Ident):
+            return self._is_affine(e, affine)
+        return False
+
+    # -- public queries ----------------------------------------------------
+
+    def is_affine_expr(self, e: ast.Expr) -> bool:
+        return self._is_affine(e, self.affine_vars)
+
+    def access_is_sequential(self, member: ast.Member) -> bool:
+        """Is this field access affine-addressed within the loop?"""
+        return self._address_sequential(member)
+
+    def _address_sequential(self, e: ast.Expr) -> bool:
+        if isinstance(e, ast.Member):
+            if e.arrow:
+                return self.is_affine_expr(e.base)
+            return self._address_sequential_base(e.base)
+        return False
+
+    def _address_sequential_base(self, e: ast.Expr) -> bool:
+        if isinstance(e, ast.Index):
+            return self.is_affine_expr(e.base) and \
+                self.is_affine_expr(e.index)
+        if isinstance(e, ast.Unary) and e.op == "*":
+            return self.is_affine_expr(e.operand)
+        if isinstance(e, ast.Member):
+            # struct-valued member as a base (s.inner.f)
+            if e.arrow:
+                return self.is_affine_expr(e.base)
+            return self._address_sequential_base(e.base)
+        if isinstance(e, ast.Ident):
+            return self.is_affine_expr(e)
+        return False
+
+
+def loop_record_sequential(cfg: FunctionCFG, loop: Loop) -> dict[str, bool]:
+    """For each record type referenced in the loop: True when *every*
+    field access of that type inside the loop is affine-addressed."""
+    info = LoopAccessInfo(cfg, loop)
+    out: dict[str, bool] = {}
+    for b in loop.blocks:
+        for e in cfg.block_exprs(b):
+            for node in ast.walk_expr(e):
+                if isinstance(node, ast.Member) and node.record is not None:
+                    name = node.record.name
+                    seq = info.access_is_sequential(node)
+                    out[name] = out.get(name, True) and seq
+    return out

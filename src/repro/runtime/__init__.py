@@ -1,0 +1,23 @@
+"""Execution substrate: memory, caches, interpreter, profiling."""
+
+from .memory import Memory, MemoryError_, Allocation
+from .cache import (
+    CacheConfig, CacheLevelConfig, CacheHierarchy, CacheLevel,
+    ITANIUM2_FULL, ITANIUM2_SCALED,
+)
+from .machine import (
+    Machine, PMU, EdgeProfiler, SiteInfo, FieldSample,
+    ExitProgram, StepLimitExceeded,
+)
+from .codegen import CompiledProgram, CompiledFunction, CompileError
+from .run import run_program, RunResult
+
+__all__ = [
+    "Memory", "MemoryError_", "Allocation",
+    "CacheConfig", "CacheLevelConfig", "CacheHierarchy", "CacheLevel",
+    "ITANIUM2_FULL", "ITANIUM2_SCALED",
+    "Machine", "PMU", "EdgeProfiler", "SiteInfo", "FieldSample",
+    "ExitProgram", "StepLimitExceeded",
+    "CompiledProgram", "CompiledFunction", "CompileError",
+    "run_program", "RunResult",
+]

@@ -1,0 +1,185 @@
+"""Flat byte-addressed memory with a heap allocator.
+
+The simulated machine stores scalar values in a sparse cell map keyed by
+byte address (one cell per scalar object; MiniC programs only access
+memory through typed lvalues, so cells never overlap).  Unwritten memory
+reads as zero, which also gives ``calloc`` and zero-initialized globals
+their C semantics.  Bit-fields live in a separate map keyed by
+``(address, bit_offset)`` so they can share a storage unit.
+
+The allocator is a bump allocator with an exact-size free list; freed
+blocks are reused so long-running workloads keep a realistic working-set
+footprint for the cache simulator above this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class MemoryError_(Exception):
+    """Raised on invalid frees and out-of-memory conditions."""
+
+
+# Segment bases of the simulated address space.
+GLOBAL_BASE = 0x0000_1000
+RODATA_BASE = 0x1000_0000
+STACK_BASE = 0x2000_0000
+HEAP_BASE = 0x4000_0000
+COUNTER_BASE = 0x6000_0000    # edge-profile counters (instrumented runs)
+
+
+@dataclass
+class Allocation:
+    addr: int
+    size: int
+    live: bool = True
+
+
+class Memory:
+    """The simulated address space."""
+
+    def __init__(self):
+        self.cells: dict[int, int | float] = {}
+        self.bit_cells: dict[tuple[int, int], int] = {}
+        self.allocations: dict[int, Allocation] = {}
+        self._free_lists: dict[int, list[int]] = {}
+        self._global_brk = GLOBAL_BASE
+        self._rodata_brk = RODATA_BASE
+        self._heap_brk = HEAP_BASE
+        self._counter_brk = COUNTER_BASE
+        self.strings: dict[int, str] = {}
+        self.bytes_allocated = 0
+        self.alloc_count = 0
+        self.free_count = 0
+
+    # -- raw cells -------------------------------------------------------
+
+    def load(self, addr: int) -> int | float:
+        return self.cells.get(addr, 0)
+
+    def store(self, addr: int, value: int | float) -> None:
+        self.cells[addr] = value
+
+    def load_bits(self, addr: int, bit_offset: int) -> int:
+        return self.bit_cells.get((addr, bit_offset), 0)
+
+    def store_bits(self, addr: int, bit_offset: int, value: int) -> None:
+        self.bit_cells[(addr, bit_offset)] = value
+
+    # -- segments ----------------------------------------------------------
+
+    def alloc_global(self, size: int, align: int = 16) -> int:
+        addr = _round_up(self._global_brk, max(align, 1))
+        self._global_brk = addr + max(size, 1)
+        return addr
+
+    def alloc_rodata(self, text: str) -> int:
+        addr = self._rodata_brk
+        self._rodata_brk += len(text) + 1
+        self.strings[addr] = text
+        for i, ch in enumerate(text):
+            self.cells[addr + i] = ord(ch)
+        return addr
+
+    def alloc_counter(self) -> int:
+        addr = self._counter_brk
+        self._counter_brk += 8
+        return addr
+
+    # -- heap ---------------------------------------------------------------
+
+    def malloc(self, size: int, align: int = 16) -> int:
+        size = max(int(size), 1)
+        self.alloc_count += 1
+        self.bytes_allocated += size
+        free = self._free_lists.get(size)
+        if free:
+            addr = free.pop()
+            self.allocations[addr].live = True
+            # reused memory is not zeroed; clear stale cells
+            self._clear_range(addr, size)
+            return addr
+        addr = _round_up(self._heap_brk, max(align, 1))
+        self._heap_brk = addr + size
+        self.allocations[addr] = Allocation(addr, size)
+        return addr
+
+    def calloc(self, count: int, size: int) -> int:
+        return self.malloc(int(count) * int(size))
+
+    def free(self, addr: int) -> None:
+        if addr == 0:
+            return
+        alloc = self.allocations.get(addr)
+        if alloc is None or not alloc.live:
+            raise MemoryError_(f"invalid free of 0x{addr:x}")
+        alloc.live = False
+        self.free_count += 1
+        self._free_lists.setdefault(alloc.size, []).append(addr)
+
+    def realloc(self, addr: int, new_size: int) -> int:
+        if addr == 0:
+            return self.malloc(new_size)
+        alloc = self.allocations.get(addr)
+        if alloc is None or not alloc.live:
+            raise MemoryError_(f"invalid realloc of 0x{addr:x}")
+        new_addr = self.malloc(new_size)
+        limit = min(alloc.size, int(new_size))
+        for a, v in self._cells_in_range(addr, limit):
+            self.cells[new_addr + (a - addr)] = v
+        for (a, bo), v in list(self.bit_cells.items()):
+            if addr <= a < addr + limit:
+                self.bit_cells[(new_addr + (a - addr), bo)] = v
+        self.free(addr)
+        return new_addr
+
+    def allocation_at(self, addr: int) -> Allocation | None:
+        return self.allocations.get(addr)
+
+    # -- streaming ops ------------------------------------------------------
+
+    def memset(self, addr: int, value: int, size: int) -> None:
+        self._clear_range(addr, size)
+        if value != 0:
+            byte = value & 0xFF
+            for i in range(int(size)):
+                self.cells[addr + i] = byte
+
+    def memcpy(self, dst: int, src: int, size: int) -> None:
+        moved = [(a - src, v) for a, v in self._cells_in_range(src, size)]
+        self._clear_range(dst, size)
+        for off, v in moved:
+            self.cells[dst + off] = v
+        for (a, bo), v in list(self.bit_cells.items()):
+            if src <= a < src + size:
+                self.bit_cells[(dst + (a - src), bo)] = v
+
+    def _cells_in_range(self, addr: int, size: int):
+        end = addr + int(size)
+        return [(a, v) for a, v in self.cells.items() if addr <= a < end]
+
+    def _clear_range(self, addr: int, size: int) -> None:
+        end = addr + int(size)
+        for a, _ in self._cells_in_range(addr, size):
+            del self.cells[a]
+        for key in [k for k in self.bit_cells if addr <= k[0] < end]:
+            del self.bit_cells[key]
+
+    def read_string(self, addr: int) -> str:
+        """Read a NUL-terminated string (rodata fast path first)."""
+        if addr in self.strings:
+            return self.strings[addr]
+        chars = []
+        a = addr
+        while True:
+            v = int(self.cells.get(a, 0))
+            if v == 0:
+                break
+            chars.append(chr(v))
+            a += 1
+        return "".join(chars)
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align

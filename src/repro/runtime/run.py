@@ -1,0 +1,41 @@
+"""Convenience driver: compile and run a program on a fresh machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache import CacheConfig, ITANIUM2_SCALED
+from .codegen import CompiledProgram
+from .machine import Machine
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated execution."""
+
+    exit_code: int
+    cycles: int
+    stdout: str
+    machine: Machine
+    compiled: CompiledProgram
+
+    @property
+    def cache_stats(self):
+        return self.machine.cache.stats()
+
+    def __repr__(self) -> str:
+        return f"<run exit={self.exit_code} cycles={self.cycles}>"
+
+
+def run_program(program, cache_config: CacheConfig = ITANIUM2_SCALED,
+                instrument: bool = False, pmu_period: int = 0,
+                cycle_limit: int = 2_000_000_000,
+                entry: str = "main") -> RunResult:
+    """Compile ``program`` against a fresh :class:`Machine` and run it."""
+    machine = Machine(cache_config=cache_config, instrument=instrument,
+                      pmu_period=pmu_period, cycle_limit=cycle_limit)
+    compiled = CompiledProgram(program, machine)
+    code = compiled.run(entry=entry)
+    return RunResult(exit_code=code, cycles=machine.cycles,
+                     stdout=machine.stdout, machine=machine,
+                     compiled=compiled)

@@ -1,0 +1,113 @@
+"""Shared helpers for the BE transformations."""
+
+from __future__ import annotations
+
+from ..frontend import ast
+from ..frontend.typesys import RecordType
+
+
+class TransformError(Exception):
+    """A transformation hit a construct its legality plan should have
+    excluded — raised loudly instead of miscompiling."""
+
+
+def is_sizeof_record(e: ast.Expr, rec: RecordType) -> bool:
+    if isinstance(e, ast.SizeofType):
+        t = e.of.strip()
+        return t.is_record() and t.name == rec.name
+    return False
+
+
+def extract_alloc_count(call: ast.Call, rec: RecordType) -> ast.Expr | None:
+    """The element-count expression of an allocation of ``rec``.
+
+    Recognizes ``malloc(N * sizeof(T))``, ``malloc(sizeof(T) * N)``,
+    ``malloc(sizeof(T))`` and ``calloc(N, sizeof(T))``; returns the count
+    expression (an ``IntLit(1)`` for single objects) or None when the
+    site's size expression is not analyzable.
+    """
+    name = call.callee_name
+    if name == "calloc" and len(call.args) == 2 and \
+            is_sizeof_record(call.args[1], rec):
+        return call.args[0]
+    if name in ("malloc", "realloc"):
+        size_arg = call.args[-1]
+        if is_sizeof_record(size_arg, rec):
+            return ast.IntLit(line=call.line, value=1)
+        if isinstance(size_arg, ast.Binary) and size_arg.op == "*":
+            if is_sizeof_record(size_arg.right, rec):
+                return size_arg.left
+            if is_sizeof_record(size_arg.left, rec):
+                return size_arg.right
+    return None
+
+
+def is_alloc_cast(e: ast.Expr, rec: RecordType) -> bool:
+    """True for ``(struct rec *) malloc/calloc/realloc(...)``."""
+    if not isinstance(e, ast.Cast):
+        return False
+    to = e.to.strip()
+    if not (to.is_pointer() and to.pointee.strip().is_record()
+            and to.pointee.strip().name == rec.name):
+        return False
+    return isinstance(e.operand, ast.Call) and \
+        e.operand.callee_name in ("malloc", "calloc", "realloc")
+
+
+def has_side_effects(e: ast.Expr) -> bool:
+    for node in ast.walk_expr(e):
+        if isinstance(node, (ast.Assign, ast.Call)):
+            return True
+        if isinstance(node, ast.Unary) and \
+                node.op in ("++", "--", "p++", "p--"):
+            return True
+    return False
+
+
+def remove_dead_store(stmt: ast.ExprStmt, rec: RecordType,
+                      dead: set[str],
+                      rewrite_expr) -> list[ast.Stmt] | None:
+    """If ``stmt`` is a store to a dead field of ``rec``, return its
+    replacement (possibly empty); otherwise None.
+
+    The right-hand side is preserved when it has side effects — dead
+    field *stores* die, their operand computations may not.
+    """
+    e = stmt.expr
+    if isinstance(e, ast.Assign) and isinstance(e.target, ast.Member):
+        m = e.target
+        if m.record is not None and m.record.name == rec.name \
+                and m.name in dead:
+            out: list[ast.Stmt] = []
+            if has_side_effects(e.value):
+                out.append(ast.ExprStmt(line=stmt.line,
+                                        expr=rewrite_expr(e.value)))
+            if has_side_effects(m.base):
+                out.append(ast.ExprStmt(line=stmt.line,
+                                        expr=rewrite_expr(m.base)))
+            return out
+    if isinstance(e, ast.Unary) and e.op in ("++", "--", "p++", "p--") \
+            and isinstance(e.operand, ast.Member):
+        m = e.operand
+        if m.record is not None and m.record.name == rec.name \
+                and m.name in dead:
+            out = []
+            if has_side_effects(m.base):
+                out.append(ast.ExprStmt(line=stmt.line,
+                                        expr=rewrite_expr(m.base)))
+            return out
+    return None
+
+
+def references_record(fn: ast.FunctionDef, rec_name: str) -> bool:
+    """Does the function's signature mention the record type?"""
+    from ..analysis.legality import record_of
+    if fn.ret_type is not None:
+        r = record_of(fn.ret_type)
+        if r is not None and r.name == rec_name:
+            return True
+    for p in fn.params:
+        r = record_of(p.type)
+        if r is not None and r.name == rec_name:
+            return True
+    return False

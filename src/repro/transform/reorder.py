@@ -1,0 +1,81 @@
+"""Standalone structure field reordering.
+
+In the paper field reordering is only performed in the context of
+splitting (once a record type is newly created, fields can be inserted in
+any order), and §5 calls it underutilized.  This module provides it as a
+standalone transformation as well: it is what the §3.4 case study did by
+hand — grouping the four hot fields of a larger-than-cache-line struct —
+and what the advisor recommends for hot/affine clusters.
+"""
+
+from __future__ import annotations
+
+from ..frontend import ast
+from ..frontend.program import Program
+from ..frontend.typesys import RecordType, Field
+from .common import TransformError
+from .rewrite import Transformer, retype
+
+
+def reorder_record(record: RecordType, order: list[str]) -> RecordType:
+    """A copy of ``record`` with fields in the given order."""
+    if sorted(order) != sorted(record.field_names()):
+        raise TransformError(
+            f"order must permute the fields of {record.name}")
+    out = RecordType(record.name, origin=record)
+    for name in order:
+        f = record.field(name)
+        out.add_field(Field(f.name, f.type, f.bit_width))
+    out.layout()
+    return out
+
+
+class _ReorderTransformer(Transformer):
+    def __init__(self, record: RecordType, order: list[str]):
+        self.record = record
+        self.new_record = reorder_record(record, order)
+
+    def rewrite_decl(self, d):
+        if isinstance(d, ast.StructDecl) and \
+                d.record.name == self.record.name:
+            return [ast.StructDecl(line=d.line, record=self.new_record)]
+        return None
+
+
+def reorder_fields(program: Program, record: RecordType,
+                   order: list[str]) -> Program:
+    """Reorder a struct's fields; accesses are by name, so only the type
+    definition changes."""
+    tr = _ReorderTransformer(record, order)
+    units = tr.program_units(program)
+    return retype(units, program.records)
+
+
+def hotness_order(record: RecordType,
+                  hotness: dict[str, float]) -> list[str]:
+    """Fields sorted hottest-first (stable for ties, declaration order)."""
+    return [f.name for f in sorted(
+        record.fields, key=lambda f: (-hotness.get(f.name, 0.0), f.index))]
+
+
+def affinity_packed_order(record: RecordType, hotness: dict[str, float],
+                          affinity: dict[tuple[str, str], float]
+                          ) -> list[str]:
+    """Greedy cache-line packing: start from the hottest field, then
+    repeatedly append the unplaced field with the strongest affinity to
+    the already-placed prefix (hotness as tie-break) — the §3.3 guidance
+    of keeping hot, affine groups together."""
+    remaining = [f.name for f in record.fields]
+    if not remaining:
+        return []
+    order = [max(remaining, key=lambda f: hotness.get(f, 0.0))]
+    remaining.remove(order[0])
+    while remaining:
+        def score(f: str) -> tuple[float, float]:
+            aff = sum(affinity.get((min(f, p), max(f, p)), 0.0)
+                      for p in order)
+            return (aff, hotness.get(f, 0.0))
+        nxt = max(remaining, key=score)
+        order.append(nxt)
+        remaining.remove(nxt)
+    return order

@@ -1,0 +1,206 @@
+"""AST rewriting infrastructure for the BE transformations.
+
+:class:`Transformer` is a pure (non-mutating) rewriter: visiting returns
+fresh nodes, sharing is avoided, and the original typed program remains
+valid for further analysis.  Subclasses override ``rewrite_expr_node`` /
+``rewrite_stmt_node`` hooks and the declaration hooks.
+
+:func:`retype` turns a rewritten (untyped) program back into a fully
+typed :class:`~repro.frontend.program.Program` by unparsing to MiniC
+source and re-parsing — so a transformation can never produce an
+inconsistently typed program silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from ..frontend import ast
+from ..frontend.program import Program
+from .unparse import program_sources
+
+
+class Transformer:
+    """Recursive, pure AST rewriter with override hooks."""
+
+    # -- hooks -----------------------------------------------------------
+
+    def rewrite_expr_node(self, e: ast.Expr) -> ast.Expr | None:
+        """Return a replacement for ``e`` (children NOT yet rewritten) or
+        None to recurse normally.  The replacement is returned as-is."""
+        return None
+
+    def rewrite_stmt_node(self, s: ast.Stmt) -> ast.Stmt | list[ast.Stmt] | None:
+        """Return replacement statement(s) or None to recurse normally.
+        Returning an empty list deletes the statement."""
+        return None
+
+    def rewrite_decl(self, d: ast.Node) -> list[ast.Node] | None:
+        """Replace a top-level declaration (list, possibly empty), or
+        None to keep it (with its function body rewritten)."""
+        return None
+
+    def extra_decls(self, unit: ast.TranslationUnit) -> list[ast.Node]:
+        """Declarations appended to the unit after rewriting."""
+        return []
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self, e: ast.Expr) -> ast.Expr:
+        replaced = self.rewrite_expr_node(e)
+        if replaced is not None:
+            return replaced
+        return self.generic_expr(e)
+
+    def generic_expr(self, e: ast.Expr) -> ast.Expr:
+        if isinstance(e, (ast.IntLit, ast.FloatLit, ast.StrLit,
+                          ast.NullLit)):
+            return dc_replace(e)
+        if isinstance(e, ast.Ident):
+            return ast.Ident(line=e.line, name=e.name)
+        if isinstance(e, ast.Unary):
+            return ast.Unary(line=e.line, op=e.op,
+                             operand=self.expr(e.operand))
+        if isinstance(e, ast.Binary):
+            return ast.Binary(line=e.line, op=e.op,
+                              left=self.expr(e.left),
+                              right=self.expr(e.right))
+        if isinstance(e, ast.Assign):
+            return ast.Assign(line=e.line, op=e.op,
+                              target=self.expr(e.target),
+                              value=self.expr(e.value))
+        if isinstance(e, ast.Conditional):
+            return ast.Conditional(line=e.line, cond=self.expr(e.cond),
+                                   then=self.expr(e.then),
+                                   els=self.expr(e.els))
+        if isinstance(e, ast.Comma):
+            return ast.Comma(line=e.line,
+                             parts=[self.expr(p) for p in e.parts])
+        if isinstance(e, ast.Call):
+            return ast.Call(line=e.line, func=self.expr(e.func),
+                            args=[self.expr(a) for a in e.args])
+        if isinstance(e, ast.Index):
+            return ast.Index(line=e.line, base=self.expr(e.base),
+                             index=self.expr(e.index))
+        if isinstance(e, ast.Member):
+            return ast.Member(line=e.line, base=self.expr(e.base),
+                              name=e.name, arrow=e.arrow, record=e.record)
+        if isinstance(e, ast.Cast):
+            return ast.Cast(line=e.line, to=self.rewrite_type(e.to),
+                            operand=self.expr(e.operand))
+        if isinstance(e, ast.SizeofType):
+            return ast.SizeofType(line=e.line, of=self.rewrite_type(e.of))
+        if isinstance(e, ast.SizeofExpr):
+            return ast.SizeofExpr(line=e.line,
+                                  operand=self.expr(e.operand))
+        raise ValueError(f"cannot rewrite {type(e).__name__}")
+
+    def rewrite_type(self, t):
+        """Hook to substitute types appearing in casts/sizeof/decls."""
+        return t
+
+    # -- statements -----------------------------------------------------------
+
+    def stmt(self, s: ast.Stmt) -> list[ast.Stmt]:
+        replaced = self.rewrite_stmt_node(s)
+        if replaced is not None:
+            return replaced if isinstance(replaced, list) else [replaced]
+        return [self.generic_stmt(s)]
+
+    def stmt_one(self, s: ast.Stmt) -> ast.Stmt:
+        out = self.stmt(s)
+        if len(out) == 1:
+            return out[0]
+        return ast.Block(line=s.line, stmts=out)
+
+    def generic_stmt(self, s: ast.Stmt) -> ast.Stmt:
+        if isinstance(s, ast.Block):
+            stmts: list[ast.Stmt] = []
+            for inner in s.stmts:
+                stmts.extend(self.stmt(inner))
+            return ast.Block(line=s.line, stmts=stmts)
+        if isinstance(s, ast.ExprStmt):
+            return ast.ExprStmt(line=s.line, expr=self.expr(s.expr))
+        if isinstance(s, ast.DeclStmt):
+            return ast.DeclStmt(
+                line=s.line, name=s.name,
+                decl_type=self.rewrite_type(s.decl_type),
+                init=self.expr(s.init) if s.init is not None else None)
+        if isinstance(s, ast.If):
+            return ast.If(line=s.line, cond=self.expr(s.cond),
+                          then=self.stmt_one(s.then),
+                          els=self.stmt_one(s.els)
+                          if s.els is not None else None)
+        if isinstance(s, ast.While):
+            return ast.While(line=s.line, cond=self.expr(s.cond),
+                             body=self.stmt_one(s.body))
+        if isinstance(s, ast.DoWhile):
+            return ast.DoWhile(line=s.line, body=self.stmt_one(s.body),
+                               cond=self.expr(s.cond))
+        if isinstance(s, ast.For):
+            return ast.For(
+                line=s.line,
+                init=self.stmt_one(s.init) if s.init is not None else None,
+                cond=self.expr(s.cond) if s.cond is not None else None,
+                step=self.expr(s.step) if s.step is not None else None,
+                body=self.stmt_one(s.body))
+        if isinstance(s, ast.Return):
+            return ast.Return(
+                line=s.line,
+                value=self.expr(s.value) if s.value is not None else None)
+        if isinstance(s, (ast.Break, ast.Continue)):
+            return dc_replace(s)
+        raise ValueError(f"cannot rewrite {type(s).__name__}")
+
+    # -- top level -----------------------------------------------------------
+
+    def function(self, fn: ast.FunctionDef) -> ast.FunctionDef:
+        params = [ast.Param(line=p.line, name=p.name,
+                            type=self.rewrite_type(p.type))
+                  for p in fn.params]
+        body = None
+        if fn.body is not None:
+            body = self.generic_stmt(fn.body)
+        return ast.FunctionDef(line=fn.line, name=fn.name,
+                               ret_type=self.rewrite_type(fn.ret_type),
+                               params=params, body=body,
+                               is_static=fn.is_static)
+
+    def unit(self, u: ast.TranslationUnit) -> ast.TranslationUnit:
+        decls: list[ast.Node] = []
+        for d in u.decls:
+            replaced = self.rewrite_decl(d)
+            if replaced is not None:
+                decls.extend(replaced)
+                continue
+            if isinstance(d, ast.FunctionDef):
+                decls.append(self.function(d))
+            elif isinstance(d, ast.GlobalVar):
+                decls.append(ast.GlobalVar(
+                    line=d.line, name=d.name,
+                    decl_type=self.rewrite_type(d.decl_type),
+                    init=self.expr(d.init) if d.init is not None else None,
+                    is_static=d.is_static))
+            else:
+                decls.append(d)
+        decls.extend(self.extra_decls(u))
+        return ast.TranslationUnit(line=u.line, name=u.name, decls=decls)
+
+    def program_units(self, program: Program) -> list[ast.TranslationUnit]:
+        return [self.unit(u) for u in program.units]
+
+
+class _ShellProgram:
+    """Duck-typed shim so :func:`program_sources` can unparse rewritten
+    units before they are re-parsed into a real Program."""
+
+    def __init__(self, units, records):
+        self.units = units
+        self.records = records
+
+
+def retype(units, records=None) -> Program:
+    """Unparse rewritten units and re-parse into a fresh typed Program."""
+    shell = _ShellProgram(list(units), dict(records or {}))
+    sources = program_sources(shell)
+    return Program.from_sources(sources)

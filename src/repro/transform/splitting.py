@@ -1,0 +1,287 @@
+"""Structure splitting with link pointers (§2.1, Figure 1 (b)).
+
+The record is broken into a *hot* part (keeping the original name, so
+every ``struct T *`` in the program keeps compiling) and a *cold* part
+reached through an inserted link-pointer field.  Dead fields are removed
+on the way (dead-field removal "is wrapped into" splitting, as the paper
+puts it) and the surviving hot fields may be reordered — field reordering
+"is currently only performed in the context of structure splitting".
+
+Each allocation site of the type is rewritten to call a generated helper
+that allocates both parts and wires up the link pointers with a loop —
+the very loop whose cost (plus the extra dereference on every cold
+access) is the profitability concern driving the paper's heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from ..frontend import ast
+from ..frontend.program import Program
+from ..frontend.typesys import RecordType, Field, PointerType, LONG
+from .common import (
+    TransformError, extract_alloc_count, is_alloc_cast, remove_dead_store,
+)
+from .rewrite import Transformer, retype
+
+LINK_FIELD = "__cold_link"
+
+
+@dataclass
+class SplitSpec:
+    """What to split: which fields go cold, which die, hot ordering."""
+
+    record: RecordType
+    cold_fields: list[str]
+    dead_fields: list[str] = dc_field(default_factory=list)
+    #: optional explicit order for the surviving hot fields
+    hot_order: list[str] | None = None
+    cold_name: str = ""
+    link_field: str = LINK_FIELD
+
+    def __post_init__(self):
+        if not self.cold_name:
+            self.cold_name = f"{self.record.name}__cold"
+        names = set(self.record.field_names())
+        for f in self.cold_fields + self.dead_fields:
+            if f not in names:
+                raise TransformError(
+                    f"{self.record.name} has no field {f!r}")
+        overlap = set(self.cold_fields) & set(self.dead_fields)
+        if overlap:
+            raise TransformError(
+                f"fields both cold and dead: {sorted(overlap)}")
+        if self.record.has_field(self.link_field):
+            raise TransformError(
+                f"link field name {self.link_field!r} collides")
+
+    @property
+    def hot_fields(self) -> list[str]:
+        dropped = set(self.cold_fields) | set(self.dead_fields)
+        hot = [f.name for f in self.record.fields if f.name not in dropped]
+        if self.hot_order is not None:
+            if sorted(self.hot_order) != sorted(hot):
+                raise TransformError("hot_order must permute hot fields")
+            return list(self.hot_order)
+        return hot
+
+    def build_records(self) -> tuple[RecordType, RecordType]:
+        """(new hot record, cold record); hot keeps the original name."""
+        orig = self.record
+        cold = RecordType(self.cold_name, origin=orig)
+        for name in self.cold_fields:
+            f = orig.field(name)
+            cold.add_field(Field(f.name, f.type, f.bit_width))
+        cold.layout()
+        hot = RecordType(orig.name, origin=orig)
+        for name in self.hot_fields:
+            f = orig.field(name)
+            hot.add_field(Field(f.name, f.type, f.bit_width))
+        if self.cold_fields:
+            hot.add_field(Field(self.link_field, PointerType(cold)))
+        hot.layout()
+        return hot, cold
+
+
+class _SplitTransformer(Transformer):
+    def __init__(self, program: Program, spec: SplitSpec):
+        self.program = program
+        self.spec = spec
+        self.rec = spec.record
+        self.hot_rec, self.cold_rec = spec.build_records()
+        self.dead = set(spec.dead_fields)
+        self.cold = set(spec.cold_fields)
+        self.alloc_fn = f"__split_alloc_{self.rec.name}"
+        self.free_fn = f"__split_free_{self.rec.name}"
+        self._struct_unit_done = False
+
+    # -- declarations -----------------------------------------------------
+
+    def rewrite_decl(self, d):
+        if isinstance(d, ast.StructDecl) and \
+                d.record.name == self.rec.name:
+            self._struct_unit_done = True
+            out: list[ast.Node] = [
+                ast.StructDecl(line=d.line, record=self.cold_rec),
+                ast.StructDecl(line=d.line, record=self.hot_rec),
+            ]
+            if self.cold:
+                out.extend(self._helper_functions())
+            return out
+        return None
+
+    def extra_decls(self, unit):
+        # if the struct had no top-level decl, attach helpers to the
+        # first unit (retype() will emit the struct definitions)
+        if not self._struct_unit_done and self.cold:
+            self._struct_unit_done = True
+            return self._helper_functions()
+        return []
+
+    # -- expression rewrites -------------------------------------------------
+
+    def rewrite_expr_node(self, e):
+        # cold field access: x->f  =>  x->__cold_link->f
+        if isinstance(e, ast.Member) and e.record is not None \
+                and e.record.name == self.rec.name:
+            if e.name in self.cold:
+                link = ast.Member(line=e.line, base=self.expr(e.base),
+                                  name=self.spec.link_field,
+                                  arrow=e.arrow)
+                return ast.Member(line=e.line, base=link, name=e.name,
+                                  arrow=True)
+            if e.name in self.dead:
+                raise TransformError(
+                    f"read of dead field {self.rec.name}.{e.name} "
+                    f"(line {e.line}) — the field is not dead")
+            return None
+        # allocation site: (T*)malloc(...)  =>  __split_alloc_T(count)
+        if self.cold and is_alloc_cast(e, self.rec):
+            call = e.operand
+            if call.callee_name == "realloc":
+                raise TransformError(
+                    f"cannot split realloc'ed type {self.rec.name}")
+            count = extract_alloc_count(call, self.rec)
+            if count is None:
+                raise TransformError(
+                    f"unanalyzable allocation of {self.rec.name} at "
+                    f"line {e.line}")
+            return ast.Call(
+                line=e.line,
+                func=ast.Ident(line=e.line, name=self.alloc_fn),
+                args=[ast.Cast(line=e.line, to=LONG,
+                               operand=self.expr(count))])
+        # free(p) with p of type T*  =>  __split_free_T(p)
+        if self.cold and isinstance(e, ast.Call) \
+                and e.callee_name == "free" and len(e.args) == 1:
+            at = e.args[0].type
+            if at is not None:
+                t = at.strip()
+                if t.is_pointer() and t.pointee.strip().is_record() and \
+                        t.pointee.strip().name == self.rec.name:
+                    return ast.Call(
+                        line=e.line,
+                        func=ast.Ident(line=e.line, name=self.free_fn),
+                        args=[self.expr(e.args[0])])
+        return None
+
+    # -- statement rewrites -------------------------------------------------
+
+    def rewrite_stmt_node(self, s):
+        if isinstance(s, ast.ExprStmt) and self.dead:
+            replaced = remove_dead_store(s, self.rec, self.dead, self.expr)
+            if replaced is not None:
+                return replaced
+        return None
+
+    # -- generated helpers -------------------------------------------------
+
+    def _helper_functions(self) -> list[ast.FunctionDef]:
+        rec, cold = self.hot_rec, self.cold_rec
+        link = self.spec.link_field
+        line = 0
+
+        def ident(n):
+            return ast.Ident(line=line, name=n)
+
+        def istmt(e):
+            return ast.ExprStmt(line=line, expr=e)
+
+        rec_ptr = PointerType(rec)
+        cold_ptr = PointerType(cold)
+
+        # struct T *__split_alloc_T(long n)
+        alloc_body = ast.Block(line=line, stmts=[
+            ast.DeclStmt(line=line, name="p", decl_type=rec_ptr,
+                         init=ast.Cast(line=line, to=rec_ptr,
+                                       operand=ast.Call(
+                                           line=line,
+                                           func=ident("malloc"),
+                                           args=[ast.Binary(
+                                               line=line, op="*",
+                                               left=ident("n"),
+                                               right=ast.SizeofType(
+                                                   line=line, of=rec))]))),
+            ast.DeclStmt(line=line, name="c", decl_type=cold_ptr,
+                         init=ast.Cast(line=line, to=cold_ptr,
+                                       operand=ast.Call(
+                                           line=line,
+                                           func=ident("malloc"),
+                                           args=[ast.Binary(
+                                               line=line, op="*",
+                                               left=ident("n"),
+                                               right=ast.SizeofType(
+                                                   line=line,
+                                                   of=cold))]))),
+            ast.For(
+                line=line,
+                init=ast.DeclStmt(line=line, name="i", decl_type=LONG,
+                                  init=ast.IntLit(line=line, value=0)),
+                cond=ast.Binary(line=line, op="<", left=ident("i"),
+                                right=ident("n")),
+                step=ast.Assign(line=line, op="=", target=ident("i"),
+                                value=ast.Binary(line=line, op="+",
+                                                 left=ident("i"),
+                                                 right=ast.IntLit(
+                                                     line=line, value=1))),
+                body=istmt(ast.Assign(
+                    line=line, op="=",
+                    target=ast.Member(
+                        line=line,
+                        base=ast.Index(line=line, base=ident("p"),
+                                       index=ident("i")),
+                        name=link, arrow=False),
+                    value=ast.Unary(
+                        line=line, op="&",
+                        operand=ast.Index(line=line, base=ident("c"),
+                                          index=ident("i")))))),
+            ast.Return(line=line, value=ident("p")),
+        ])
+        alloc_fn = ast.FunctionDef(
+            line=line, name=self.alloc_fn, ret_type=rec_ptr,
+            params=[ast.Param(line=line, name="n", type=LONG)],
+            body=alloc_body)
+
+        # void __split_free_T(struct T *p)
+        free_body = ast.Block(line=line, stmts=[
+            ast.If(line=line, cond=ident("p"),
+                   then=ast.Block(line=line, stmts=[
+                       istmt(ast.Call(line=line, func=ident("free"),
+                                      args=[ast.Member(line=line,
+                                                       base=ident("p"),
+                                                       name=link,
+                                                       arrow=True)])),
+                       istmt(ast.Call(line=line, func=ident("free"),
+                                      args=[ident("p")])),
+                   ])),
+        ])
+        from ..frontend.typesys import VOID
+        free_fn = ast.FunctionDef(
+            line=line, name=self.free_fn, ret_type=VOID,
+            params=[ast.Param(line=line, name="p", type=rec_ptr)],
+            body=free_body)
+        return [alloc_fn, free_fn]
+
+
+def split_structure(program: Program, spec: SplitSpec) -> Program:
+    """Apply structure splitting and return the re-typed program."""
+    tr = _SplitTransformer(program, spec)
+    units = tr.program_units(program)
+    # the records mapping drives re-emission of typedef-only struct
+    # definitions: the transformed type must map to its new layout
+    records = dict(program.records)
+    records[spec.record.name] = tr.hot_rec
+    if spec.cold_fields:
+        records[spec.cold_name] = tr.cold_rec
+    return retype(units, records)
+
+
+def remove_dead_fields(program: Program, record: RecordType,
+                       dead_fields: list[str],
+                       hot_order: list[str] | None = None) -> Program:
+    """Standalone dead-field removal: splitting with an empty cold set
+    (the cold section "can be empty", §2.1)."""
+    spec = SplitSpec(record=record, cold_fields=[],
+                     dead_fields=list(dead_fields), hot_order=hot_order)
+    return split_structure(program, spec)

@@ -1,0 +1,36 @@
+"""Benchmark workloads reproducing the paper's Table 1/3 populations."""
+
+from .base import Workload, PaperRow, render
+from .generator import (
+    PopulationSpec, generate_population, population_for_row,
+)
+from .mcf import MCF, PAPER_TABLE2_PBO, PAPER_TABLE2_CORRELATIONS
+from .art import ART
+from .moldyn import MOLDYN
+from .others import (
+    MILC, CACTUSADM, GOBMK, POVRAY, CALCULIX, H264AVC, LUCILLE, SPHINX,
+    SSEARCH,
+)
+
+#: all twelve benchmarks, in Table 1 order
+ALL_WORKLOADS: list[Workload] = [
+    MCF, ART, MILC, CACTUSADM, GOBMK, POVRAY, CALCULIX, H264AVC,
+    MOLDYN, LUCILLE, SPHINX, SSEARCH,
+]
+
+WORKLOADS_BY_NAME: dict[str, Workload] = {
+    w.name: w for w in ALL_WORKLOADS}
+
+
+def get_workload(name: str) -> Workload:
+    return WORKLOADS_BY_NAME[name]
+
+
+__all__ = [
+    "Workload", "PaperRow", "render",
+    "PopulationSpec", "generate_population", "population_for_row",
+    "MCF", "ART", "MOLDYN", "MILC", "CACTUSADM", "GOBMK", "POVRAY",
+    "CALCULIX", "H264AVC", "LUCILLE", "SPHINX", "SSEARCH",
+    "ALL_WORKLOADS", "WORKLOADS_BY_NAME", "get_workload",
+    "PAPER_TABLE2_PBO", "PAPER_TABLE2_CORRELATIONS",
+]

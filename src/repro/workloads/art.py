@@ -1,0 +1,172 @@
+"""179.art stand-in: neural-network kernel peeled per field.
+
+The paper's 179.art case: "a dynamically allocated array of structures
+containing only floating point fields (and a non-recursive pointer).
+The result of the dynamic allocation is assigned to a global pointer
+variable P; no other local or global pointers or variables of that type
+exist."  The transformation peels the type into one record per field
+(Figure 1 (c)) — here the ``f1_neuron`` with art's I/W/X/V/U/P/Q/R
+fields, swept one-or-two fields at a time by the match passes, which is
+why peeling pays off so dramatically (+78.2% in Table 3).
+
+Three record types, two legal (Table 1's 66.7%): ``f1_neuron``
+(transformed) and ``winner_take_all`` (legal, but a local variable only
+— no dynamic allocation, so the heuristics leave it); ``sim_config``
+escapes to ``fwrite`` (LIBC) and stays invalid even under relaxation.
+"""
+
+from __future__ import annotations
+
+from .base import PaperRow, Workload, render
+
+_TEMPLATE = r"""
+struct f1_neuron {
+    double I;
+    double W;
+    double X;
+    double V;
+    double U;
+    double P;
+    double Q;
+    double R;
+};
+
+struct winner_take_all {
+    double y;
+    int reset;
+};
+
+struct sim_config {
+    long numf1s;
+    long numpasses;
+    double resonance;
+};
+
+struct f1_neuron *f1_layer;
+long NUMF1S;
+double net_input;
+
+void init_layer(void) {
+    long i;
+    f1_layer = (struct f1_neuron*) malloc(@numf1s@
+        * sizeof(struct f1_neuron));
+    NUMF1S = @numf1s@;
+    for (i = 0; i < NUMF1S; i++) {
+        f1_layer[i].I = (double) (i % 97) / 97.0;
+        f1_layer[i].W = 0.0;
+        f1_layer[i].X = 0.0;
+        f1_layer[i].V = 0.0;
+        f1_layer[i].U = 0.0;
+        f1_layer[i].P = 0.0;
+        f1_layer[i].Q = 0.0;
+        f1_layer[i].R = 0.0;
+    }
+}
+
+/* pass 1: W and X from I (two-field sweeps) */
+void compute_W_X(void) {
+    long i;
+    for (i = 0; i < NUMF1S; i++) {
+        f1_layer[i].W = f1_layer[i].I + 0.5 * f1_layer[i].W;
+    }
+    for (i = 0; i < NUMF1S; i++) {
+        f1_layer[i].X = f1_layer[i].W / (0.1 + net_input);
+    }
+}
+
+/* pass 2: V and U (single-field-dominated sweeps) */
+void compute_V_U(void) {
+    long i;
+    for (i = 0; i < NUMF1S; i++) {
+        double x = f1_layer[i].X;
+        f1_layer[i].V = x > 0.2 ? x : 0.0;
+    }
+    for (i = 0; i < NUMF1S; i++) {
+        f1_layer[i].U = f1_layer[i].V / (0.1 + net_input);
+    }
+}
+
+/* pass 3: P, Q, R */
+void compute_P_Q_R(void) {
+    long i;
+    for (i = 0; i < NUMF1S; i++) {
+        f1_layer[i].P = f1_layer[i].U + 0.25;
+    }
+    for (i = 0; i < NUMF1S; i++) {
+        double p = f1_layer[i].P;
+        f1_layer[i].Q = p / (0.1 + net_input);
+        f1_layer[i].R = (f1_layer[i].I + p) / (1.0 + f1_layer[i].I);
+    }
+}
+
+double sum_R(void) {
+    long i;
+    double total = 0.0;
+    for (i = 0; i < NUMF1S; i++) {
+        total += f1_layer[i].R;
+    }
+    return total;
+}
+
+/* scalar match bookkeeping away from f1_layer (the part of art the
+   transformation does not touch) */
+double scan_winners(double total) {
+    long t;
+    double best = 0.0;
+    for (t = 0; t < @scan@; t++) {
+        double cand = total * 0.731 + (double) (t % 89) * 0.011;
+        if (cand > best) {
+            best = cand;
+        } else {
+            best = best * 0.9999;
+        }
+        total = total * 0.99993 + 0.001;
+    }
+    return best;
+}
+
+double match_wta(double total) {
+    struct winner_take_all wta;
+    wta.y = total / (1.0 + (double) NUMF1S);
+    wta.reset = wta.y > 0.5 ? 1 : 0;
+    if (wta.reset == 1) {
+        return wta.y * 0.5;
+    }
+    return wta.y;
+}
+
+int main() {
+    long pass;
+    double result = 0.0;
+    struct sim_config cfg;
+    init_layer();
+    net_input = 0.9;
+    for (pass = 0; pass < @passes@; pass++) {
+        compute_W_X();
+        compute_V_U();
+        compute_P_Q_R();
+        net_input = match_wta(sum_R());
+        result += net_input + 0.0001 * scan_winners(net_input);
+    }
+    cfg.numf1s = NUMF1S;
+    cfg.numpasses = @passes@;
+    cfg.resonance = result;
+    fwrite(&cfg, sizeof(struct sim_config), 1, NULL);
+    printf("art checksum %.6f\n", result);
+    return 0;
+}
+"""
+
+
+def _sources(params: dict) -> list[tuple[str, str]]:
+    return [("art.c", render(_TEMPLATE, params))]
+
+
+ART = Workload(
+    name="179.art",
+    description="neural-net field sweeps; f1_neuron peeled per field",
+    source_fn=_sources,
+    train_params={"numf1s": 3000, "passes": 6, "scan": 16000},
+    ref_params={"numf1s": 7000, "passes": 12, "scan": 60000},
+    paper=PaperRow(types=3, legal=2, relaxed=2, perf_gain=78.2),
+)

@@ -1,0 +1,67 @@
+"""Workload infrastructure: benchmark definitions with train/ref inputs.
+
+Each workload stands in for one benchmark of the paper's Table 1/3 (the
+SPEC2000 pair mcf/art plus open-source programs).  A workload provides
+MiniC sources parameterized by an input set ('train' for PBO collection,
+'ref' for measurement — the same split the paper's PBO/PPBO columns
+use), the paper's published Table 1 row for comparison, and the expected
+qualitative performance effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.program import Program
+
+
+def render(template: str, params: dict) -> str:
+    """Substitute ``@key@`` placeholders (C-friendly: no clash with %)."""
+    out = template
+    for key, value in params.items():
+        out = out.replace(f"@{key}@", str(value))
+    if "@" in out:
+        at = out.index("@")
+        raise KeyError(
+            f"unsubstituted placeholder near {out[at:at + 24]!r}")
+    return out
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """Published numbers for one benchmark (Table 1 / Table 3)."""
+
+    types: int
+    legal: int
+    relaxed: int
+    #: expected performance effect of the transformations, in percent
+    #: (positive = faster); None when the paper's row is unreadable
+    perf_gain: float | None = None
+    perf_gain_pbo: float | None = None
+
+
+@dataclass
+class Workload:
+    name: str
+    description: str
+    #: callable(params: dict) -> list[(unit_name, source_text)]
+    source_fn: object = None
+    train_params: dict = field(default_factory=dict)
+    ref_params: dict = field(default_factory=dict)
+    paper: PaperRow | None = None
+
+    def sources(self, input_set: str = "ref") -> list[tuple[str, str]]:
+        if input_set == "train":
+            params = dict(self.train_params)
+        elif input_set == "ref":
+            params = dict(self.ref_params)
+        else:
+            raise ValueError(f"unknown input set {input_set!r}")
+        return self.source_fn(params)
+
+    def program(self, input_set: str = "ref") -> Program:
+        """Parse + analyze a fresh program for the given input set."""
+        return Program.from_sources(self.sources(input_set))
+
+    def __repr__(self) -> str:
+        return f"<workload {self.name}>"

@@ -1,0 +1,213 @@
+"""Deterministic record-type population generator.
+
+The paper's Table 1 spans benchmarks with up to 275 record types; what
+the legality statistics depend on is the *distribution* of legality-
+relevant constructs, not the specific application logic.  This generator
+synthesizes a translation unit with a requested population:
+
+- ``legal`` types that pass every practical test,
+- ``relax_only`` types whose only violations are the relaxable trio
+  (CSTT / CSTF / ATKN, cycled deterministically), and
+- the remainder invalid for hard reasons (LIBC, IND, MSET, NEST, SMAL,
+  ESCP, cycled deterministically).
+
+Every generated type is actually *used* by a driver function (so the
+analyses see real references), but with tiny element counts so the
+filler contributes negligible simulated time next to the hand-written
+hot kernel it accompanies.  Generation is a pure function of the spec —
+no randomness — so Table 1 rows are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_FIELD_TYPES = ["long", "int", "double", "short", "float"]
+_RELAX_REASONS = ["CSTT", "CSTF", "ATKN"]
+_HARD_REASONS = ["LIBC", "IND", "MSET", "NEST", "SMAL", "ESCP"]
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """How many filler types of each legality class to generate."""
+
+    prefix: str
+    legal: int = 0
+    relax_only: int = 0
+    hard: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.legal + self.relax_only + self.hard
+
+
+def _fields_for(idx: int, count: int = 3) -> list[str]:
+    """Deterministic field list for filler type ``idx``."""
+    out = []
+    for k in range(count):
+        t = _FIELD_TYPES[(idx + k) % len(_FIELD_TYPES)]
+        out.append(f"    {t} f{k};")
+    return out
+
+
+def _struct(name: str, idx: int, extra: str = "") -> str:
+    body = "\n".join(_fields_for(idx))
+    if extra:
+        body += "\n" + extra
+    return f"struct {name} {{\n{body}\n}};"
+
+
+def generate_population(spec: PopulationSpec) -> str:
+    """Generate one translation unit realizing the population."""
+    parts: list[str] = []
+    drivers: list[str] = []
+    prefix = spec.prefix
+    nest_pairs = 0
+
+    # ---- legal types: clean declarations, modest use ----
+    for i in range(spec.legal):
+        name = f"{prefix}_ok{i}"
+        parts.append(_struct(name, i))
+        # half get a local variable, half a small static array; neither
+        # is dynamically allocated, so they pass legality but the
+        # heuristics (correctly) leave them alone
+        if i % 2 == 0:
+            drivers.append(
+                f"long __use_{name}(void) {{\n"
+                f"    struct {name} v;\n"
+                f"    v.f0 = {i + 1};\n"
+                f"    v.f1 = v.f0 + 2;\n"
+                f"    return (long) v.f1;\n"
+                f"}}")
+        else:
+            parts.append(f"struct {name} {name}_arr[4];")
+            drivers.append(
+                f"long __use_{name}(void) {{\n"
+                f"    int i;\n"
+                f"    long s = 0;\n"
+                f"    for (i = 0; i < 4; i++) {{\n"
+                f"        {name}_arr[i].f0 = i;\n"
+                f"        s += (long) {name}_arr[i].f0;\n"
+                f"    }}\n"
+                f"    return s;\n"
+                f"}}")
+
+    # ---- relax-only types: exactly one of CSTT/CSTF/ATKN ----
+    for i in range(spec.relax_only):
+        reason = _RELAX_REASONS[i % len(_RELAX_REASONS)]
+        name = f"{prefix}_rx{i}"
+        parts.append(_struct(name, i + 7))
+        parts.append(f"struct {name} *{name}_p;")
+        alloc = (f"    {name}_p = (struct {name}*) "
+                 f"malloc(8 * sizeof(struct {name}));\n")
+        touch = (f"    {name}_p[2].f0 = 1;\n"
+                 f"    {name}_p[2].f1 = 2;\n"
+                 f"    {name}_p[2].f2 = 3;\n"
+                 f"    long used = (long) ({name}_p[2].f0 + "
+                 f"{name}_p[2].f1 + {name}_p[2].f2);\n")
+        if reason == "CSTT":
+            body = (alloc + touch +
+                    f"    long *buf = (long*) malloc(64);\n"
+                    f"    struct {name} *t = (struct {name}*) buf;\n"
+                    f"    t->f0 = 1;\n"
+                    f"    return used + (long) t->f0;\n")
+        elif reason == "CSTF":
+            body = (alloc + touch +
+                    f"    long *raw = (long*) {name}_p;\n"
+                    f"    raw[0] = 2;\n"
+                    f"    return used + raw[0];\n")
+        else:  # ATKN
+            body = (alloc + touch +
+                    f"    long *pf = &{name}_p[1].f0;\n"
+                    f"    pf[0] = 3;\n"
+                    f"    return used + (long) {name}_p[1].f0;\n")
+        drivers.append(f"long __use_{name}(void) {{\n{body}}}")
+
+    # ---- hard-invalid types ----
+    i = 0
+    emitted = 0
+    while emitted < spec.hard:
+        reason = _HARD_REASONS[i % len(_HARD_REASONS)]
+        name = f"{prefix}_hd{i}"
+        if reason == "NEST":
+            if spec.hard - emitted < 2:
+                i += 1
+                continue
+            inner = f"{name}_in"
+            parts.append(_struct(inner, i + 3))
+            parts.append(_struct(
+                name, i + 4, extra=f"    struct {inner} inner;"))
+            drivers.append(
+                f"long __use_{name}(void) {{\n"
+                f"    struct {name} v;\n"
+                f"    v.inner.f0 = 1;\n"
+                f"    v.f0 = 2;\n"
+                f"    return (long) v.f0;\n"
+                f"}}")
+            emitted += 2
+            i += 1
+            continue
+        parts.append(_struct(name, i + 3))
+        parts.append(f"struct {name} *{name}_p;")
+        alloc = (f"    {name}_p = (struct {name}*) "
+                 f"malloc(8 * sizeof(struct {name}));\n")
+        if reason == "LIBC":
+            body = (alloc +
+                    f"    fwrite({name}_p, sizeof(struct {name}), 8, "
+                    f"NULL);\n    return 0;\n")
+        elif reason == "IND":
+            parts.append(f"void (*{name}_fp)(struct {name}*);")
+            drivers.append(
+                f"void __sink_{name}(struct {name} *p) {{ p->f0 = 9; }}")
+            body = (alloc +
+                    f"    {name}_fp = __sink_{name};\n"
+                    f"    {name}_fp({name}_p);\n"
+                    f"    return (long) {name}_p->f0;\n")
+        elif reason == "MSET":
+            body = (alloc +
+                    f"    memset({name}_p, 0, 8 * sizeof(struct {name}));"
+                    f"\n    return (long) {name}_p->f0;\n")
+        elif reason == "SMAL":
+            body = (f"    {name}_p = (struct {name}*) "
+                    f"malloc(sizeof(struct {name}));\n"
+                    f"    {name}_p->f0 = 5;\n"
+                    f"    return (long) {name}_p->f0;\n")
+        else:  # ESCP: escapes to a function outside the program
+            parts.append(f"void {name}_ext(struct {name} *p);")
+            body = (alloc +
+                    f"    {name}_ext({name}_p);\n"
+                    f"    return 0;\n")
+        drivers.append(f"long __use_{name}(void) {{\n{body}}}")
+        emitted += 1
+        i += 1
+
+    # ---- the driver main ----
+    calls = []
+    for d in drivers:
+        fn_name = d.split("(", 1)[0].split()[-1]
+        if fn_name.startswith("__use_"):
+            calls.append(f"    total += {fn_name}();")
+    driver = ("long __filler_total;\n\n" + "\n\n".join(drivers) +
+              "\n\nvoid __filler_main(void) {\n"
+              "    long total = 0;\n" +
+              "\n".join(calls) +
+              "\n    __filler_total = total;\n}\n")
+    return "\n\n".join(parts) + "\n\n" + driver
+
+
+def population_for_row(prefix: str, types: int, legal: int,
+                       relaxed: int, kernel_types: int = 0,
+                       kernel_legal: int = 0,
+                       kernel_relaxed: int = 0) -> PopulationSpec:
+    """Population needed to complete a Table 1 row, given that the
+    hand-written kernel already supplies some types."""
+    total = types - kernel_types
+    legal_n = legal - kernel_legal
+    relax_only = (relaxed - kernel_relaxed) - legal_n
+    hard = total - legal_n - relax_only
+    if min(total, legal_n, relax_only, hard) < 0:
+        raise ValueError(
+            f"inconsistent population for {prefix}: total={total} "
+            f"legal={legal_n} relax_only={relax_only} hard={hard}")
+    return PopulationSpec(prefix=prefix, legal=legal_n,
+                          relax_only=relax_only, hard=hard)

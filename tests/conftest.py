@@ -1,0 +1,32 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import Program
+from repro.runtime import run_program
+
+
+@pytest.fixture
+def run():
+    """Compile MiniC source on a fresh machine and return the result."""
+    def _run(source: str, **kwargs):
+        return run_program(Program.from_source(source), **kwargs)
+    return _run
+
+
+@pytest.fixture
+def stdout_of(run):
+    """Run a program and return its stdout text."""
+    def _stdout(source: str, **kwargs) -> str:
+        result = run(source, **kwargs)
+        assert result.exit_code == 0, \
+            f"exit {result.exit_code}: {result.stdout}"
+        return result.stdout
+    return _stdout
+
+
+def wrap_main(body: str) -> str:
+    """Wrap statements into a main function."""
+    return "int main() {\n" + body + "\nreturn 0;\n}\n"

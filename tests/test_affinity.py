@@ -1,0 +1,203 @@
+"""Affinity groups, graphs, hotness, and sequential-access tests."""
+
+import pytest
+
+from repro.frontend import Program
+from repro.ir import lower_program, find_loops
+from repro.profit import estimate_spbo, compute_profiles
+from repro.profit.seqaccess import loop_record_sequential
+
+
+def profiles_of(src):
+    p = Program.from_source(src)
+    cfgs = lower_program(p)
+    weights = estimate_spbo(cfgs)
+    return compute_profiles(p, cfgs, weights)
+
+
+SRC = """
+struct t { long a; long b; long c; long d; };
+struct t *g;
+int main() {
+    int i;
+    g = (struct t*) malloc(64 * sizeof(struct t));
+    for (i = 0; i < 64; i++) {        // loop 1: a and b together
+        g[i].a = i;
+        g[i].b = i * 2;
+    }
+    for (i = 0; i < 64; i++) {        // loop 2: c alone
+        g[i].c = g[i].c + 1;
+    }
+    g[0].d = 5;                        // straight line: d
+    return 0;
+}
+"""
+
+
+class TestGroups:
+    def test_groups_formed_per_loop(self):
+        prof = profiles_of(SRC)["t"]
+        sets = {g.fields for g in prof.groups}
+        assert frozenset({"a", "b"}) in sets
+        assert frozenset({"c"}) in sets
+        assert frozenset({"d"}) in sets
+
+    def test_loop_groups_outweigh_straight_line(self):
+        prof = profiles_of(SRC)["t"]
+        w = {g.fields: g.weight for g in prof.groups}
+        assert w[frozenset({"a", "b"})] > w[frozenset({"d"})]
+
+    def test_identical_groups_merge(self):
+        src = """
+        struct t { long a; };
+        struct t *g;
+        int main() {
+            int i;
+            g = (struct t*) malloc(8 * sizeof(struct t));
+            for (i = 0; i < 8; i++) g[i].a = 1;
+            for (i = 0; i < 8; i++) g[i].a += 2;
+            return 0;
+        }
+        """
+        prof = profiles_of(src)["t"]
+        groups = [g for g in prof.groups if g.fields == frozenset({"a"})]
+        assert len(groups) == 1      # merged by adding weights
+
+
+class TestAffinityGraph:
+    def test_same_loop_fields_affine(self):
+        prof = profiles_of(SRC)["t"]
+        assert prof.affinity_between("a", "b") > 0.0
+
+    def test_different_loop_fields_not_affine(self):
+        prof = profiles_of(SRC)["t"]
+        assert prof.affinity_between("a", "c") == 0.0
+
+    def test_self_affinity_exists(self):
+        prof = profiles_of(SRC)["t"]
+        assert prof.affinity_between("a", "a") > 0.0
+
+    def test_symmetry(self):
+        prof = profiles_of(SRC)["t"]
+        assert prof.affinity_between("a", "b") == \
+            prof.affinity_between("b", "a")
+
+    def test_networkx_graph(self):
+        g = profiles_of(SRC)["t"].affinity_graph()
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("a", "c")
+        assert set(g.nodes) == {"a", "b", "c", "d"}
+
+    def test_relative_affinities(self):
+        prof = profiles_of(SRC)["t"]
+        rel = prof.relative_affinities("a")
+        assert rel["b"] == pytest.approx(100.0)
+
+
+class TestHotness:
+    def test_loop_fields_hotter_than_straight_line(self):
+        prof = profiles_of(SRC)["t"]
+        rel = prof.relative_hotness()
+        assert rel["a"] > rel["d"]
+        assert rel["d"] < 25.0
+
+    def test_read_write_separation(self):
+        prof = profiles_of(SRC)["t"]
+        # 'a' is only written in the loop; 'c' is read and written
+        assert prof.write_counts.get("a", 0.0) > 0.0
+        assert prof.read_counts.get("a", 0.0) == 0.0
+        assert prof.read_counts.get("c", 0.0) > 0.0
+
+    def test_type_hotness_sums_fields(self):
+        prof = profiles_of(SRC)["t"]
+        total = sum(prof.hotness_by_field().values())
+        assert prof.type_hotness() == pytest.approx(total)
+
+    def test_relative_hotness_peak_is_100(self):
+        rel = profiles_of(SRC)["t"].relative_hotness()
+        assert max(rel.values()) == pytest.approx(100.0)
+
+    def test_unreferenced_type_all_zero(self):
+        src = """
+        struct ghost { long x; };
+        int main() { return 0; }
+        """
+        prof = profiles_of(src)["ghost"]
+        assert prof.type_hotness() == 0.0
+        assert prof.relative_hotness() == {"x": 0.0}
+
+
+class TestSequentialClassification:
+    def test_induction_sweep_is_sequential(self):
+        p = Program.from_source(SRC)
+        cfgs = lower_program(p)
+        nest = find_loops(cfgs["main"])
+        for loop in nest.loops:
+            seq = loop_record_sequential(cfgs["main"], loop)
+            assert seq.get("t", False) is True
+
+    def test_loaded_index_is_random(self):
+        src = """
+        struct t { long v; };
+        struct idx { long at; };
+        struct t *data;
+        struct idx *order;
+        int main() {
+            int k;
+            data = (struct t*) malloc(32 * sizeof(struct t));
+            order = (struct idx*) malloc(32 * sizeof(struct idx));
+            for (k = 0; k < 32; k++) {
+                data[order[k].at].v = 1;     // index loaded from memory
+            }
+            return 0;
+        }
+        """
+        p = Program.from_source(src)
+        cfgs = lower_program(p)
+        nest = find_loops(cfgs["main"])
+        seq = loop_record_sequential(cfgs["main"], nest.loops[0])
+        assert seq["t"] is False
+        assert seq["idx"] is True
+
+    def test_pointer_chase_is_random(self):
+        src = """
+        struct n { struct n *next; long v; };
+        struct n *head;
+        int main() {
+            struct n *p = head;
+            while (p != NULL) { p->v = 1; p = p->next; }
+            return 0;
+        }
+        """
+        p = Program.from_source(src)
+        cfgs = lower_program(p)
+        nest = find_loops(cfgs["main"])
+        seq = loop_record_sequential(cfgs["main"], nest.loops[0])
+        assert seq["n"] is False
+
+    def test_affine_local_pointer_is_sequential(self):
+        src = """
+        struct t { long a; long b; };
+        struct t *g;
+        int main() {
+            int i;
+            g = (struct t*) malloc(16 * sizeof(struct t));
+            for (i = 0; i < 16; i++) {
+                struct t *p = &g[i];
+                p->a = p->b + 1;
+            }
+            return 0;
+        }
+        """
+        p = Program.from_source(src)
+        cfgs = lower_program(p)
+        nest = find_loops(cfgs["main"])
+        seq = loop_record_sequential(cfgs["main"], nest.loops[0])
+        assert seq["t"] is True
+
+    def test_groups_carry_sequential_flag(self):
+        prof = profiles_of(SRC)["t"]
+        loop_groups = [g for g in prof.groups
+                       if g.fields in (frozenset({"a", "b"}),
+                                       frozenset({"c"}))]
+        assert all(g.sequential for g in loop_groups)

@@ -1,0 +1,224 @@
+"""Dead-field, escape, and points-to analysis tests."""
+
+from repro.frontend import Program
+from repro.analysis import (
+    analyze_field_usage, analyze_points_to, analyze_legality,
+    relaxed_legal_types,
+)
+
+
+class TestFieldUsage:
+    SRC = """
+    struct t { long used_rw; long write_only; long never;
+               long read_only; };
+    struct t *g;
+    int main() {
+        g = (struct t*) malloc(8 * sizeof(struct t));
+        g[0].used_rw = 1;
+        g[0].used_rw += 2;
+        g[1].write_only = 5;
+        long x = g[0].used_rw + g[2].read_only;
+        return (int) x;
+    }
+    """
+
+    def test_counts(self):
+        usage = analyze_field_usage(Program.from_source(self.SRC))
+        u = usage.usage("t")
+        assert u.of("used_rw").reads == 2   # compound counts as r+w
+        assert u.of("used_rw").writes == 2
+        assert u.of("write_only").writes == 1
+        assert u.of("write_only").reads == 0
+        assert u.of("read_only").reads == 1
+
+    def test_classification(self):
+        usage = analyze_field_usage(Program.from_source(self.SRC))
+        u = usage.usage("t")
+        assert u.dead_fields() == ["write_only"]
+        assert u.unused_fields() == ["never"]
+        assert set(u.removable_fields()) == {"write_only", "never"}
+        assert set(u.live_fields()) == {"used_rw", "read_only"}
+
+    def test_address_of_field_not_a_read(self):
+        src = """
+        struct t { long a; };
+        struct t *g;
+        void sink(long *p) { *p = 1; }
+        int main() {
+            g = (struct t*) malloc(4 * sizeof(struct t));
+            sink(&g[0].a);
+            return 0;
+        }
+        """
+        u = analyze_field_usage(Program.from_source(src)).usage("t")
+        assert u.of("a").reads == 0
+
+    def test_incr_counts_read_and_write(self):
+        src = """
+        struct t { long a; };
+        struct t g;
+        int main() { g.a++; return 0; }
+        """
+        u = analyze_field_usage(Program.from_source(src)).usage("t")
+        assert u.of("a").reads == 1 and u.of("a").writes == 1
+
+
+class TestPointsTo:
+    def test_malloc_creates_heap_site(self):
+        src = """
+        struct t { long a; };
+        struct t *g;
+        int main() {
+            g = (struct t*) malloc(4 * sizeof(struct t));
+            g[0].a = 1;
+            return 0;
+        }
+        """
+        pts = analyze_points_to(Program.from_source(src))
+        locs = pts.points_to_var("g")
+        assert len(locs) == 1
+        assert next(iter(locs)).kind == "heap"
+
+    def test_copy_propagation(self):
+        src = """
+        struct t { long a; };
+        struct t *g;
+        struct t *h;
+        int main() {
+            g = (struct t*) malloc(4 * sizeof(struct t));
+            h = g;
+            h[0].a = 1;
+            return 0;
+        }
+        """
+        pts = analyze_points_to(Program.from_source(src))
+        assert pts.points_to_var("g") == pts.points_to_var("h")
+        assert pts.may_alias("g", "h")
+
+    def test_distinct_sites_do_not_alias(self):
+        src = """
+        struct t { long a; };
+        struct t *g;
+        struct t *h;
+        int main() {
+            g = (struct t*) malloc(4 * sizeof(struct t));
+            h = (struct t*) malloc(4 * sizeof(struct t));
+            g[0].a = 1; h[0].a = 2;
+            return 0;
+        }
+        """
+        pts = analyze_points_to(Program.from_source(src))
+        assert not pts.may_alias("g", "h")
+
+    def test_field_store_load(self):
+        src = """
+        struct n { struct n *next; long v; };
+        struct n *a;
+        struct n *b;
+        struct n *c;
+        int main() {
+            a = (struct n*) malloc(2 * sizeof(struct n));
+            b = (struct n*) malloc(2 * sizeof(struct n));
+            a->next = b;
+            c = a->next;
+            c->v = 1;
+            return 0;
+        }
+        """
+        pts = analyze_points_to(Program.from_source(src))
+        assert pts.points_to_var("c") == pts.points_to_var("b")
+
+    def test_record_cast_collapses(self):
+        src = """
+        struct t1 { long a; };
+        struct t2 { long b; };
+        struct t1 *g;
+        int main() {
+            g = (struct t1*) malloc(4 * sizeof(struct t1));
+            struct t2 *q = (struct t2*) g;
+            q->b = 1;
+            return 0;
+        }
+        """
+        pts = analyze_points_to(Program.from_source(src))
+        assert not pts.is_field_safe("t1")
+        assert not pts.is_field_safe("t2")
+
+    def test_field_address_arith_collapses(self):
+        src = """
+        struct t { long a; long b; };
+        struct t *g;
+        int main() {
+            g = (struct t*) malloc(4 * sizeof(struct t));
+            long *p = &g[0].a;
+            p = p + 1;             // now points at b: collapse
+            *p = 9;
+            return 0;
+        }
+        """
+        pts = analyze_points_to(Program.from_source(src))
+        assert not pts.is_field_safe("t")
+
+    def test_contained_field_address_is_safe(self):
+        src = """
+        struct t { long a; long b; };
+        struct t *g;
+        int main() {
+            g = (struct t*) malloc(4 * sizeof(struct t));
+            long *p = &g[0].a;
+            *p = 9;                // only ever field a
+            return 0;
+        }
+        """
+        pts = analyze_points_to(Program.from_source(src))
+        assert pts.is_field_safe("t")
+
+    def test_param_binding(self):
+        src = """
+        struct t { long a; };
+        struct t *g;
+        void init(struct t *p) { p->a = 0; }
+        int main() {
+            g = (struct t*) malloc(4 * sizeof(struct t));
+            init(g);
+            return 0;
+        }
+        """
+        pts = analyze_points_to(Program.from_source(src))
+        assert pts.points_to_var("p") == pts.points_to_var("g")
+
+    def test_return_value_flow(self):
+        src = """
+        struct t { long a; };
+        struct t *make(void) {
+            return (struct t*) malloc(4 * sizeof(struct t));
+        }
+        struct t *g;
+        int main() { g = make(); g->a = 1; return 0; }
+        """
+        pts = analyze_points_to(Program.from_source(src))
+        assert len(pts.points_to_var("g")) == 1
+
+    def test_relaxed_legal_types_filters_collapsed(self):
+        src = """
+        struct safe { long a; long b; };
+        struct bad { long a; long b; };
+        struct safe *gs;
+        struct bad *gb;
+        int main() {
+            gs = (struct safe*) malloc(4 * sizeof(struct safe));
+            gb = (struct bad*) malloc(4 * sizeof(struct bad));
+            long *p = &gs[0].a;    // ATKN but field-contained
+            *p = 1;
+            long *q = &gb[0].a;    // ATKN and walks into b
+            q = q + 1;
+            *q = 2;
+            return 0;
+        }
+        """
+        prog = Program.from_source(src)
+        leg = analyze_legality(prog)
+        pts = analyze_points_to(prog)
+        names = relaxed_legal_types(leg, pts)
+        assert "safe" in names
+        assert "bad" not in names

@@ -1,0 +1,185 @@
+"""Correlation math and feedback-file tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend import Program
+from repro.ir import lower_program
+from repro.profit import (
+    pearson, correlation, correlation_prime,
+    FeedbackFile, FeedbackMismatch, collect_feedback,
+    sample_uninstrumented, match_feedback, cfg_checksum,
+)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_no_correlation_constant(self):
+        assert pearson([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1, 2])
+
+    def test_short_vectors(self):
+        assert pearson([1], [2]) == 0.0
+
+    def test_correlation_over_dicts(self):
+        a = {"x": 1.0, "y": 2.0, "z": 3.0}
+        b = {"x": 2.0, "y": 4.0, "z": 6.0, "extra": 9.0}
+        assert correlation(a, b) == pytest.approx(1.0)
+
+    def test_correlation_prime_drops_dominant(self):
+        base = {"big": 100.0, "a": 1.0, "b": 2.0, "c": 3.0}
+        other = {"big": 100.0, "a": 3.0, "b": 2.0, "c": 1.0}
+        r = correlation(base, other)
+        r_prime = correlation_prime(base, other)
+        assert r > 0.9            # the spike dominates
+        assert r_prime < 0.0      # without it, anticorrelated
+
+    def test_correlation_prime_explicit_field(self):
+        base = {"p": 50.0, "q": 1.0, "r": 2.0}
+        other = {"p": 50.0, "q": 1.0, "r": 2.0}
+        assert correlation_prime(base, other, dominant="p") == \
+            pytest.approx(1.0)
+
+
+@given(st.lists(st.floats(-1e6, 1e6).map(lambda v: round(v, 3)),
+                min_size=2, max_size=30),
+       st.floats(0.1, 100.0), st.floats(-50.0, 50.0))
+def test_pearson_scale_invariant(xs, scale, shift):
+    ys = [x * scale + shift for x in xs]
+    r = pearson(xs, ys)
+    if max(xs) - min(xs) > 1e-3:      # non-degenerate spread
+        assert r == pytest.approx(1.0, abs=1e-6)
+
+
+@given(st.lists(st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+                min_size=2, max_size=30))
+def test_pearson_symmetric_and_bounded(pairs):
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    r1 = pearson(xs, ys)
+    r2 = pearson(ys, xs)
+    assert r1 == pytest.approx(r2)
+    assert -1.0 - 1e-9 <= r1 <= 1.0 + 1e-9
+    assert not math.isnan(r1)
+
+
+SRC = """
+struct t { long hot; long cold; };
+struct t *g;
+int main() {
+    int i; int it; long s = 0;
+    g = (struct t*) malloc(200 * sizeof(struct t));
+    for (it = 0; it < 10; it++)
+        for (i = 0; i < 200; i++)
+            s += g[i].hot;
+    for (i = 0; i < 200; i++) s += g[i].cold;
+    printf("%ld", s);
+    return 0;
+}
+"""
+
+
+class TestFeedback:
+    def test_collection_has_edges_and_samples(self):
+        p = Program.from_source(SRC)
+        fb = collect_feedback(p, pmu_period=4)
+        assert fb.edge_counts
+        assert fb.field_samples
+        assert fb.input_label == "train"
+
+    def test_json_roundtrip(self, tmp_path):
+        p = Program.from_source(SRC)
+        fb = collect_feedback(p)
+        path = tmp_path / "prof.json"
+        fb.save(path)
+        fb2 = FeedbackFile.load(path)
+        assert fb2.edge_counts == fb.edge_counts
+        assert fb2.checksums == fb.checksums
+        assert set(fb2.field_samples) == set(fb.field_samples)
+
+    def test_match_produces_weights(self):
+        p = Program.from_source(SRC)
+        cfgs = lower_program(p)
+        fb = collect_feedback(p, cfgs=cfgs)
+        pw = match_feedback(cfgs, fb)
+        assert pw.scheme == "PBO"
+        assert any(c > 0 for c in pw.functions["main"].block.values())
+
+    def test_stale_feedback_rejected(self):
+        p1 = Program.from_source(SRC)
+        fb = collect_feedback(p1)
+        # a structural CFG change (extra branch) invalidates the profile
+        p2 = Program.from_source(SRC.replace(
+            "s += g[i].hot;",
+            "if (i & 1) s += g[i].hot; else s -= 1;"))
+        cfgs2 = lower_program(p2)
+        with pytest.raises(FeedbackMismatch):
+            match_feedback(cfgs2, fb)
+
+    def test_missing_function_rejected(self):
+        p = Program.from_source(SRC)
+        fb = FeedbackFile()
+        with pytest.raises(FeedbackMismatch):
+            match_feedback(lower_program(p), fb)
+
+    def test_non_strict_match_skips_checks(self):
+        p = Program.from_source(SRC)
+        fb = FeedbackFile()
+        pw = match_feedback(lower_program(p), fb, strict=False)
+        assert pw.functions["main"].block
+
+    def test_checksum_stable(self):
+        p1 = Program.from_source(SRC)
+        p2 = Program.from_source(SRC)
+        c1 = cfg_checksum(lower_program(p1)["main"])
+        c2 = cfg_checksum(lower_program(p2)["main"])
+        assert c1 == c2
+
+    def test_hot_field_has_more_samples(self):
+        p = Program.from_source(SRC)
+        fb = collect_feedback(p, pmu_period=4)
+        hot = fb.field_samples.get(("t", "hot"))
+        cold = fb.field_samples.get(("t", "cold"))
+        assert hot is not None
+        assert hot.accesses > (cold.accesses if cold else 0)
+
+    def test_dmiss_dlat_views(self):
+        p = Program.from_source(SRC)
+        fb = collect_feedback(p, pmu_period=4)
+        dm = fb.dmiss_for("t")
+        dl = fb.dlat_for("t")
+        assert set(dm) <= {"hot", "cold"}
+        assert all(v >= 0 for v in dm.values())
+        assert all(v >= 0 for v in dl.values())
+
+    def test_uninstrumented_sampling_close_to_instrumented(self):
+        """DMISS vs DMISS.NO: instrumentation barely perturbs sampling
+        (the paper reports correlation 0.996)."""
+        from repro.profit import correlation as corr
+        p1 = Program.from_source(SRC)
+        fb_i = collect_feedback(p1, pmu_period=4)
+        p2 = Program.from_source(SRC)
+        fb_n = sample_uninstrumented(p2, pmu_period=4)
+        a = fb_i.dmiss_for("t")
+        b = fb_n.dmiss_for("t")
+        keys = set(a) & set(b)
+        if len(keys) >= 2:
+            assert corr({k: a[k] for k in keys},
+                        {k: b[k] for k in keys}) > 0.9
+
+    def test_instrumented_run_is_slower(self):
+        p1 = Program.from_source(SRC)
+        fb_i = collect_feedback(p1)
+        p2 = Program.from_source(SRC)
+        fb_n = sample_uninstrumented(p2, pmu_period=16)
+        assert fb_i.instrumented_cycles > fb_n.instrumented_cycles

@@ -1,0 +1,133 @@
+"""Extra failure-injection and edge-case tests across modules."""
+
+import pytest
+
+from repro.frontend import Program, ParseError, SemaError, LexError
+from repro.runtime import run_program, Machine, CompiledProgram
+from repro.runtime.codegen import CompileError
+from repro.transform import retype, program_sources
+from repro.workloads.base import render
+
+
+class TestRenderer:
+    def test_substitution(self):
+        assert render("x = @a@ + @b@;", {"a": 1, "b": 2}) == \
+            "x = 1 + 2;"
+
+    def test_unsubstituted_placeholder_raises(self):
+        with pytest.raises(KeyError):
+            render("x = @missing@;", {})
+
+    def test_no_placeholders_passthrough(self):
+        assert render("a % b", {}) == "a % b"
+
+
+class TestFrontendErrorPaths:
+    def test_lex_error_propagates(self):
+        with pytest.raises(LexError):
+            Program.from_source("int main() { return `; }")
+
+    def test_parse_error_propagates(self):
+        with pytest.raises(ParseError):
+            Program.from_source("int main( { return 0; }")
+
+    def test_sema_error_propagates(self):
+        with pytest.raises(SemaError):
+            Program.from_source("int main() { return ghost; }")
+
+    def test_break_outside_loop(self):
+        from repro.ir import lower_function
+        p = Program.from_source("int f() { break; return 0; }")
+        with pytest.raises(ValueError):
+            lower_function(p.function("f"))
+
+
+class TestRuntimeEdgeCases:
+    def test_program_without_main_rejected(self):
+        p = Program.from_source("int helper() { return 1; }")
+        m = Machine()
+        compiled = CompiledProgram(p, m)
+        with pytest.raises(CompileError):
+            compiled.run()
+
+    def test_alternate_entry_point(self):
+        p = Program.from_source("int helper() { return 41; }")
+        r = run_program(p, entry="helper")
+        assert r.exit_code == 41
+
+    def test_non_constant_global_init_rejected(self):
+        p = Program.from_source(
+            "int f() { return 1; } int g = f(); "
+            "int main() { return g; }")
+        with pytest.raises(CompileError):
+            run_program(p)
+
+    def test_null_function_pointer_call_exits(self):
+        p = Program.from_source(
+            "int (*fp)(void);"
+            "int main() { return fp(); }")
+        r = run_program(p)
+        assert r.exit_code == 127
+
+    def test_deep_recursion_within_limits(self):
+        p = Program.from_source(
+            "long down(long n) { if (n == 0) return 0; "
+            "return down(n - 1) + 1; }"
+            "int main() { printf(\"%ld\", down(200)); return 0; }")
+        assert run_program(p).stdout == "200"
+
+    def test_struct_local_reset_between_calls(self):
+        # stack addresses are reused: each call re-initializes
+        p = Program.from_source("""
+        long probe(long v) {
+            struct box { long slot; } b;
+            b.slot = v;
+            return b.slot;
+        }
+        int main() {
+            printf("%ld %ld", probe(1), probe(2));
+            return 0;
+        }
+        """)
+        assert run_program(p).stdout == "1 2"
+
+    def test_global_pointer_to_struct_array_of_arrays(self):
+        p = Program.from_source("""
+        struct cell { long grid[4]; };
+        struct cell *c;
+        int main() {
+            c = (struct cell*) malloc(2 * sizeof(struct cell));
+            c[1].grid[3] = 9;
+            printf("%ld", c[1].grid[3]);
+            return 0;
+        }
+        """)
+        assert run_program(p).stdout == "9"
+
+    def test_ternary_as_call_argument(self, ):
+        p = Program.from_source("""
+        int pick(int v) { return v * 10; }
+        int main() {
+            int x = 1;
+            printf("%d", pick(x ? 3 : 4));
+            return 0;
+        }
+        """)
+        assert run_program(p).stdout == "30"
+
+
+class TestRetypeEdgeCases:
+    def test_retype_empty_record_skipped(self):
+        p = Program.from_source(
+            "struct fwd; struct use_ { long v; }; "
+            "int main() { struct use_ u; u.v = 1; return (int) u.v; }")
+        p2 = retype(p.units, p.records)
+        assert run_program(p2).exit_code == 1
+
+    def test_program_sources_stable_names(self):
+        p = Program.from_sources([
+            ("alpha.c", "int main() { return 0; }"),
+            ("beta.c", "int side(void) { return 1; }"),
+        ])
+        names = [n for n, _ in program_sources(p)]
+        assert names == ["alpha.c", "beta.c"]

@@ -1,0 +1,195 @@
+"""CFG lowering, dominators, loop nesting, and call graph tests."""
+
+from repro.frontend import Program
+from repro.ir import (
+    lower_function, lower_program, immediate_dominators, dominates,
+    find_loops, build_call_graph,
+)
+
+
+def cfg_of(src, name="f"):
+    return lower_function(Program.from_source(src).function(name))
+
+
+class TestLowering:
+    def test_straight_line_single_path(self):
+        cfg = cfg_of("int f() { int a = 1; int b = 2; return a + b; }")
+        blocks = cfg.reachable_blocks()
+        assert cfg.entry in blocks
+        # one path entry -> body -> exit
+        assert any(b.is_return for b in blocks)
+
+    def test_if_produces_branch(self):
+        cfg = cfg_of("int f(int x) { if (x) return 1; return 2; }")
+        branches = [b for b in cfg.blocks if b.term
+                    and b.term[0] == "branch"]
+        assert len(branches) == 1
+        kinds = {e.kind for e in branches[0].succs}
+        assert kinds == {"true", "false"}
+
+    def test_while_has_back_edge(self):
+        cfg = cfg_of("int f(int n) { while (n > 0) n--; return n; }")
+        idom = immediate_dominators(cfg)
+        back = [e for b in cfg.blocks for e in b.succs
+                if b in idom and dominates(idom, e.dst, e.src)]
+        assert len(back) == 1
+
+    def test_for_back_edge_and_exit(self):
+        cfg = cfg_of("int f() { int i; int s = 0; "
+                     "for (i = 0; i < 4; i++) s += i; return s; }")
+        nest = find_loops(cfg)
+        assert len(nest.loops) == 1
+
+    def test_do_while(self):
+        cfg = cfg_of("int f(int n) { do { n--; } while (n > 0); "
+                     "return n; }")
+        nest = find_loops(cfg)
+        assert len(nest.loops) == 1
+
+    def test_break_leaves_loop(self):
+        cfg = cfg_of("int f() { int i = 0; while (1) { i++; "
+                     "if (i > 3) break; } return i; }")
+        nest = find_loops(cfg)
+        assert len(nest.loops) == 1
+        # the return block is outside the loop
+        ret = next(b for b in cfg.blocks if b.is_return)
+        assert ret not in nest.loops[0].blocks
+
+    def test_continue_targets_header_region(self):
+        cfg = cfg_of("int f() { int i; int s = 0; "
+                     "for (i = 0; i < 9; i++) { if (i & 1) continue; "
+                     "s += i; } return s; }")
+        nest = find_loops(cfg)
+        assert len(nest.loops) == 1
+
+    def test_unreachable_after_return(self):
+        cfg = cfg_of("int f() { return 1; return 2; }")
+        reachable = set(cfg.reachable_blocks())
+        assert len(reachable) < len(cfg.blocks)
+
+    def test_edges_balanced(self):
+        cfg = cfg_of("int f(int x) { if (x) x++; else x--; return x; }")
+        for b in cfg.reachable_blocks():
+            for e in b.succs:
+                assert e in e.dst.preds
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = cfg_of("int f(int x) { if (x) { x += 1; } "
+                     "while (x < 9) x *= 2; return x; }")
+        idom = immediate_dominators(cfg)
+        for b in cfg.reachable_blocks():
+            assert dominates(idom, cfg.entry, b)
+
+    def test_branch_sides_do_not_dominate_join(self):
+        cfg = cfg_of("int f(int x) { int y; if (x) y = 1; else y = 2; "
+                     "return y; }")
+        idom = immediate_dominators(cfg)
+        branch = next(b for b in cfg.blocks
+                      if b.term and b.term[0] == "branch")
+        t = next(e.dst for e in branch.succs if e.kind == "true")
+        ret = next(b for b in cfg.blocks if b.is_return)
+        assert not dominates(idom, t, ret)
+        assert dominates(idom, branch, ret)
+
+
+class TestLoopNest:
+    def test_nested_depth(self):
+        cfg = cfg_of(
+            "int f() { int i; int j; int s = 0;"
+            "for (i = 0; i < 3; i++)"
+            "  for (j = 0; j < 3; j++)"
+            "    s += i * j;"
+            "return s; }")
+        nest = find_loops(cfg)
+        assert sorted(l.depth for l in nest.loops) == [1, 2]
+        inner = next(l for l in nest.loops if l.depth == 2)
+        outer = next(l for l in nest.loops if l.depth == 1)
+        assert inner.parent is outer
+        assert inner in outer.children
+
+    def test_sibling_loops(self):
+        cfg = cfg_of(
+            "int f() { int i; int s = 0;"
+            "for (i = 0; i < 3; i++) s++;"
+            "for (i = 0; i < 5; i++) s--;"
+            "return s; }")
+        nest = find_loops(cfg)
+        assert len(nest.loops) == 2
+        assert all(l.depth == 1 for l in nest.loops)
+
+    def test_straight_line_blocks(self):
+        cfg = cfg_of("int f() { int i; int s = 0; "
+                     "for (i = 0; i < 3; i++) s++; return s; }")
+        nest = find_loops(cfg)
+        straight = nest.straight_line_blocks()
+        assert cfg.entry in straight
+
+    def test_fp_loop_detection(self):
+        p = Program.from_source(
+            "double f() { double s = 0.0; int i; "
+            "for (i = 0; i < 9; i++) s += 0.5; return s; }\n"
+            "int g() { int s = 0; int i; "
+            "for (i = 0; i < 9; i++) s += 2; return s; }")
+        fp = find_loops(lower_function(p.function("f")))
+        iv = find_loops(lower_function(p.function("g")))
+        assert fp.loops[0].is_fp_loop()
+        assert not iv.loops[0].is_fp_loop()
+
+    def test_block_loop_mapping(self):
+        cfg = cfg_of("int f() { int i; int s = 0; "
+                     "while (s < 5) { s++; } return s; }")
+        nest = find_loops(cfg)
+        loop = nest.loops[0]
+        assert nest.loop_of(loop.header) is loop
+        assert nest.depth_of(loop.header) == 1
+        assert nest.depth_of(cfg.entry) == 0
+
+
+SRC_CG = """
+int leaf(int x) { return x + 1; }
+int middle(int x) { return leaf(x) + leaf(x + 1); }
+int rec_a(int x);
+int rec_b(int x) { if (x <= 0) return 0; return rec_a(x - 1); }
+int rec_a(int x) { return rec_b(x) + 1; }
+int main() { return middle(2) + rec_a(3) + abs(-1); }
+"""
+
+
+class TestCallGraph:
+    def setup_method(self):
+        self.p = Program.from_source(SRC_CG)
+        self.cfgs = lower_program(self.p)
+        self.cg = build_call_graph(self.cfgs, self.p)
+
+    def test_direct_edges(self):
+        assert "leaf" in self.cg.callees("middle")
+        assert set(self.cg.callers("leaf")) == {"middle"}
+
+    def test_recursive_scc(self):
+        assert self.cg.is_recursive("rec_a")
+        assert self.cg.is_recursive("rec_b")
+        assert not self.cg.is_recursive("leaf")
+
+    def test_builtin_sites_flagged(self):
+        builtins = {s.callee for s in self.cg.builtin_sites()}
+        assert "abs" in builtins
+
+    def test_topo_order_callers_first(self):
+        order = self.cg.topo_order()
+        flat = []
+        for scc in order:
+            flat.extend(scc)
+        assert flat.index("main") < flat.index("middle") \
+            < flat.index("leaf")
+
+    def test_sites_in(self):
+        assert len(self.cg.sites_in("middle")) == 2
+
+    def test_indirect_call_detected(self):
+        p = Program.from_source(
+            "int cb(int x) { return x; } int (*fp)(int);"
+            "int main() { fp = cb; return fp(3); }")
+        cg = build_call_graph(lower_program(p), p)
+        assert len(cg.indirect_sites()) == 1

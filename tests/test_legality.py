@@ -1,0 +1,269 @@
+"""Legality analysis tests: each of the paper's §2.2 tests in isolation,
+plus the tolerances (allocator casts, &field in call args)."""
+
+from repro.frontend import Program
+from repro.analysis import (
+    analyze_legality, analyze_escapes, SMAL_THRESHOLD,
+)
+
+
+def legality(src):
+    p = Program.from_source(src)
+    leg = analyze_legality(p)
+    analyze_escapes(p, leg)
+    return leg
+
+
+BASE = """
+struct t { long a; long b; };
+struct t *g;
+int main() {
+    g = (struct t*) malloc(16 * sizeof(struct t));
+    g[0].a = 1;
+    %s
+    return 0;
+}
+"""
+
+
+class TestIndividualReasons:
+    def test_clean_type_is_legal(self):
+        leg = legality(BASE % "")
+        assert leg.info("t").is_legal()
+        assert leg.info("t").invalid_reasons == set()
+
+    def test_cstt_cast_to(self):
+        leg = legality(BASE %
+                       "long buf[8]; struct t *p = (struct t*) buf;"
+                       "p->a = 2;")
+        assert leg.info("t").invalid_reasons == {"CSTT"}
+
+    def test_cstf_cast_from(self):
+        leg = legality(BASE % "long *raw = (long*) g; raw[0] = 1;")
+        assert leg.info("t").invalid_reasons == {"CSTF"}
+
+    def test_atkn_address_of_field(self):
+        leg = legality(BASE % "long *p = &g[1].b; p[0] = 3;")
+        assert leg.info("t").invalid_reasons == {"ATKN"}
+        assert leg.info("t").address_taken_fields == {"b"}
+
+    def test_atkn_tolerated_in_call_argument(self):
+        src = """
+        struct t { long a; long b; };
+        struct t *g;
+        void sink(long *p) { p[0] = 1; }
+        int main() {
+            g = (struct t*) malloc(4 * sizeof(struct t));
+            sink(&g[0].b);
+            return 0;
+        }
+        """
+        leg = legality(src)
+        assert leg.info("t").is_legal()
+
+    def test_libc_escape(self):
+        leg = legality(BASE % "fwrite(g, sizeof(struct t), 16, NULL);")
+        assert "LIBC" in leg.info("t").invalid_reasons
+
+    def test_ind_escape_to_indirect_call(self):
+        src = """
+        struct t { long a; };
+        struct t *g;
+        void handler(struct t *p) { p->a = 1; }
+        void (*fp)(struct t*);
+        int main() {
+            g = (struct t*) malloc(4 * sizeof(struct t));
+            fp = handler;
+            fp(g);
+            return 0;
+        }
+        """
+        leg = legality(src)
+        assert "IND" in leg.info("t").invalid_reasons
+
+    def test_mset_memset(self):
+        leg = legality(BASE % "memset(g, 0, 16 * sizeof(struct t));")
+        assert "MSET" in leg.info("t").invalid_reasons
+
+    def test_mset_memcpy(self):
+        leg = legality(
+            BASE % "struct t *h = (struct t*) malloc(16 * "
+                   "sizeof(struct t)); "
+                   "memcpy(h, g, 16 * sizeof(struct t)); h[0].a = 1;")
+        assert "MSET" in leg.info("t").invalid_reasons
+
+    def test_smal_single_object(self):
+        leg = legality("""
+        struct t { long a; };
+        struct t *g;
+        int main() {
+            g = (struct t*) malloc(sizeof(struct t));
+            g->a = 1;
+            return 0;
+        }
+        """)
+        assert "SMAL" in leg.info("t").invalid_reasons
+        assert SMAL_THRESHOLD == 2
+
+    def test_smal_not_applied_to_large_constant(self):
+        leg = legality(BASE % "")
+        assert "SMAL" not in leg.info("t").invalid_reasons
+
+    def test_smal_unknown_count_tolerated(self):
+        leg = legality("""
+        struct t { long a; };
+        struct t *g;
+        int main(){
+            long n = 20;
+            g = (struct t*) malloc(n * sizeof(struct t));
+            g[3].a = 1;
+            return 0;
+        }
+        """)
+        assert "SMAL" not in leg.info("t").invalid_reasons
+
+    def test_nest_both_types_marked(self):
+        leg = legality("""
+        struct in_ { long x; };
+        struct out_ { struct in_ nested; long y; };
+        int main() { struct out_ v; v.y = 1; v.nested.x = 2;
+                     return (int) v.y; }
+        """)
+        assert "NEST" in leg.info("in_").invalid_reasons
+        assert "NEST" in leg.info("out_").invalid_reasons
+
+    def test_escp_outside_scope(self):
+        src = """
+        struct t { long a; };
+        struct t *g;
+        void external_sink(struct t *p);
+        int main() {
+            g = (struct t*) malloc(4 * sizeof(struct t));
+            external_sink(g);
+            return 0;
+        }
+        """
+        leg = legality(src)
+        assert "ESCP" in leg.info("t").invalid_reasons
+
+    def test_escape_to_defined_function_ok(self):
+        src = """
+        struct t { long a; };
+        struct t *g;
+        void local_sink(struct t *p) { p->a = 1; }
+        int main() {
+            g = (struct t*) malloc(4 * sizeof(struct t));
+            local_sink(g);
+            return 0;
+        }
+        """
+        leg = legality(src)
+        assert leg.info("t").is_legal()
+        assert "local_sink" in leg.info("t").escapes_to
+
+    def test_alloc_cast_is_tolerated(self):
+        leg = legality(BASE % "")
+        assert "CSTT" not in leg.info("t").invalid_reasons
+
+    def test_null_cast_tolerated(self):
+        leg = legality(BASE % "struct t *p = (struct t*) NULL; "
+                              "if (p == NULL) g[1].a = 1;")
+        assert leg.info("t").is_legal()
+
+
+class TestRelaxation:
+    def test_relax_tolerates_the_trio(self):
+        src = """
+        struct c1 { long a; };
+        struct c2 { long a; };
+        struct c3 { long a; };
+        struct c1 *g1;
+        struct c2 *g2;
+        struct c3 *g3;
+        int main() {
+            g1 = (struct c1*) malloc(8 * sizeof(struct c1));
+            g2 = (struct c2*) malloc(8 * sizeof(struct c2));
+            g3 = (struct c3*) malloc(8 * sizeof(struct c3));
+            long buf[4];
+            struct c1 *p = (struct c1*) buf;   // CSTT
+            p->a = 1;
+            long *raw = (long*) g2;            // CSTF
+            raw[0] = 2;
+            long *pf = &g3[0].a;               // ATKN
+            pf[0] = 3;
+            return 0;
+        }
+        """
+        leg = legality(src)
+        assert len(leg.legal_types()) == 0
+        assert len(leg.legal_types(relaxed=True)) == 3
+
+    def test_relax_does_not_tolerate_hard_reasons(self):
+        leg = legality(BASE % "fwrite(g, sizeof(struct t), 16, NULL);")
+        assert not leg.info("t").is_legal(relaxed=True)
+
+    def test_counts(self):
+        leg = legality(BASE % "long *raw = (long*) g; raw[0] = 1;")
+        assert leg.counts() == (1, 0, 1)
+
+
+class TestAttributes:
+    def test_alloc_site_recorded(self):
+        leg = legality(BASE % "")
+        info = leg.info("t")
+        assert info.allocated
+        assert info.alloc_sites[0].count == 16
+        assert info.alloc_sites[0].kind == "malloc"
+
+    def test_calloc_count(self):
+        leg = legality("""
+        struct t { long a; };
+        struct t *g;
+        int main() {
+            g = (struct t*) calloc(32, sizeof(struct t));
+            g[0].a = 1; return 0;
+        }
+        """)
+        assert leg.info("t").alloc_sites[0].count == 32
+
+    def test_sizeof_first_operand(self):
+        leg = legality("""
+        struct t { long a; };
+        struct t *g;
+        int main() {
+            g = (struct t*) malloc(sizeof(struct t) * 12);
+            g[0].a = 1; return 0;
+        }
+        """)
+        assert leg.info("t").alloc_sites[0].count == 12
+
+    def test_freed_flag(self):
+        leg = legality(BASE % "free(g);")
+        assert leg.info("t").freed
+
+    def test_realloc_flag(self):
+        leg = legality(
+            BASE % "g = (struct t*) realloc(g, 32 * sizeof(struct t));")
+        assert leg.info("t").realloced
+
+    def test_global_pointer_attribute(self):
+        leg = legality(BASE % "")
+        info = leg.info("t")
+        assert info.has_global_ptr
+        assert [s.name for s in info.global_ptr_symbols] == ["g"]
+        assert "GPTR" in info.attributes()
+
+    def test_local_var_attribute(self):
+        leg = legality("""
+        struct t { long a; };
+        int main() { struct t v; v.a = 1; return (int) v.a; }
+        """)
+        assert leg.info("t").has_local_var
+
+    def test_static_array_attribute(self):
+        leg = legality("""
+        struct t { long a; };
+        struct t table[4];
+        int main() { table[0].a = 1; return 0; }
+        """)
+        assert leg.info("t").has_static_array

@@ -1,0 +1,206 @@
+"""Simulated memory and heap allocator tests (with hypothesis)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.memory import Memory, MemoryError_, HEAP_BASE
+
+
+class TestCells:
+    def test_unwritten_reads_zero(self):
+        m = Memory()
+        assert m.load(0x5000) == 0
+
+    def test_store_load_roundtrip(self):
+        m = Memory()
+        m.store(0x5000, 42)
+        m.store(0x5008, 2.5)
+        assert m.load(0x5000) == 42
+        assert m.load(0x5008) == 2.5
+
+    def test_bit_cells_independent(self):
+        m = Memory()
+        m.store_bits(0x100, 0, 3)
+        m.store_bits(0x100, 3, 7)
+        assert m.load_bits(0x100, 0) == 3
+        assert m.load_bits(0x100, 3) == 7
+        assert m.load(0x100) == 0
+
+
+class TestAllocator:
+    def test_malloc_returns_aligned(self):
+        m = Memory()
+        for size in (1, 7, 33, 100):
+            addr = m.malloc(size)
+            assert addr % 16 == 0
+            assert addr >= HEAP_BASE
+
+    def test_allocations_disjoint(self):
+        m = Memory()
+        a = m.malloc(64)
+        b = m.malloc(64)
+        assert b >= a + 64 or a >= b + 64
+
+    def test_free_and_reuse(self):
+        m = Memory()
+        a = m.malloc(128)
+        m.free(a)
+        b = m.malloc(128)
+        assert b == a     # exact-size free list reuse
+
+    def test_reuse_clears_stale_cells(self):
+        m = Memory()
+        a = m.malloc(64)
+        m.store(a + 8, 99)
+        m.free(a)
+        b = m.malloc(64)
+        assert m.load(b + 8) == 0
+
+    def test_double_free_raises(self):
+        m = Memory()
+        a = m.malloc(16)
+        m.free(a)
+        with pytest.raises(MemoryError_):
+            m.free(a)
+
+    def test_invalid_free_raises(self):
+        m = Memory()
+        with pytest.raises(MemoryError_):
+            m.free(0x1234)
+
+    def test_free_null_is_noop(self):
+        Memory().free(0)
+
+    def test_calloc_reads_zero(self):
+        m = Memory()
+        a = m.calloc(4, 8)
+        assert all(m.load(a + i * 8) == 0 for i in range(4))
+
+    def test_realloc_preserves_prefix(self):
+        m = Memory()
+        a = m.malloc(32)
+        m.store(a, 11)
+        m.store(a + 24, 22)
+        b = m.realloc(a, 64)
+        assert m.load(b) == 11
+        assert m.load(b + 24) == 22
+
+    def test_realloc_shrink_drops_tail(self):
+        m = Memory()
+        a = m.malloc(32)
+        m.store(a + 24, 5)
+        b = m.realloc(a, 16)
+        assert m.load(b + 24) == 0
+
+    def test_realloc_null_is_malloc(self):
+        m = Memory()
+        assert m.realloc(0, 32) >= HEAP_BASE
+
+    def test_stats(self):
+        m = Memory()
+        a = m.malloc(10)
+        m.free(a)
+        assert m.alloc_count == 1
+        assert m.free_count == 1
+        assert m.bytes_allocated == 10
+
+
+class TestStreamingOps:
+    def test_memset_zero_clears(self):
+        m = Memory()
+        a = m.malloc(64)
+        m.store(a + 8, 7)
+        m.memset(a, 0, 64)
+        assert m.load(a + 8) == 0
+
+    def test_memset_nonzero_fills_bytes(self):
+        m = Memory()
+        a = m.malloc(8)
+        m.memset(a, 0xAB, 4)
+        assert m.load(a + 3) == 0xAB
+        assert m.load(a + 4) == 0
+
+    def test_memcpy_copies_cells(self):
+        m = Memory()
+        src = m.malloc(32)
+        dst = m.malloc(32)
+        m.store(src, 1)
+        m.store(src + 16, 2.5)
+        m.memcpy(dst, src, 32)
+        assert m.load(dst) == 1
+        assert m.load(dst + 16) == 2.5
+
+    def test_memcpy_overwrites_destination(self):
+        m = Memory()
+        src = m.malloc(16)
+        dst = m.malloc(16)
+        m.store(dst + 8, 42)
+        m.memcpy(dst, src, 16)
+        assert m.load(dst + 8) == 0
+
+
+class TestSegments:
+    def test_segments_disjoint(self):
+        m = Memory()
+        g = m.alloc_global(100)
+        r = m.alloc_rodata("hi")
+        c = m.alloc_counter()
+        h = m.malloc(100)
+        values = sorted([g, r, c, h])
+        assert values == [g, r, h, c]
+
+    def test_read_string(self):
+        m = Memory()
+        a = m.alloc_rodata("hello")
+        assert m.read_string(a) == "hello"
+
+    def test_read_string_from_cells(self):
+        m = Memory()
+        a = m.malloc(8)
+        for i, ch in enumerate("abc"):
+            m.store(a + i, ord(ch))
+        assert m.read_string(a) == "abc"
+
+
+# ---------------------------------------------------------------------------
+# Property-based allocator invariants
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=1, max_value=256), min_size=1,
+                max_size=40))
+def test_live_allocations_never_overlap(sizes):
+    m = Memory()
+    live = []
+    for i, size in enumerate(sizes):
+        addr = m.malloc(size)
+        live.append((addr, size))
+        if i % 3 == 2:           # free every third allocation
+            a, _ = live.pop(0)
+            m.free(a)
+    spans = sorted((a, a + s) for a, s in live)
+    for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+@given(st.lists(st.tuples(st.integers(0, 63),
+                          st.integers(-1000, 1000)), max_size=30))
+def test_store_load_consistency(writes):
+    m = Memory()
+    base = m.malloc(64)
+    shadow = {}
+    for off, value in writes:
+        m.store(base + off, value)
+        shadow[off] = value
+    for off, value in shadow.items():
+        assert m.load(base + off) == value
+
+
+@given(st.integers(1, 128), st.integers(1, 128))
+def test_realloc_roundtrip(size1, size2):
+    m = Memory()
+    a = m.malloc(size1)
+    m.store(a, 123)
+    b = m.realloc(a, size2)
+    assert m.load(b) == 123
+    alloc = m.allocation_at(b)
+    assert alloc is not None and alloc.live

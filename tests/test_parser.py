@@ -1,0 +1,283 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.parser import parse, parse_expr, ParseError
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_parens_override(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_left_associativity(self):
+        e = parse_expr("a - b - c")
+        assert e.op == "-"
+        assert isinstance(e.left, ast.Binary) and e.left.op == "-"
+
+    def test_assignment_right_associative(self):
+        e = parse_expr("a = b = c")
+        assert isinstance(e, ast.Assign)
+        assert isinstance(e.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        e = parse_expr("a += 2")
+        assert isinstance(e, ast.Assign) and e.op == "+="
+
+    def test_conditional(self):
+        e = parse_expr("a ? b : c")
+        assert isinstance(e, ast.Conditional)
+
+    def test_nested_conditional_right_assoc(self):
+        e = parse_expr("a ? b : c ? d : e")
+        assert isinstance(e.els, ast.Conditional)
+
+    def test_comma_expression(self):
+        e = parse_expr("a, b, c")
+        assert isinstance(e, ast.Comma)
+        assert len(e.parts) == 3
+
+    def test_unary_chain(self):
+        e = parse_expr("!*&x")
+        assert isinstance(e, ast.Unary) and e.op == "!"
+        assert e.operand.op == "*"
+        assert e.operand.operand.op == "&"
+
+    def test_postfix_incr(self):
+        e = parse_expr("x++")
+        assert isinstance(e, ast.Unary) and e.op == "p++"
+
+    def test_prefix_incr(self):
+        e = parse_expr("++x")
+        assert e.op == "++"
+
+    def test_member_chain(self):
+        e = parse_expr("a.b->c")
+        assert isinstance(e, ast.Member) and e.name == "c" and e.arrow
+        assert isinstance(e.base, ast.Member) and not e.base.arrow
+
+    def test_index_and_call(self):
+        e = parse_expr("f(1, 2)[3]")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.base, ast.Call)
+        assert len(e.base.args) == 2
+
+    def test_call_no_args(self):
+        e = parse_expr("f()")
+        assert isinstance(e, ast.Call) and e.args == []
+
+    def test_callee_name(self):
+        assert parse_expr("foo(1)").callee_name == "foo"
+        assert parse_expr("(*fp)(1)").callee_name is None
+
+    def test_null_literal(self):
+        assert isinstance(parse_expr("NULL"), ast.NullLit)
+
+    def test_string_literal(self):
+        e = parse_expr('"hi"')
+        assert isinstance(e, ast.StrLit) and e.value == "hi"
+
+    def test_logical_operators(self):
+        e = parse_expr("a && b || c")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_shift_precedence(self):
+        e = parse_expr("a + b << c")
+        assert e.op == "<<"
+
+    def test_error_on_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 +")
+
+
+class TestCastsAndSizeof:
+    def test_sizeof_type(self):
+        unit = parse("struct s { int x; }; long n = sizeof(struct s);")
+        init = unit.globals()[0].init
+        assert isinstance(init, ast.SizeofType)
+
+    def test_sizeof_expr(self):
+        e = parse_expr("sizeof x")
+        assert isinstance(e, ast.SizeofExpr)
+
+    def test_cast_basic(self):
+        e = parse_expr("(int) 3.5")
+        assert isinstance(e, ast.Cast)
+        assert str(e.to) == "int"
+
+    def test_cast_pointer(self):
+        unit = parse("struct s { int x; }; "
+                     "int f() { int y = ((struct s*) 0) == NULL; "
+                     "return y; }")
+        assert unit is not None
+
+    def test_paren_expr_not_cast(self):
+        e = parse_expr("(a) + 1")
+        assert isinstance(e, ast.Binary)
+
+
+class TestDeclarations:
+    def test_struct_definition(self):
+        unit = parse("struct p { int x; double y; };")
+        rec = unit.records()[0]
+        assert rec.name == "p"
+        assert rec.field_names() == ["x", "y"]
+
+    def test_struct_pointer_field(self):
+        unit = parse("struct n { struct n *next; long v; };")
+        rec = unit.records()[0]
+        assert rec.field("next").type.is_pointer()
+
+    def test_bitfield_parsing(self):
+        unit = parse("struct b { int x : 3; int y : 5; };")
+        rec = unit.records()[0]
+        assert rec.field("x").bit_width == 3
+
+    def test_typedef(self):
+        unit = parse("typedef struct q q_t; struct q { int v; }; "
+                     "q_t *g;")
+        g = unit.globals()[0]
+        assert g.decl_type.is_pointer()
+
+    def test_typedef_scalar(self):
+        unit = parse("typedef long size_type; size_type n;")
+        assert unit.globals()[0].decl_type.strip().size == 8
+
+    def test_global_array(self):
+        unit = parse("int table[16];")
+        t = unit.globals()[0].decl_type
+        assert t.is_array() and t.length == 16
+
+    def test_two_dimensional_array(self):
+        unit = parse("int grid[4][8];")
+        t = unit.globals()[0].decl_type
+        assert t.size == 4 * 8 * 4
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, b, c;")
+        assert [g.name for g in unit.globals()] == ["a", "b", "c"]
+
+    def test_global_with_init(self):
+        unit = parse("int x = 42;")
+        assert unit.globals()[0].init.value == 42
+
+    def test_static_global(self):
+        unit = parse("static int hidden;")
+        assert unit.globals()[0].is_static
+
+    def test_function_pointer_global(self):
+        unit = parse("void (*handler)(int);")
+        t = unit.globals()[0].decl_type
+        assert t.is_pointer() and t.pointee.is_function()
+
+    def test_function_prototype(self):
+        unit = parse("int add(int a, int b);")
+        fns = [d for d in unit.decls if isinstance(d, ast.FunctionDef)]
+        assert len(fns) == 1 and not fns[0].is_definition
+
+    def test_function_returning_pointer(self):
+        unit = parse("struct s { int x; }; "
+                     "struct s *get(void) { return NULL; }")
+        fn = unit.functions()[0]
+        assert fn.ret_type.is_pointer()
+
+    def test_void_param_list(self):
+        unit = parse("int f(void) { return 0; }")
+        assert unit.functions()[0].params == []
+
+    def test_array_param_decays(self):
+        unit = parse("long total(long v[10]) { return v[0]; }")
+        assert unit.functions()[0].params[0].type.is_pointer()
+
+    def test_struct_redefinition_raises(self):
+        with pytest.raises(ParseError):
+            parse("struct s { int x; }; struct s { int y; };")
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ParseError):
+            parse("unknown_t x;")
+
+
+class TestStatements:
+    def source_fn(self, body):
+        return parse("int f() {" + body + "}").functions()[0]
+
+    def test_if_else(self):
+        fn = self.source_fn("if (1) return 2; else return 3;")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, ast.If) and stmt.els is not None
+
+    def test_dangling_else_binds_inner(self):
+        fn = self.source_fn("if (1) if (2) return 1; else return 2; "
+                            "return 0;")
+        outer = fn.body.stmts[0]
+        assert outer.els is None
+        assert outer.then.els is not None
+
+    def test_while(self):
+        fn = self.source_fn("while (1) break;")
+        assert isinstance(fn.body.stmts[0], ast.While)
+
+    def test_do_while(self):
+        fn = self.source_fn("do { } while (0);")
+        assert isinstance(fn.body.stmts[0], ast.DoWhile)
+
+    def test_for_full(self):
+        fn = self.source_fn("int i; for (i = 0; i < 10; i++) continue;")
+        stmt = fn.body.stmts[1]
+        assert isinstance(stmt, ast.For)
+        assert stmt.cond is not None and stmt.step is not None
+
+    def test_for_with_decl(self):
+        fn = self.source_fn("for (int i = 0; i < 3; i++) { }")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt.init, ast.DeclStmt)
+
+    def test_for_empty_clauses(self):
+        fn = self.source_fn("for (;;) break;")
+        stmt = fn.body.stmts[0]
+        assert stmt.init is None and stmt.cond is None
+
+    def test_local_decl_with_init(self):
+        fn = self.source_fn("int x = 5; return x;")
+        decl = fn.body.stmts[0]
+        assert isinstance(decl, ast.DeclStmt) and decl.init.value == 5
+
+    def test_multi_decl_statement(self):
+        fn = self.source_fn("int a = 1, b = 2; return a + b;")
+        assert isinstance(fn.body.stmts[0], ast.DeclStmt)
+        assert isinstance(fn.body.stmts[1], ast.DeclStmt)
+
+    def test_empty_statement(self):
+        fn = self.source_fn("; return 0;")
+        assert len(fn.body.stmts) == 1
+
+    def test_return_void(self):
+        fn = parse("void f() { return; }").functions()[0]
+        assert fn.body.stmts[0].value is None
+
+
+class TestTraversalHelpers:
+    def test_walk_expr_counts(self):
+        e = parse_expr("a + b * c")
+        assert len(list(ast.walk_expr(e))) == 5
+
+    def test_function_exprs(self):
+        fn = parse("int f(int x) { if (x) return x + 1; return 0; }") \
+            .functions()[0]
+        nodes = list(ast.function_exprs(fn))
+        assert any(isinstance(n, ast.Binary) for n in nodes)
+
+    def test_walk_stmts(self):
+        fn = parse("int f() { while (1) { if (0) break; } return 0; }") \
+            .functions()[0]
+        kinds = {type(s).__name__ for s in ast.walk_stmts(fn.body)}
+        assert {"Block", "While", "If", "Break", "Return"} <= kinds

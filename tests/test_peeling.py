@@ -1,0 +1,213 @@
+"""Structure peeling tests: legality checking, rewriting, semantics."""
+
+import pytest
+
+from repro.frontend import Program
+from repro.runtime import run_program
+from repro.transform import (
+    PeelSpec, peel_structure, check_peelable, TransformError,
+)
+
+SRC = """
+struct rec { double a; double b; long c; };
+struct rec *P;
+int main() {
+    int i; double s = 0.0;
+    P = (struct rec*) malloc(40 * sizeof(struct rec));
+    for (i = 0; i < 40; i++) {
+        P[i].a = i * 0.5;
+        P[i].b = i * 0.25;
+        P[i].c = i;
+    }
+    for (i = 0; i < 40; i++) s += P[i].a * P[i].b + (double) P[i].c;
+    free(P);
+    printf("%.2f", s);
+    return 0;
+}
+"""
+
+
+def peel(src=SRC, groups=(("a",), ("b",), ("c",)), dead=(), rec="rec",
+         ptr="P"):
+    p = Program.from_source(src)
+    spec = PeelSpec(record=p.record(rec), pointer=ptr,
+                    groups=[list(g) for g in groups],
+                    dead_fields=list(dead))
+    return p, peel_structure(p, spec)
+
+
+class TestSemantics:
+    def test_per_field_peel_preserves_output(self):
+        p, p2 = peel()
+        assert run_program(p).stdout == run_program(p2).stdout
+
+    def test_grouped_peel_preserves_output(self):
+        p, p2 = peel(groups=(("a", "b"), ("c",)))
+        assert run_program(p).stdout == run_program(p2).stdout
+
+    def test_pointer_plus_index_form(self):
+        src = """
+        struct rec { long x; long y; };
+        struct rec *P;
+        int main() {
+            int i; long s = 0;
+            P = (struct rec*) malloc(10 * sizeof(struct rec));
+            for (i = 0; i < 10; i++) { (P + i)->x = i; (P + i)->y = 1; }
+            for (i = 0; i < 10; i++) s += (P + i)->x * (P + i)->y;
+            printf("%ld", s);
+            return 0;
+        }
+        """
+        p, p2 = peel(src, groups=(("x",), ("y",)))
+        assert run_program(p).stdout == run_program(p2).stdout
+
+    def test_dead_fields_dropped(self):
+        src = SRC.replace("P[i].c = i;", "P[i].c = i;  // dead now") \
+            .replace("+ (double) P[i].c", "")
+        p, p2 = peel(src, groups=(("a",), ("b",)), dead=("c",))
+        assert run_program(p).stdout == run_program(p2).stdout
+        assert "rec__p0" in p2.records
+        assert all(not r.has_field("c") for r in p2.record_types()
+                   if r.name.startswith("rec__"))
+
+    def test_multiple_allocations(self):
+        src = """
+        struct rec { long x; long y; };
+        struct rec *P;
+        int main() {
+            int i; long s = 0;
+            P = (struct rec*) malloc(8 * sizeof(struct rec));
+            for (i = 0; i < 8; i++) P[i].x = i;
+            free(P);
+            P = (struct rec*) malloc(16 * sizeof(struct rec));
+            for (i = 0; i < 16; i++) { P[i].x = i; P[i].y = 2 * i; }
+            for (i = 0; i < 16; i++) s += P[i].x + P[i].y;
+            printf("%ld", s);
+            return 0;
+        }
+        """
+        p, p2 = peel(src, groups=(("x",), ("y",)))
+        assert run_program(p).stdout == run_program(p2).stdout
+
+
+class TestRewriting:
+    def test_pieces_created_and_original_gone(self):
+        _, p2 = peel()
+        assert "rec__p0" in p2.records
+        assert "rec__p1" in p2.records
+        assert "rec__p2" in p2.records
+        assert not p2.records.get("rec") or \
+            not p2.records["rec"].fields
+
+    def test_pointers_created(self):
+        _, p2 = peel()
+        names = {g.name for g in p2.globals()}
+        assert {"P__p0", "P__p1", "P__p2"} <= names
+        assert "P" not in names
+
+    def test_piece_sizes(self):
+        _, p2 = peel(groups=(("a", "b"), ("c",)))
+        assert p2.record("rec__p0").size == 16
+        assert p2.record("rec__p1").size == 8
+
+
+class TestCheckPeelable:
+    def check(self, src, rec="rec", ptr="P"):
+        p = Program.from_source(src)
+        return check_peelable(p, p.record(rec), ptr)
+
+    def test_clean_program_peelable(self):
+        assert self.check(SRC) == []
+
+    def test_recursive_type_rejected(self):
+        src = """
+        struct rec { struct rec *next; long v; };
+        struct rec *P;
+        int main() {
+            P = (struct rec*) malloc(4 * sizeof(struct rec));
+            P[0].v = 1;
+            return 0;
+        }
+        """
+        problems = self.check(src)
+        assert any("recursive" in p for p in problems)
+
+    def test_second_global_pointer_rejected(self):
+        src = SRC.replace("struct rec *P;",
+                          "struct rec *P; struct rec *Q;")
+        assert any("Q" in p for p in self.check(src))
+
+    def test_local_pointer_rejected(self):
+        src = SRC.replace("int i; double s = 0.0;",
+                          "int i; double s = 0.0; struct rec *cur = P;"
+                          " if (cur != NULL) s += 1.0;")
+        assert self.check(src)
+
+    def test_function_signature_use_rejected(self):
+        src = """
+        struct rec { long v; };
+        struct rec *P;
+        void touch(struct rec *p) { p->v = 1; }
+        int main() {
+            P = (struct rec*) malloc(4 * sizeof(struct rec));
+            touch(P);
+            return 0;
+        }
+        """
+        problems = self.check(src)
+        assert any("signature" in p for p in problems)
+
+    def test_pointer_passed_to_other_call_rejected(self):
+        src = SRC.replace("free(P);",
+                          "fwrite(P, sizeof(struct rec), 40, NULL);")
+        assert self.check(src)
+
+    def test_global_struct_variable_rejected(self):
+        src = SRC.replace("struct rec *P;",
+                          "struct rec *P; struct rec fixed;")
+        assert self.check(src)
+
+    def test_peel_structure_verifies(self):
+        src = SRC.replace("struct rec *P;",
+                          "struct rec *P; struct rec *Q;")
+        p = Program.from_source(src)
+        spec = PeelSpec(record=p.record("rec"), pointer="P",
+                        groups=[["a"], ["b"], ["c"]])
+        with pytest.raises(TransformError):
+            peel_structure(p, spec)
+
+
+class TestSpecValidation:
+    def test_groups_must_partition(self):
+        p = Program.from_source(SRC)
+        with pytest.raises(TransformError):
+            PeelSpec(record=p.record("rec"), pointer="P",
+                     groups=[["a"], ["b"]])   # c missing
+
+    def test_duplicate_field_rejected(self):
+        p = Program.from_source(SRC)
+        with pytest.raises(TransformError):
+            PeelSpec(record=p.record("rec"), pointer="P",
+                     groups=[["a", "b"], ["b", "c"]])
+
+
+class TestPerformanceDirection:
+    def test_single_field_sweeps_speed_up(self):
+        src = """
+        struct rec { double a; double b; double c; double d; };
+        struct rec *P;
+        int main() {
+            int i; int it; double s = 0.0;
+            P = (struct rec*) malloc(1500 * sizeof(struct rec));
+            for (i = 0; i < 1500; i++) P[i].a = i * 0.001;
+            for (it = 0; it < 12; it++)
+                for (i = 0; i < 1500; i++)
+                    s += P[i].a;
+            printf("%.3f", s);
+            return 0;
+        }
+        """
+        p, p2 = peel(src, groups=(("a",), ("b",), ("c",), ("d",)))
+        r1, r2 = run_program(p), run_program(p2)
+        assert r1.stdout == r2.stdout
+        assert r2.cycles < r1.cycles

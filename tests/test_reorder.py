@@ -1,0 +1,98 @@
+"""Field reordering tests."""
+
+import pytest
+
+from repro.frontend import Program
+from repro.runtime import run_program
+from repro.transform import (
+    reorder_fields, reorder_record, hotness_order, affinity_packed_order,
+    TransformError,
+)
+
+SRC = """
+struct rec { char tag; double big; int mid; long wide; };
+struct rec *R;
+int main() {
+    int i; long s = 0;
+    R = (struct rec*) malloc(20 * sizeof(struct rec));
+    for (i = 0; i < 20; i++) {
+        R[i].tag = (char) i;
+        R[i].big = i * 1.5;
+        R[i].mid = -i;
+        R[i].wide = i * 7;
+    }
+    for (i = 0; i < 20; i++)
+        s += (long) R[i].tag + R[i].mid + R[i].wide + (long) R[i].big;
+    printf("%ld", s);
+    return 0;
+}
+"""
+
+
+class TestReorderRecord:
+    def test_order_applied(self):
+        p = Program.from_source(SRC)
+        rec = reorder_record(p.record("rec"),
+                             ["big", "wide", "mid", "tag"])
+        assert rec.field_names() == ["big", "wide", "mid", "tag"]
+
+    def test_reorder_can_shrink_padding(self):
+        p = Program.from_source(SRC)
+        old = p.record("rec")
+        packed = reorder_record(old, ["big", "wide", "mid", "tag"])
+        assert packed.size <= old.size
+
+    def test_bad_order_rejected(self):
+        p = Program.from_source(SRC)
+        with pytest.raises(TransformError):
+            reorder_record(p.record("rec"), ["big", "wide"])
+
+    def test_original_untouched(self):
+        p = Program.from_source(SRC)
+        old_names = p.record("rec").field_names()
+        reorder_record(p.record("rec"), list(reversed(old_names)))
+        assert p.record("rec").field_names() == old_names
+
+
+class TestReorderProgram:
+    def test_output_preserved(self):
+        p = Program.from_source(SRC)
+        p2 = reorder_fields(p, p.record("rec"),
+                            ["big", "wide", "mid", "tag"])
+        assert run_program(p).stdout == run_program(p2).stdout
+
+    def test_offsets_change(self):
+        p = Program.from_source(SRC)
+        p2 = reorder_fields(p, p.record("rec"),
+                            ["big", "wide", "mid", "tag"])
+        assert p2.record("rec").field("big").offset == 0
+        assert p.record("rec").field("big").offset != 0
+
+
+class TestOrderHeuristics:
+    def test_hotness_order_sorts_descending(self):
+        p = Program.from_source(SRC)
+        order = hotness_order(p.record("rec"),
+                              {"tag": 1.0, "big": 50.0, "mid": 10.0,
+                               "wide": 5.0})
+        assert order == ["big", "mid", "wide", "tag"]
+
+    def test_hotness_order_stable_on_ties(self):
+        p = Program.from_source(SRC)
+        order = hotness_order(p.record("rec"), {})
+        assert order == ["tag", "big", "mid", "wide"]
+
+    def test_affinity_packed_order_groups_affine(self):
+        p = Program.from_source(SRC)
+        affinity = {("big", "tag"): 100.0}
+        order = affinity_packed_order(
+            p.record("rec"),
+            {"big": 10.0, "tag": 1.0, "mid": 5.0, "wide": 4.0},
+            affinity)
+        assert order[0] == "big"
+        assert order[1] == "tag"     # pulled next by affinity
+
+    def test_affinity_packed_order_is_permutation(self):
+        p = Program.from_source(SRC)
+        order = affinity_packed_order(p.record("rec"), {}, {})
+        assert sorted(order) == sorted(p.record("rec").field_names())

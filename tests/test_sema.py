@@ -1,0 +1,174 @@
+"""Semantic analysis tests."""
+
+import pytest
+
+from repro.frontend import Program, SemaError
+from repro.frontend import ast
+
+
+def program(src):
+    return Program.from_source(src)
+
+
+def main_fn(src):
+    return program(src).function("main")
+
+
+class TestResolution:
+    def test_global_resolution(self):
+        p = program("int g; int main() { g = 1; return g; }")
+        fn = p.function("main")
+        ident = fn.body.stmts[0].expr.target
+        assert ident.symbol.kind == "global"
+
+    def test_local_shadows_global(self):
+        p = program("int x; int main() { int x = 5; return x; }")
+        ret = p.function("main").body.stmts[1]
+        assert ret.value.symbol.kind == "local"
+
+    def test_param_resolution(self):
+        p = program("int f(int a) { return a; } int main() { return 0; }")
+        ret = p.function("f").body.stmts[0]
+        assert ret.value.symbol.kind == "param"
+
+    def test_inner_scope(self):
+        fn = main_fn("int main() { { int y = 1; } int y = 2; return y; }")
+        assert fn is not None   # no redefinition error
+
+    def test_undeclared_identifier_raises(self):
+        with pytest.raises(SemaError):
+            program("int main() { return nope; }")
+
+    def test_forward_function_call(self):
+        p = program("int main() { return later(); } "
+                    "int later() { return 7; }")
+        assert p.function("main") is not None
+
+    def test_libc_functions_visible(self):
+        program("int main() { void *p = malloc(8); free(p); return 0; }")
+
+
+class TestTypes:
+    def expr_type(self, decls, expr):
+        src = decls + f"\nint main() {{ long __t = 0; __t = (long)({expr});" \
+            " return 0; }"
+        p = program(src)
+        assign = p.function("main").body.stmts[1].expr
+        return assign.value.operand.type
+
+    def test_int_literal_type(self):
+        assert str(self.expr_type("", "42")) == "int"
+
+    def test_big_literal_is_long(self):
+        assert str(self.expr_type("", "5000000000")) == "long"
+
+    def test_float_arith(self):
+        t = self.expr_type("", "1 + 2.5")
+        assert t.is_float()
+
+    def test_comparison_is_int(self):
+        assert str(self.expr_type("", "1 < 2")) == "int"
+
+    def test_pointer_arith_keeps_pointer(self):
+        t = self.expr_type("int g[4];", "g + 1")
+        assert t.is_pointer()
+
+    def test_pointer_difference_is_long(self):
+        t = self.expr_type("int g[4];", "(g + 2) - g")
+        assert str(t.strip()) == "long"
+
+    def test_member_type(self):
+        p = program("struct s { double d; } ; struct s *g;"
+                    "int main() { double x = g->d; return 0; }")
+        decl = p.function("main").body.stmts[0]
+        assert decl.init.type.is_float()
+
+    def test_member_record_annotation(self):
+        p = program("struct s { int v; }; struct s *g;"
+                    "int main() { return g->v; }")
+        ret = p.function("main").body.stmts[0]
+        assert ret.value.record.name == "s"
+
+    def test_index_of_pointer(self):
+        t = self.expr_type("long *g;", "g[3]")
+        assert str(t.strip()) == "long"
+
+    def test_sizeof_type(self):
+        t = self.expr_type("struct s { long a; long b; };",
+                           "sizeof(struct s)")
+        assert t.is_integer()
+
+    def test_address_of(self):
+        t = self.expr_type("int g;", "&g")
+        assert t.is_pointer()
+
+
+class TestErrors:
+    def test_member_on_non_struct(self):
+        with pytest.raises(SemaError):
+            program("int main() { int x; return x.y; }")
+
+    def test_arrow_on_non_pointer(self):
+        with pytest.raises(SemaError):
+            program("struct s { int v; }; struct s g;"
+                    "int main() { return g->v; }")
+
+    def test_unknown_field(self):
+        with pytest.raises(Exception):
+            program("struct s { int v; }; struct s *g;"
+                    "int main() { return g->w; }")
+
+    def test_call_arity_mismatch(self):
+        with pytest.raises(SemaError):
+            program("int f(int a) { return a; } "
+                    "int main() { return f(1, 2); }")
+
+    def test_call_non_function(self):
+        with pytest.raises(SemaError):
+            program("int main() { int x = 0; return x(); }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(SemaError):
+            program("int main() { int x = 0; return *x; }")
+
+    def test_assign_to_literal(self):
+        with pytest.raises(SemaError):
+            program("int main() { 3 = 4; return 0; }")
+
+    def test_assign_to_function_name(self):
+        with pytest.raises(SemaError):
+            program("int f() { return 0; } "
+                    "int main() { f = 0; return 0; }")
+
+    def test_varargs_printf_ok(self):
+        program('int main() { printf("%d %d", 1, 2); return 0; }')
+
+
+class TestProgramContainer:
+    def test_multi_unit_shares_structs(self):
+        p = Program.from_sources([
+            ("a.c", "struct s { int x; }; struct s *g;"),
+            ("b.c", "struct s; int use(struct s *p); "
+                    "int main() { return 0; }"),
+        ])
+        assert p.record("s").field("x").type is not None
+
+    def test_cross_unit_function_call(self):
+        p = Program.from_sources([
+            ("a.c", "int helper(void) { return 3; }"),
+            ("b.c", "int helper(void); int main() { return helper(); }"),
+        ])
+        assert p.has_function("helper")
+        assert p.has_function("main")
+
+    def test_function_lookup_raises(self):
+        p = program("int main() { return 0; }")
+        with pytest.raises(KeyError):
+            p.function("ghost")
+
+    def test_symbols_interned_once(self):
+        p = Program.from_sources([
+            ("a.c", "int shared;"),
+            ("b.c", "int main() { return 0; }"),
+        ])
+        assert p.global_symbol("shared") is not None

@@ -1,0 +1,248 @@
+"""Structure splitting tests: semantics preservation, layout shape,
+dead-store removal, allocation/free rewriting, error paths."""
+
+import pytest
+
+from repro.frontend import Program
+from repro.runtime import run_program
+from repro.transform import (
+    SplitSpec, split_structure, remove_dead_fields, TransformError,
+    LINK_FIELD,
+)
+
+SRC = """
+struct rec {
+    long hot1;
+    long hot2;
+    long cold1;
+    long cold2;
+    double dead1;
+};
+struct rec *R;
+int main() {
+    int i; long sum = 0;
+    R = (struct rec*) malloc(50 * sizeof(struct rec));
+    for (i = 0; i < 50; i++) {
+        R[i].hot1 = i;
+        R[i].hot2 = 2 * i;
+        R[i].cold1 = 3 * i;
+        R[i].cold2 = -i;
+        R[i].dead1 = 0.5 * i;
+    }
+    for (i = 0; i < 50; i++)
+        sum += R[i].hot1 + R[i].hot2 + R[i].cold1 - R[i].cold2;
+    free(R);
+    printf("%ld", sum);
+    return 0;
+}
+"""
+
+
+def split(src=SRC, cold=("cold1", "cold2"), dead=("dead1",), **kw):
+    p = Program.from_source(src)
+    spec = SplitSpec(record=p.record("rec"), cold_fields=list(cold),
+                     dead_fields=list(dead), **kw)
+    return p, split_structure(p, spec)
+
+
+class TestSemantics:
+    def test_output_preserved(self):
+        p, p2 = split()
+        assert run_program(p).stdout == run_program(p2).stdout
+
+    def test_output_preserved_without_dead(self):
+        p, p2 = split(dead=())
+        assert run_program(p).stdout == run_program(p2).stdout
+
+    def test_pointer_walk_still_works(self):
+        src = """
+        struct rec { long hot; long cold; };
+        struct rec *R;
+        int main() {
+            int i; long s = 0;
+            R = (struct rec*) malloc(10 * sizeof(struct rec));
+            for (i = 0; i < 10; i++) { R[i].hot = i; R[i].cold = -i; }
+            struct rec *p = R;
+            for (i = 0; i < 10; i++) { s += p->hot - p->cold; p++; }
+            printf("%ld", s);
+            return 0;
+        }
+        """
+        p = Program.from_source(src)
+        spec = SplitSpec(record=p.record("rec"),
+                         cold_fields=["cold"], dead_fields=[],
+                         hot_order=None)
+        # only one cold field: the transformation itself still works
+        p2 = split_structure(p, spec)
+        assert run_program(p).stdout == run_program(p2).stdout
+
+    def test_recursive_type_split(self):
+        src = """
+        struct rec { long v; struct rec *next; long cold; };
+        struct rec *R;
+        int main() {
+            int i; long s = 0;
+            R = (struct rec*) malloc(8 * sizeof(struct rec));
+            for (i = 0; i < 8; i++) {
+                R[i].v = i;
+                R[i].cold = 100 + i;
+                R[i].next = i + 1 < 8 ? &R[i + 1] : NULL;
+            }
+            struct rec *p = &R[0];
+            while (p != NULL) { s += p->v + p->cold; p = p->next; }
+            printf("%ld", s);
+            return 0;
+        }
+        """
+        p = Program.from_source(src)
+        spec = SplitSpec(record=p.record("rec"), cold_fields=["cold"],
+                         dead_fields=[])
+        p2 = split_structure(p, spec)
+        assert run_program(p).stdout == run_program(p2).stdout
+
+
+class TestLayout:
+    def test_hot_struct_shrinks(self):
+        p, p2 = split()
+        old = p.record("rec")
+        new = p2.record("rec")
+        assert new.size < old.size
+        assert new.has_field(LINK_FIELD)
+
+    def test_cold_struct_created(self):
+        _, p2 = split()
+        cold = p2.record("rec__cold")
+        assert cold.field_names() == ["cold1", "cold2"]
+
+    def test_dead_field_gone_everywhere(self):
+        _, p2 = split()
+        assert not p2.record("rec").has_field("dead1")
+        assert not p2.record("rec__cold").has_field("dead1")
+
+    def test_hot_order_respected(self):
+        p = Program.from_source(SRC)
+        spec = SplitSpec(record=p.record("rec"),
+                         cold_fields=["cold1", "cold2"],
+                         dead_fields=["dead1"],
+                         hot_order=["hot2", "hot1"])
+        p2 = split_structure(p, spec)
+        assert p2.record("rec").field_names() == \
+            ["hot2", "hot1", LINK_FIELD]
+
+    def test_helper_functions_generated(self):
+        _, p2 = split()
+        assert p2.has_function("__split_alloc_rec")
+        assert p2.has_function("__split_free_rec")
+
+    def test_empty_cold_no_link_pointer(self):
+        p = Program.from_source(SRC)
+        p2 = remove_dead_fields(p, p.record("rec"), ["dead1"])
+        assert not p2.record("rec").has_field(LINK_FIELD)
+        assert not p2.has_function("__split_alloc_rec")
+        assert run_program(p).stdout == run_program(p2).stdout
+
+
+class TestDeadStoreRemoval:
+    def test_simple_dead_store_removed(self):
+        _, p2 = split()
+        from repro.transform import program_sources
+        text = program_sources(p2)[0][1]
+        assert "dead1" not in text
+
+    def test_dead_store_with_side_effects_keeps_rhs(self):
+        src = """
+        struct rec { long live; long dead; };
+        struct rec *R;
+        long calls;
+        long bump(void) { calls++; return 1; }
+        int main() {
+            R = (struct rec*) malloc(4 * sizeof(struct rec));
+            R[0].dead = bump();       // store dies, call must survive
+            R[0].live = 5;
+            printf("%ld %ld", R[0].live, calls);
+            return 0;
+        }
+        """
+        p = Program.from_source(src)
+        p2 = remove_dead_fields(p, p.record("rec"), ["dead"])
+        assert run_program(p2).stdout == "5 1"
+
+    def test_reading_claimed_dead_field_raises(self):
+        p = Program.from_source(SRC)
+        spec = SplitSpec(record=p.record("rec"), cold_fields=[],
+                         dead_fields=["hot1"])    # hot1 is read!
+        with pytest.raises(TransformError):
+            split_structure(p, spec)
+
+
+class TestSpecValidation:
+    def test_unknown_field_rejected(self):
+        p = Program.from_source(SRC)
+        with pytest.raises(TransformError):
+            SplitSpec(record=p.record("rec"), cold_fields=["nope"])
+
+    def test_overlapping_cold_dead_rejected(self):
+        p = Program.from_source(SRC)
+        with pytest.raises(TransformError):
+            SplitSpec(record=p.record("rec"), cold_fields=["cold1"],
+                      dead_fields=["cold1"])
+
+    def test_bad_hot_order_rejected(self):
+        p = Program.from_source(SRC)
+        with pytest.raises(TransformError):
+            SplitSpec(record=p.record("rec"), cold_fields=["cold1"],
+                      hot_order=["hot1"]).hot_fields
+
+    def test_realloc_rejected(self):
+        src = """
+        struct rec { long a; long b; long c; };
+        struct rec *R;
+        int main() {
+            R = (struct rec*) malloc(4 * sizeof(struct rec));
+            R = (struct rec*) realloc(R, 8 * sizeof(struct rec));
+            R[0].a = 1;
+            return 0;
+        }
+        """
+        p = Program.from_source(src)
+        spec = SplitSpec(record=p.record("rec"),
+                         cold_fields=["b", "c"], dead_fields=[])
+        with pytest.raises(TransformError):
+            split_structure(p, spec)
+
+    def test_unanalyzable_alloc_rejected(self):
+        src = """
+        struct rec { long a; long b; long c; };
+        struct rec *R;
+        int main() {
+            R = (struct rec*) malloc(4096);
+            R[0].a = 1;
+            return 0;
+        }
+        """
+        p = Program.from_source(src)
+        spec = SplitSpec(record=p.record("rec"),
+                         cold_fields=["b", "c"], dead_fields=[])
+        with pytest.raises(TransformError):
+            split_structure(p, spec)
+
+
+class TestPerformanceDirection:
+    def test_hot_loop_gets_faster_on_large_array(self):
+        src = SRC.replace("50", "2000").replace(
+            "sum += R[i].hot1 + R[i].hot2 + R[i].cold1 - R[i].cold2;",
+            "sum += R[i].hot1 + R[i].hot2;")
+        # many iterations over the hot fields only
+        src = src.replace(
+            "for (i = 0; i < 2000; i++)\n        sum",
+            "int it; for (it = 0; it < 20; it++) "
+            "for (i = 0; i < 2000; i++)\n        sum")
+        p = Program.from_source(src)
+        spec = SplitSpec(record=p.record("rec"),
+                         cold_fields=["cold1", "cold2"],
+                         dead_fields=["dead1"])
+        p2 = split_structure(p, spec)
+        r1 = run_program(p)
+        r2 = run_program(p2)
+        assert r1.stdout == r2.stdout
+        assert r2.cycles < r1.cycles

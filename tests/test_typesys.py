@@ -1,0 +1,269 @@
+"""Type system and struct layout tests, including layout invariants
+checked with hypothesis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend.typesys import (
+    VOID, CHAR, UCHAR, SHORT, INT, UINT, LONG, ULONG, FLOAT, DOUBLE,
+    PointerType, ArrayType, FunctionType, RecordType, Field, NamedType,
+    TypeError_, common_arithmetic_type, pointer_to, array_of,
+)
+
+
+class TestScalars:
+    def test_lp64_sizes(self):
+        assert CHAR.size == 1
+        assert SHORT.size == 2
+        assert INT.size == 4
+        assert LONG.size == 8
+        assert FLOAT.size == 4
+        assert DOUBLE.size == 8
+        assert PointerType(VOID).size == 8
+
+    def test_alignment_equals_size_for_scalars(self):
+        for t in (CHAR, SHORT, INT, LONG, FLOAT, DOUBLE):
+            assert t.align == t.size
+
+    def test_int_ranges(self):
+        assert INT.min_value() == -(2 ** 31)
+        assert INT.max_value() == 2 ** 31 - 1
+        assert UINT.min_value() == 0
+        assert UINT.max_value() == 2 ** 32 - 1
+
+    def test_wrap_signed(self):
+        assert INT.wrap(2 ** 31) == -(2 ** 31)
+        assert INT.wrap(-1) == -1
+        assert CHAR.wrap(255) == -1
+
+    def test_wrap_unsigned(self):
+        assert UCHAR.wrap(256) == 0
+        assert UCHAR.wrap(-1) == 255
+
+    def test_predicates(self):
+        assert INT.is_integer() and INT.is_scalar()
+        assert DOUBLE.is_float() and not DOUBLE.is_integer()
+        assert VOID.is_void()
+        assert PointerType(INT).is_pointer()
+
+
+class TestCompositeTypes:
+    def test_array_size(self):
+        assert ArrayType(INT, 10).size == 40
+        assert ArrayType(DOUBLE, 3).align == 8
+
+    def test_nested_array(self):
+        a = ArrayType(ArrayType(INT, 4), 3)
+        assert a.size == 48
+
+    def test_function_type_str(self):
+        f = FunctionType(INT, (DOUBLE, PointerType(CHAR)))
+        assert "int" in str(f)
+
+    def test_named_type_delegates(self):
+        n = NamedType("myint", INT)
+        assert n.size == 4
+        assert n.is_integer()
+        assert n.strip() is INT
+
+
+def make_record(*specs):
+    rec = RecordType("t")
+    for name, t in specs:
+        rec.add_field(Field(name, t))
+    rec.layout()
+    return rec
+
+
+class TestRecordLayout:
+    def test_simple_layout(self):
+        rec = make_record(("a", INT), ("b", INT))
+        assert rec.field("a").offset == 0
+        assert rec.field("b").offset == 4
+        assert rec.size == 8
+
+    def test_padding_for_alignment(self):
+        rec = make_record(("c", CHAR), ("d", DOUBLE))
+        assert rec.field("c").offset == 0
+        assert rec.field("d").offset == 8
+        assert rec.size == 16
+
+    def test_tail_padding(self):
+        rec = make_record(("d", DOUBLE), ("c", CHAR))
+        assert rec.size == 16    # rounded to 8
+
+    def test_char_packing(self):
+        rec = make_record(("a", CHAR), ("b", CHAR), ("c", CHAR))
+        assert [rec.field(n).offset for n in "abc"] == [0, 1, 2]
+        assert rec.size == 3
+
+    def test_duplicate_field_raises(self):
+        rec = RecordType("t")
+        rec.add_field(Field("x", INT))
+        with pytest.raises(TypeError_):
+            rec.add_field(Field("x", LONG))
+
+    def test_missing_field_raises(self):
+        rec = make_record(("a", INT))
+        with pytest.raises(TypeError_):
+            rec.field("nope")
+
+    def test_recursive_detection(self):
+        rec = RecordType("node")
+        rec.add_field(Field("next", PointerType(rec)))
+        rec.layout()
+        assert rec.is_recursive()
+
+    def test_non_recursive(self):
+        other = make_record(("x", INT))
+        rec = make_record(("p", PointerType(other)))
+        assert not rec.is_recursive()
+
+    def test_nested_records(self):
+        inner = make_record(("x", INT))
+        outer = RecordType("outer")
+        outer.add_field(Field("in_", inner))
+        outer.add_field(Field("k", LONG))
+        outer.layout()
+        assert outer.nested_records() == [inner]
+        assert outer.field("k").offset == 8
+
+    def test_field_at_offset(self):
+        rec = make_record(("a", INT), ("b", INT))
+        assert rec.field_at_offset(0).name == "a"
+        assert rec.field_at_offset(5).name == "b"
+        assert rec.field_at_offset(100) is None
+
+    def test_empty_record(self):
+        rec = RecordType("e")
+        rec.layout()
+        assert rec.size == 0
+
+    def test_definition_render(self):
+        rec = make_record(("a", INT))
+        assert "struct t" in rec.definition()
+        assert "a" in rec.definition()
+
+
+class TestBitfields:
+    def test_bitfields_share_unit(self):
+        rec = RecordType("b")
+        rec.add_field(Field("x", INT, bit_width=3))
+        rec.add_field(Field("y", INT, bit_width=5))
+        rec.layout()
+        assert rec.field("x").offset == rec.field("y").offset == 0
+        assert rec.field("x").bit_offset == 0
+        assert rec.field("y").bit_offset == 3
+        assert rec.size == 4
+
+    def test_bitfield_overflow_starts_new_unit(self):
+        rec = RecordType("b")
+        rec.add_field(Field("x", INT, bit_width=30))
+        rec.add_field(Field("y", INT, bit_width=5))
+        rec.layout()
+        assert rec.field("y").offset == 4
+        assert rec.field("y").bit_offset == 0
+
+    def test_bitfield_then_plain_field(self):
+        rec = RecordType("b")
+        rec.add_field(Field("x", INT, bit_width=3))
+        rec.add_field(Field("y", INT))
+        rec.layout()
+        assert rec.field("y").offset == 4
+
+    def test_too_wide_bitfield_raises(self):
+        rec = RecordType("b")
+        rec.add_field(Field("x", INT, bit_width=40))
+        with pytest.raises(TypeError_):
+            rec.layout()
+
+    def test_float_bitfield_raises(self):
+        rec = RecordType("b")
+        rec.add_field(Field("x", DOUBLE, bit_width=4))
+        with pytest.raises(TypeError_):
+            rec.layout()
+
+    def test_has_bitfields(self):
+        rec = RecordType("b")
+        rec.add_field(Field("x", INT, bit_width=2))
+        assert rec.has_bitfields()
+
+
+class TestCommonType:
+    def test_float_beats_int(self):
+        assert common_arithmetic_type(INT, DOUBLE) is DOUBLE
+
+    def test_wider_wins(self):
+        assert common_arithmetic_type(INT, LONG) is LONG
+
+    def test_small_ints_promote(self):
+        assert common_arithmetic_type(CHAR, SHORT) is INT
+
+    def test_unsigned_wins_at_equal_width(self):
+        assert common_arithmetic_type(INT, UINT) is UINT
+
+    def test_pointer_passes_through(self):
+        p = pointer_to(INT)
+        assert common_arithmetic_type(p, LONG) is p
+
+
+# ---------------------------------------------------------------------------
+# Property-based layout invariants
+# ---------------------------------------------------------------------------
+
+_SCALARS = [CHAR, SHORT, INT, UINT, LONG, ULONG, FLOAT, DOUBLE]
+
+field_lists = st.lists(
+    st.sampled_from(_SCALARS), min_size=1, max_size=12)
+
+
+@given(field_lists)
+def test_layout_offsets_are_aligned(types):
+    rec = make_record(*((f"f{i}", t) for i, t in enumerate(types)))
+    for f in rec.fields:
+        assert f.offset % f.type.align == 0
+
+
+@given(field_lists)
+def test_layout_fields_do_not_overlap(types):
+    rec = make_record(*((f"f{i}", t) for i, t in enumerate(types)))
+    spans = sorted((f.offset, f.offset + f.type.size) for f in rec.fields)
+    for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+@given(field_lists)
+def test_layout_size_covers_fields_and_respects_align(types):
+    rec = make_record(*((f"f{i}", t) for i, t in enumerate(types)))
+    end = max(f.offset + f.type.size for f in rec.fields)
+    assert rec.size >= end
+    assert rec.size % rec.align == 0
+    assert rec.align == max(t.align for t in types)
+
+
+@given(field_lists, st.randoms())
+def test_layout_size_invariant_under_reorder_of_same_sized(types, rng):
+    """Reordering fields never changes which fields exist, and the sum
+    of field sizes is a lower bound of the struct size."""
+    rec = make_record(*((f"f{i}", t) for i, t in enumerate(types)))
+    assert rec.size >= sum(t.size for t in types) - 0
+    shuffled = list(enumerate(types))
+    rng.shuffle(shuffled)
+    rec2 = make_record(*((f"f{i}", t) for i, t in shuffled))
+    assert {f.name for f in rec2.fields} == {f.name for f in rec.fields}
+
+
+@given(st.lists(st.integers(min_value=1, max_value=31), min_size=1,
+                max_size=20))
+def test_bitfields_never_overlap(widths):
+    rec = RecordType("bf")
+    for i, w in enumerate(widths):
+        rec.add_field(Field(f"b{i}", INT, bit_width=w))
+    rec.layout()
+    taken: set[tuple[int, int]] = set()
+    for f in rec.fields:
+        for bit in range(f.bit_offset, f.bit_offset + f.bit_width):
+            key = (f.offset, bit)
+            assert key not in taken
+            taken.add(key)
+        assert f.bit_offset + f.bit_width <= 32

@@ -1,0 +1,185 @@
+"""Weight-estimation tests: SPBO flow solving, ISPBO propagation, and
+measured (PBO) weights."""
+
+import pytest
+
+from repro.frontend import Program
+from repro.ir import lower_program, build_call_graph, find_loops
+from repro.profit import (
+    estimate_local, estimate_spbo, estimate_ispbo, estimate_ispbo_w,
+    propagate_call_counts, edge_probabilities, collect_feedback,
+    match_feedback, BACK_PROB_INT,
+)
+
+
+def setup(src):
+    p = Program.from_source(src)
+    cfgs = lower_program(p)
+    cg = build_call_graph(cfgs, p)
+    return p, cfgs, cg
+
+
+class TestLocalEstimation:
+    def test_straight_line_all_one(self):
+        _, cfgs, _ = setup("int f() { int a = 1; return a; } "
+                           "int main() { return 0; }")
+        fw = estimate_local(cfgs["f"])
+        for b in cfgs["f"].reachable_blocks():
+            assert fw.block_count(b.id) == pytest.approx(1.0)
+
+    def test_branch_splits_half(self):
+        _, cfgs, _ = setup(
+            "int f(int x) { int y; if (x) y = 1; else y = 2; return y; }"
+            "int main() { return 0; }")
+        fw = estimate_local(cfgs["f"])
+        halves = [c for c in fw.block.values()
+                  if abs(c - 0.5) < 1e-9]
+        assert len(halves) >= 2
+
+    def test_loop_body_multiplied_about_8x(self):
+        _, cfgs, _ = setup(
+            "int f() { int i; int s = 0;"
+            "for (i = 0; i < 100; i++) s += i; return s; }"
+            "int main() { return 0; }")
+        cfg = cfgs["f"]
+        fw = estimate_local(cfg)
+        nest = find_loops(cfg)
+        header_count = fw.block_count(nest.loops[0].header.id)
+        # 1 / (1 - 0.88) ~ 8.33
+        assert header_count == pytest.approx(1.0 / (1.0 - BACK_PROB_INT),
+                                             rel=0.01)
+
+    def test_nested_loop_multiplies(self):
+        _, cfgs, _ = setup(
+            "int f() { int i; int j; int s = 0;"
+            "for (i = 0; i < 9; i++) for (j = 0; j < 9; j++) s += j;"
+            "return s; }"
+            "int main() { return 0; }")
+        cfg = cfgs["f"]
+        fw = estimate_local(cfg)
+        nest = find_loops(cfg)
+        inner = next(l for l in nest.loops if l.depth == 2)
+        outer = next(l for l in nest.loops if l.depth == 1)
+        ratio = fw.block_count(inner.header.id) / \
+            fw.block_count(outer.header.id)
+        assert 6.0 < ratio < 10.0
+
+    def test_flow_conservation(self):
+        """Frequency into each block equals frequency out (except
+        entry/exit)."""
+        _, cfgs, _ = setup(
+            "int f(int x) { int s = 0; int i;"
+            "for (i = 0; i < x; i++) { if (i & 1) s += i; else s -= i; }"
+            "while (s > 10) s /= 2; return s; }"
+            "int main() { return 0; }")
+        cfg = cfgs["f"]
+        fw = estimate_local(cfg)
+        for b in cfg.reachable_blocks():
+            if b is cfg.entry or b is cfg.exit:
+                continue
+            inflow = sum(fw.edge.get((e.src.id, b.id), 0.0)
+                         for e in b.preds)
+            outflow = sum(fw.edge.get((b.id, e.dst.id), 0.0)
+                          for e in b.succs)
+            assert inflow == pytest.approx(outflow, rel=1e-6)
+
+    def test_fp_loop_higher_probability(self):
+        src = ("double f() { double s = 0.0; int i;"
+               "for (i = 0; i < 9; i++) s += 0.5; return s; }"
+               "int main() { return 0; }")
+        _, cfgs, _ = setup(src)
+        cfg = cfgs["f"]
+        nest = find_loops(cfg)
+        probs = edge_probabilities(cfg, nest)
+        back_probs = [p for k, p in probs.items() if p > 0.9]
+        assert back_probs    # the FP back edge uses 0.93
+
+
+class TestISPBO:
+    SRC = """
+    int work(int x) { return x * 2; }
+    int main() {
+        int i; int s = 0;
+        for (i = 0; i < 100; i++) { s += work(i); }
+        return s;
+    }
+    """
+
+    def test_callee_scaled_by_call_frequency(self):
+        _, cfgs, cg = setup(self.SRC)
+        local = estimate_spbo(cfgs)
+        n_g = propagate_call_counts(local, cg)
+        assert n_g["main"] == 1.0
+        # the call site is in the loop body, which executes
+        # p / (1 - p) times per entry
+        expected = BACK_PROB_INT / (1.0 - BACK_PROB_INT)
+        assert n_g["work"] == pytest.approx(expected, rel=0.01)
+
+    def test_exponent_improves_separation(self):
+        _, cfgs, cg = setup(self.SRC)
+        with_e = estimate_ispbo(cfgs, cg)
+        without = estimate_ispbo(cfgs, cg, exponent=1.0)
+        body = cfgs["work"].reachable_blocks()[1].id
+        assert with_e.block_count("work", body) > \
+            without.block_count("work", body)
+
+    def test_scheme_names(self):
+        _, cfgs, cg = setup(self.SRC)
+        assert estimate_ispbo(cfgs, cg).scheme == "ISPBO"
+        assert estimate_ispbo(cfgs, cg, exponent=1.0).scheme == "ISPBO.NO"
+        assert estimate_ispbo_w(cfgs, cg).scheme == "ISPBO.W"
+
+    def test_recursion_handled(self):
+        src = """
+        int rec(int n) { if (n <= 0) return 0; return rec(n - 1) + 1; }
+        int main() { return rec(10); }
+        """
+        _, cfgs, cg = setup(src)
+        local = estimate_spbo(cfgs)
+        n_g = propagate_call_counts(local, cg)
+        assert n_g["rec"] > 0.0          # terminates, no blow-up
+
+    def test_uncalled_function_weight_zero(self):
+        src = """
+        int orphan(int x) { return x; }
+        int main() { return 0; }
+        """
+        _, cfgs, cg = setup(src)
+        pw = estimate_ispbo(cfgs, cg)
+        body_blocks = cfgs["orphan"].reachable_blocks()
+        assert all(pw.block_count("orphan", b.id) == 0.0
+                   for b in body_blocks)
+
+
+class TestPBOWeights:
+    SRC = """
+    int main() {
+        int i; long s = 0;
+        for (i = 0; i < 37; i++) { if (i % 3 == 0) s += i; }
+        printf("%ld", s);
+        return 0;
+    }
+    """
+
+    def test_edge_counts_are_exact(self):
+        p = Program.from_source(self.SRC)
+        cfgs = lower_program(p)
+        fb = collect_feedback(p, cfgs=cfgs)
+        pw = match_feedback(cfgs, fb)
+        cfg = cfgs["main"]
+        nest = find_loops(cfg)
+        header = nest.loops[0].header
+        assert pw.block_count("main", header.id) == pytest.approx(38.0)
+
+    def test_pbo_more_accurate_than_static(self):
+        p = Program.from_source(self.SRC)
+        cfgs = lower_program(p)
+        fb = collect_feedback(p, cfgs=cfgs)
+        pw = match_feedback(cfgs, fb)
+        static = estimate_spbo(cfgs)
+        cfg = cfgs["main"]
+        nest = find_loops(cfg)
+        header = nest.loops[0].header.id
+        # static says ~8.3; measured says 38
+        assert pw.block_count("main", header) > \
+            static.block_count("main", header)
