@@ -31,6 +31,14 @@ from ..frontend.sema import ALLOC_FUNCTIONS
 from .legality import LegalityResult, direct_record_of
 
 
+class PointsToBudgetError(RuntimeError):
+    """The constraint solver exceeded its iteration budget.
+
+    Raised instead of looping forever on pathological constraint
+    systems; the pipeline contains it by skipping relaxation (the
+    conservative "don't transform" posture)."""
+
+
 # -- abstract locations ------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -80,7 +88,7 @@ class PointsToResult:
 class _Solver:
     """Inclusion-based constraint solver with a worklist."""
 
-    def __init__(self):
+    def __init__(self, max_sweeps: int = 10_000):
         self.pts: dict[str, set[Loc]] = {}
         self.copy_edges: dict[str, set[str]] = {}
         #: (src_node, field|None, dst_node): dst ⊇ pts(loc[.field]) ∀ loc
@@ -88,6 +96,9 @@ class _Solver:
         #: (dst_node, field|None, src_node): pts(loc[.field]) ⊇ pts(src)
         self.store_cs: list[tuple[str, str | None, str]] = []
         self.collapsed: set[str] = set()
+        #: fixpoint budget: total sweeps allowed across all solve() calls
+        self.max_sweeps = max_sweeps
+        self.sweeps = 0
 
     def base(self, node: str) -> set[Loc]:
         s = self.pts.get(node)
@@ -122,8 +133,15 @@ class _Solver:
     def solve(self) -> None:
         changed = True
         # iterate to fixpoint; programs here are small, so the simple
-        # O(n * constraints) loop is fine
+        # O(n * constraints) loop is fine — but bounded, so a
+        # pathological system degrades into a contained fault rather
+        # than a hung compilation
         while changed:
+            self.sweeps += 1
+            if self.sweeps > self.max_sweeps:
+                raise PointsToBudgetError(
+                    f"points-to fixpoint exceeded {self.max_sweeps} "
+                    f"sweeps")
             changed = False
             # copy edges
             for src, dsts in list(self.copy_edges.items()):
@@ -163,9 +181,9 @@ class _Solver:
 
 
 class PointsToAnalyzer:
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, max_sweeps: int = 10_000):
         self.program = program
-        self.solver = _Solver()
+        self.solver = _Solver(max_sweeps=max_sweeps)
         self._temp = 0
         self._site = 0
         self.heap_sites: list[Loc] = []
@@ -399,9 +417,13 @@ class PointsToAnalyzer:
             self.solver.collapse(from_rec.name)
 
 
-def analyze_points_to(program: Program) -> PointsToResult:
-    """Run the field-sensitive points-to analysis over a program."""
-    an = PointsToAnalyzer(program)
+def analyze_points_to(program: Program,
+                      max_sweeps: int = 10_000) -> PointsToResult:
+    """Run the field-sensitive points-to analysis over a program.
+
+    ``max_sweeps`` bounds the total fixpoint sweeps;
+    :class:`PointsToBudgetError` is raised when exceeded."""
+    an = PointsToAnalyzer(program, max_sweeps=max_sweeps)
     # first pass: generate constraints
     for fn in program.functions():
         an._scan_function(fn)

@@ -14,6 +14,9 @@ standalone tool"; this module is that tool for the reproduction:
 - ``repro compare FILE...``    — measure original vs transformed
 
 Invoke as ``python -m repro <command> ...``.
+
+Exit codes: 0 on success, 1 when the source failed to compile or a
+transformation failed verification, 2 on file or usage errors.
 """
 
 from __future__ import annotations
@@ -21,24 +24,59 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import NamedTuple
 
 from .advisor import advisor_report, classify_report, program_vcg
-from .core import Compiler, CompilerOptions
+from .core import (
+    CODE_MISMATCH, CompilationResult, Compiler, CompilerOptions,
+    FatalCompilerError,
+)
 from .frontend import Program
 from .profit import collect_feedback
 from .runtime import run_program
 from .transform import HeuristicParams, program_sources
+
+EXIT_OK = 0
+EXIT_COMPILE = 1
+EXIT_USAGE = 2
+
+
+class CliError(Exception):
+    """A user-facing error with its process exit code."""
+
+    def __init__(self, message: str, code: int = EXIT_USAGE):
+        super().__init__(message)
+        self.code = code
 
 
 def _load_program(paths: list[str]) -> Program:
     sources = []
     for p in paths:
         path = Path(p)
-        sources.append((path.name, path.read_text()))
-    return Program.from_sources(sources)
+        try:
+            sources.append((path.name, path.read_text()))
+        except OSError as exc:
+            raise CliError(f"cannot read '{p}': {exc.strerror or exc}",
+                           EXIT_USAGE) from exc
+    program = Program.from_sources(sources, recover=True)
+    if program.frontend_errors:
+        for err in program.frontend_errors:
+            print(f"repro: error: {err.unit}:{err.line}: {err.message}",
+                  file=sys.stderr)
+        raise CliError(
+            f"{len(program.frontend_errors)} error(s) in source",
+            EXIT_COMPILE)
+    return program
 
 
-def _options(args) -> CompilerOptions:
+class OptionBundle(NamedTuple):
+    """Compiler options plus the profile feedback they were built from."""
+
+    options: CompilerOptions
+    feedback: object | None
+
+
+def _options(args) -> OptionBundle:
     params = HeuristicParams()
     if getattr(args, "ts", None) is not None:
         params.ts_static = args.ts
@@ -50,14 +88,36 @@ def _options(args) -> CompilerOptions:
     if getattr(args, "profile", False):
         feedback = collect_feedback(_load_program(args.files))
         scheme = "PBO"
-    return CompilerOptions(
+    verify = (getattr(args, "verify_default", False)
+              and not getattr(args, "no_verify", False))
+    options = CompilerOptions(
         scheme=scheme, feedback=feedback, params=params,
-        relax_legality=getattr(args, "relax", False)), feedback
+        relax_legality=getattr(args, "relax", False),
+        strict=getattr(args, "strict", False),
+        verify_transforms=verify)
+    return OptionBundle(options, feedback)
+
+
+def _report(result: CompilationResult) -> int:
+    """Print collected diagnostics; return the command exit code."""
+    rendered = result.diagnostics.render("warning")
+    if rendered:
+        print(rendered, file=sys.stderr)
+    return EXIT_COMPILE if result.diagnostics.has_errors else EXIT_OK
+
+
+def _first_divergence(before: str, after: str) -> str:
+    for i, (a, b) in enumerate(zip(before.splitlines(),
+                                   after.splitlines()), start=1):
+        if a != b:
+            return f"line {i}: '{a}' != '{b}'"
+    na, nb = len(before.splitlines()), len(after.splitlines())
+    return f"line {min(na, nb) + 1}: output truncated ({na} vs {nb} lines)"
 
 
 def cmd_analyze(args) -> int:
     program = _load_program(args.files)
-    options, _ = _options(args)
+    options = _options(args).options
     options.transform = False
     result = Compiler(options).compile(program)
 
@@ -75,7 +135,7 @@ def cmd_analyze(args) -> int:
         notes = "; ".join(d.notes) if d is not None else ""
         print(f"  {name:24s} [{status:>14s}] {attrs:20s} "
               f"plan={plan:5s} {notes}")
-    return 0
+    return _report(result)
 
 
 def cmd_advise(args) -> int:
@@ -101,17 +161,20 @@ def cmd_advise(args) -> int:
     if args.vcg:
         Path(args.vcg).write_text(program_vcg(result.profiles))
         print(f"\nVCG affinity graphs written to {args.vcg}")
-    return 0
+    return _report(result)
 
 
 def cmd_transform(args) -> int:
     program = _load_program(args.files)
-    options, _ = _options(args)
+    options = _options(args).options
     result = Compiler(options).compile(program)
     transformed = result.transformed_types()
     print(f"transformed {len(transformed)} type(s): "
           f"{', '.join(d.type_name for d in transformed) or '-'}",
           file=sys.stderr)
+    if result.rolled_back:
+        print(f"rolled back {len(result.rolled_back)} type(s): "
+              f"{', '.join(result.rolled_back)}", file=sys.stderr)
     for unit_name, text in program_sources(result.transformed):
         header = f"/* === {unit_name} === */\n"
         if args.output:
@@ -122,7 +185,7 @@ def cmd_transform(args) -> int:
             print(f"wrote {out}", file=sys.stderr)
         else:
             sys.stdout.write(header + text)
-    return 0
+    return _report(result)
 
 
 def cmd_run(args) -> int:
@@ -138,15 +201,18 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     program = _load_program(args.files)
-    options, _ = _options(args)
+    options = _options(args).options
     result = Compiler(options).compile(program)
     before = run_program(result.program, cycle_limit=args.cycle_limit)
     after = run_program(result.transformed,
                         cycle_limit=args.cycle_limit)
     if before.stdout != after.stdout:
-        print("ERROR: transformation changed program output!",
-              file=sys.stderr)
-        return 1
+        result.diagnostics.error(
+            phase="compare", code=CODE_MISMATCH,
+            message="transformation changed program output: "
+                    + _first_divergence(before.stdout, after.stdout),
+            action="rerun with verification enabled (drop --no-verify)")
+        return _report(result)
     gain = 100.0 * (before.cycles / after.cycles - 1.0)
     print(f"output   : {before.stdout.strip()}")
     print(f"before   : {before.cycles:,} cycles")
@@ -155,7 +221,9 @@ def cmd_compare(args) -> int:
     for d in result.transformed_types():
         print(f"  {d.type_name}: {d.action} cold={d.cold_fields} "
               f"dead={d.dead_fields}")
-    return 0
+    if result.rolled_back:
+        print(f"  rolled back: {', '.join(result.rolled_back)}")
+    return _report(result)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -184,6 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--peel-mode", default=None,
                            choices=["auto", "per-field", "hot-cold",
                                     "affinity"])
+            p.add_argument("--strict", action="store_true",
+                           help="abort on the first contained fault "
+                                "instead of degrading gracefully")
 
     p = sub.add_parser("analyze", help="legality + planned transforms")
     add_common(p)
@@ -203,7 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.add_argument("-o", "--output", default=None,
                    help="output file (stdout by default)")
-    p.set_defaults(fn=cmd_transform)
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip differential verification of the "
+                        "transformed program")
+    p.set_defaults(fn=cmd_transform, verify_default=True)
 
     p = sub.add_parser("run", help="execute on the simulated machine")
     add_common(p, scheme=False)
@@ -216,14 +290,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="measure original vs transformed")
     add_common(p)
     p.add_argument("--cycle-limit", type=int, default=2_000_000_000)
-    p.set_defaults(fn=cmd_compare)
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip differential verification of the "
+                        "transformed program")
+    p.set_defaults(fn=cmd_compare, verify_default=True)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CliError as err:
+        print(f"repro: error: {err}", file=sys.stderr)
+        return err.code
+    except FatalCompilerError as err:
+        print(f"repro: fatal: {err}", file=sys.stderr)
+        return EXIT_COMPILE
 
 
 if __name__ == "__main__":

@@ -1,11 +1,25 @@
-"""Pipeline driver: the FE -> IPA -> BE compiler."""
+"""Pipeline driver: the fault-tolerant FE -> IPA -> BE compiler."""
 
+from .diagnostics import (
+    Diagnostic, DiagnosticEngine, FatalCompilerError, SourceLoc,
+    SEVERITIES, CODE_BUDGET, CODE_CONTAINED, CODE_CORRUPT, CODE_MISMATCH,
+    CODE_PARSE, CODE_ROLLBACK, CODE_VERIFY,
+)
+from .faults import (
+    FAULTS, FaultRegistry, FaultSpec, InjectedFault, INJECTABLE_PASSES,
+    inject_fault,
+)
 from .pipeline import (
-    Compiler, CompilerOptions, CompilationResult, compile_program,
-    compile_source, SCHEMES,
+    Compiler, CompilerOptions, CompilationResult, PhaseGuard,
+    compile_program, compile_source, FAULT_REASON, SCHEMES,
 )
 
 __all__ = [
-    "Compiler", "CompilerOptions", "CompilationResult", "compile_program",
-    "compile_source", "SCHEMES",
+    "Compiler", "CompilerOptions", "CompilationResult", "PhaseGuard",
+    "compile_program", "compile_source", "FAULT_REASON", "SCHEMES",
+    "Diagnostic", "DiagnosticEngine", "FatalCompilerError", "SourceLoc",
+    "SEVERITIES", "CODE_BUDGET", "CODE_CONTAINED", "CODE_CORRUPT",
+    "CODE_MISMATCH", "CODE_PARSE", "CODE_ROLLBACK", "CODE_VERIFY",
+    "FAULTS", "FaultRegistry", "FaultSpec", "InjectedFault",
+    "INJECTABLE_PASSES", "inject_fault",
 ]

@@ -1,0 +1,198 @@
+"""Fault-injection harness for the fault-tolerant compilation driver.
+
+The safety net the pipeline builds (per-pass containment, budgets,
+summary validation, differential rollback) is only trustworthy if it is
+*exercised*: this module lets tests make any named pass
+
+- ``raise``   — throw an :class:`InjectedFault` at pass entry,
+- ``stall``   — sleep past the pass's wall-clock budget, or
+- ``corrupt`` — return a deliberately damaged summary,
+
+and then assert that compilation still completes with an
+output-equivalent program and a diagnostic naming the contained
+failure.  Injection is process-global (the pipeline consults the
+:data:`FAULTS` registry at each pass boundary) and costs one dict
+lookup per pass when no fault is armed.
+
+Injectable pass names are listed in :data:`INJECTABLE_PASSES`; the
+default corrupters in :data:`DEFAULT_CORRUPTERS` damage each pass's
+summary in the way that is hardest for purely-structural validation to
+catch (e.g. legality cleared of violations, live fields reported dead)
+so that the *differential* layer has to save the compile.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: pass names the pipeline guards (and therefore accepts injection for)
+INJECTABLE_PASSES = (
+    "lower", "loops", "legality", "deadfields", "callgraph", "escape",
+    "pointsto", "weights", "profiles", "heuristics", "apply", "verify",
+)
+
+
+class InjectedFault(RuntimeError):
+    """The exception thrown by a ``raise``-mode injection."""
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault."""
+
+    pass_name: str
+    mode: str = "raise"               # raise | stall | corrupt
+    seconds: float = 0.1              # stall duration
+    message: str = ""
+    corrupter: Callable[[Any], Any] | None = None
+    fired: int = 0                    # times the fault actually triggered
+
+    def __post_init__(self):
+        if self.pass_name not in INJECTABLE_PASSES:
+            raise ValueError(
+                f"unknown pass {self.pass_name!r}; injectable passes: "
+                f"{', '.join(INJECTABLE_PASSES)}")
+        if self.mode not in ("raise", "stall", "corrupt"):
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+
+
+class FaultRegistry:
+    """Process-global registry the pipeline consults at pass boundaries."""
+
+    def __init__(self):
+        self._faults: dict[str, FaultSpec] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self._faults)
+
+    def inject(self, pass_name: str, mode: str = "raise",
+               **kw) -> FaultSpec:
+        spec = FaultSpec(pass_name=pass_name, mode=mode, **kw)
+        self._faults[pass_name] = spec
+        return spec
+
+    def clear(self, pass_name: str | None = None) -> None:
+        if pass_name is None:
+            self._faults.clear()
+        else:
+            self._faults.pop(pass_name, None)
+
+    def spec(self, pass_name: str) -> FaultSpec | None:
+        return self._faults.get(pass_name)
+
+    # -- hooks called by the pipeline -------------------------------------
+
+    def fire(self, pass_name: str) -> None:
+        """Called at pass entry: raise or stall if a fault is armed."""
+        spec = self._faults.get(pass_name)
+        if spec is None:
+            return
+        if spec.mode == "raise":
+            spec.fired += 1
+            raise InjectedFault(
+                spec.message or f"injected fault in pass {pass_name!r}")
+        if spec.mode == "stall":
+            spec.fired += 1
+            time.sleep(spec.seconds)
+
+    def corrupt(self, pass_name: str, value: Any) -> Any:
+        """Called at pass exit: damage the summary if armed."""
+        spec = self._faults.get(pass_name)
+        if spec is None or spec.mode != "corrupt":
+            return value
+        fn = spec.corrupter or DEFAULT_CORRUPTERS.get(pass_name)
+        if fn is None:
+            return value
+        spec.fired += 1
+        return fn(value)
+
+
+#: the registry the pipeline consults
+FAULTS = FaultRegistry()
+
+
+@contextmanager
+def inject_fault(pass_name: str, mode: str = "raise", **kw):
+    """Arm one fault for the duration of a ``with`` block."""
+    spec = FAULTS.inject(pass_name, mode, **kw)
+    try:
+        yield spec
+    finally:
+        FAULTS.clear(pass_name)
+
+
+# ---------------------------------------------------------------------------
+# Default corrupters: the worst plausible damage per summary kind
+# ---------------------------------------------------------------------------
+
+def _corrupt_legality(legality):
+    """Clear every violation: every type looks legal (semantically wrong
+    in a way structural validation cannot see — verification must
+    catch any resulting miscompile)."""
+    for info in legality.types.values():
+        info.invalid_reasons.clear()
+    return legality
+
+
+def _corrupt_usage(usage):
+    """Report every field unreferenced, making live fields removable."""
+    for fu in usage.types.values():
+        for refs in fu.refs.values():
+            refs.reads = 0
+            refs.writes = 0
+        fu.refs = dict(fu.refs)
+    return usage
+
+
+def _corrupt_escape(escape):
+    """Hide every recorded escape."""
+    escape.escaped.clear()
+    return escape
+
+
+def _corrupt_pointsto(pointsto):
+    """Report field-sensitivity intact for every type, wrongly
+    green-lighting relaxation."""
+    pointsto.collapsed.clear()
+    return pointsto
+
+
+def _corrupt_profiles(profiles):
+    """Poison every hotness figure with NaN — the kind of damage
+    structural validation *does* catch."""
+    for prof in profiles.values():
+        for fname in list(prof.read_counts):
+            prof.read_counts[fname] = math.nan
+        for fname in list(prof.write_counts):
+            prof.write_counts[fname] = math.nan
+    return profiles
+
+
+def _corrupt_weights(weights):
+    """Negate every block count."""
+    for fw in weights.functions.values():
+        fw.block = {k: -abs(v) for k, v in fw.block.items()}
+    return weights
+
+
+def _corrupt_decisions(decisions):
+    """Graft a live field onto every planned removal list."""
+    for d in decisions:
+        if d.transformed and d.cold_fields:
+            d.dead_fields = d.dead_fields + [d.cold_fields[0]]
+    return decisions
+
+
+DEFAULT_CORRUPTERS: dict[str, Callable[[Any], Any]] = {
+    "legality": _corrupt_legality,
+    "deadfields": _corrupt_usage,
+    "escape": _corrupt_escape,
+    "pointsto": _corrupt_pointsto,
+    "profiles": _corrupt_profiles,
+    "weights": _corrupt_weights,
+    "heuristics": _corrupt_decisions,
+}

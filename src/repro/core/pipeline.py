@@ -12,20 +12,39 @@
 
 Per-phase wall-clock timings are recorded so the §2.5 compile-time
 overhead claim can be measured rather than asserted.
+
+The driver is **fault tolerant**: structure layout optimization is an
+optimization, so no failure inside it may take the compilation down.
+Every analysis pass runs under a containment guard — an exception, a
+wall-clock budget overrun, or a summary that fails validation demotes
+the affected struct types to "do not transform" with a recorded
+:class:`~repro.core.diagnostics.Diagnostic`, and compilation continues
+to a valid (merely more conservative) result.  With
+``verify_transforms`` enabled the BE additionally executes the original
+and transformed programs on the simulated machine and *rolls back* any
+decision whose application changes observable behaviour, bisecting the
+decision list to find the offender — the compiler cannot emit a
+semantics-changing layout.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from ..frontend.program import Program
 from ..ir.cfg import FunctionCFG, lower_program
 from ..ir.callgraph import CallGraph, build_call_graph
 from ..ir.loops import LoopNest, find_loops
-from ..analysis.deadfields import UsageResult, analyze_field_usage
+from ..analysis.deadfields import (
+    FieldRefs, FieldUsage, UsageResult, analyze_field_usage,
+)
 from ..analysis.escape import EscapeResult, analyze_escapes
-from ..analysis.legality import LegalityResult, analyze_legality
+from ..analysis.legality import (
+    ALL_REASONS, LegalityResult, TypeInfo, analyze_legality,
+)
 from ..profit.affinity import TypeProfile, compute_profiles
 from ..profit.feedback import FeedbackFile, match_feedback
 from ..profit.weights import (
@@ -35,9 +54,17 @@ from ..transform.heuristics import (
     HeuristicParams, TransformDecision, apply_decisions,
     decide_transforms,
 )
+from .diagnostics import (
+    CODE_BUDGET, CODE_CONTAINED, CODE_CORRUPT, CODE_PARSE, CODE_ROLLBACK,
+    CODE_VERIFY, DiagnosticEngine, FatalCompilerError,
+)
+from .faults import FAULTS, InjectedFault
 
 #: weight schemes the pipeline can drive transformations with
 SCHEMES = ("SPBO", "ISPBO", "ISPBO.NO", "ISPBO.W", "PBO", "PPBO")
+
+#: legality pseudo-reason marking a type demoted by fault containment
+FAULT_REASON = "FAULT"
 
 
 @dataclass
@@ -54,6 +81,23 @@ class CompilerOptions:
     #: verified instead of assumed)
     relax_legality: bool = False
     entry: str = "main"
+    #: differential rollback: execute original vs transformed on the
+    #: simulated machine and roll back semantics-changing decisions
+    #: (the CLI enables this by default for ``transform``/``compare``)
+    verify_transforms: bool = False
+    #: strict mode: re-raise contained faults as FatalCompilerError
+    #: instead of degrading gracefully
+    strict: bool = False
+    #: wall-clock budget per contained pass, seconds (None = unbounded)
+    phase_budget: float | None = None
+    #: iteration budget for the points-to fixpoint solver
+    pointsto_max_sweeps: int = 10_000
+    #: verification cycle budget for the *original* program; the
+    #: transformed budget is derived from the original's measured cycles
+    verify_cycle_base: int = 200_000_000
+    #: transformed-run budget = original cycles * factor + slack
+    verify_cycle_factor: float = 4.0
+    verify_cycle_slack: int = 1_000_000
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -80,6 +124,25 @@ class CompilationResult:
     decisions: list[TransformDecision]
     transformed: Program
     timings: dict[str, float] = field(default_factory=dict)
+    #: per-pass wall-clock timings (finer than the fe/ipa/be aggregate)
+    pass_timings: dict[str, float] = field(default_factory=dict)
+    #: every diagnostic any phase emitted
+    diagnostics: DiagnosticEngine = field(
+        default_factory=DiagnosticEngine)
+    #: type names whose transforms verification rolled back
+    rolled_back: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were recorded."""
+        return not self.diagnostics.has_errors
+
+    @property
+    def degraded(self) -> bool:
+        """True when any fault was contained or any transform rolled
+        back — the result is valid but more conservative than planned."""
+        return bool(self.diagnostics.contained()
+                    or self.diagnostics.rollbacks())
 
     def decision_for(self, type_name: str) -> TransformDecision | None:
         for d in self.decisions:
@@ -101,6 +164,64 @@ class CompilationResult:
                 sum(d.fields_affected for d in transformed))
 
 
+class PhaseGuard:
+    """Runs one pass under fault containment.
+
+    A pass that raises, overruns its wall-clock budget, or returns a
+    summary the validator rejects is replaced by its conservative
+    fallback, with a diagnostic naming the contained failure.  In
+    ``strict`` mode the original exception is re-raised as
+    :class:`FatalCompilerError` instead.
+    """
+
+    def __init__(self, diags: DiagnosticEngine, *, strict: bool = False,
+                 budget: float | None = None,
+                 timings: dict[str, float] | None = None):
+        self.diags = diags
+        self.strict = strict
+        self.budget = budget
+        self.timings = timings if timings is not None else {}
+
+    def run(self, name: str, fn: Callable[[], Any],
+            fallback: Callable[[], Any]) -> Any:
+        t0 = time.perf_counter()
+        try:
+            FAULTS.fire(name)        # injection point (raise / stall)
+            result = fn()
+        except Exception as exc:     # containment boundary
+            self.timings[name] = time.perf_counter() - t0
+            return self._contain(name, exc, fallback)
+        elapsed = time.perf_counter() - t0
+        self.timings[name] = elapsed
+        if self.budget is not None and elapsed > self.budget:
+            # the pass finished but blew its budget: its result is
+            # suspect (a stalled analysis may have been wedged), so the
+            # conservative fallback replaces it
+            if self.strict:
+                raise FatalCompilerError(
+                    name, f"pass exceeded {self.budget:.3f}s budget "
+                          f"({elapsed:.3f}s)")
+            self.diags.warning(
+                name, f"pass exceeded its {self.budget:.3f}s budget "
+                      f"({elapsed:.3f}s); conservative fallback "
+                      f"substituted", code=CODE_BUDGET,
+                action="raise phase_budget or investigate the stall")
+            return fallback()
+        return FAULTS.corrupt(name, result)   # injection point (corrupt)
+
+    def _contain(self, name: str, exc: Exception,
+                 fallback: Callable[[], Any]) -> Any:
+        if self.strict:
+            raise FatalCompilerError(name, str(exc), cause=exc) from exc
+        kind = "injected fault" if isinstance(exc, InjectedFault) \
+            else f"{type(exc).__name__}"
+        self.diags.warning(
+            name, f"pass failed ({kind}: {exc}); conservative fallback "
+                  f"substituted", code=CODE_CONTAINED,
+            action="affected types will not be transformed")
+        return fallback()
+
+
 class Compiler:
     """Drives one FE → IPA → BE compilation."""
 
@@ -110,32 +231,83 @@ class Compiler:
     def compile(self, program: Program) -> CompilationResult:
         opts = self.options
         timings: dict[str, float] = {}
+        pass_timings: dict[str, float] = {}
+        diags = DiagnosticEngine()
+        guard = PhaseGuard(diags, strict=opts.strict,
+                           budget=opts.phase_budget,
+                           timings=pass_timings)
+
+        for fe_err in program.frontend_errors:
+            diags.error("parse", fe_err.message, unit=fe_err.unit,
+                        line=fe_err.line or None, code=CODE_PARSE,
+                        action="fix the source and recompile")
 
         # ---- FE: per-unit analysis ----
         t0 = time.perf_counter()
-        cfgs = lower_program(program)
-        nests = {name: find_loops(cfg) for name, cfg in cfgs.items()}
-        legality = analyze_legality(program)
-        usage = analyze_field_usage(program)
+        cfgs = guard.run("lower", lambda: lower_program(program), dict)
+        nests = guard.run(
+            "loops",
+            lambda: {name: find_loops(cfg)
+                     for name, cfg in cfgs.items()},
+            dict)
+        legality = guard.run(
+            "legality", lambda: analyze_legality(program),
+            lambda: self._fallback_legality(program))
+        legality = self._validate_legality(program, legality, diags)
+        usage = guard.run(
+            "deadfields", lambda: analyze_field_usage(program),
+            lambda: self._fallback_usage(program))
+        usage = self._validate_usage(program, usage, diags)
         timings["fe"] = time.perf_counter() - t0
 
         # ---- IPA: aggregation, weights, heuristics ----
         t0 = time.perf_counter()
-        callgraph = build_call_graph(cfgs, program)
-        escape = analyze_escapes(program, legality)
+        callgraph = guard.run(
+            "callgraph", lambda: build_call_graph(cfgs, program),
+            lambda: CallGraph(cfgs={}))
+        escape = guard.run(
+            "escape", lambda: analyze_escapes(program, legality),
+            lambda: self._fallback_escape(legality))
         if opts.relax_legality:
-            self._relax(program, legality)
-        weights = self._weights(cfgs, callgraph, nests)
-        profiles = compute_profiles(program, cfgs, weights, nests)
-        decisions = decide_transforms(program, legality, usage, profiles,
-                                      weights.scheme, opts.params)
+            self._relax(program, legality, guard, diags)
+        weights = guard.run(
+            "weights", lambda: self._weights(cfgs, callgraph, nests),
+            lambda: ProgramWeights(scheme=opts.scheme))
+        profiles = guard.run(
+            "profiles",
+            lambda: compute_profiles(program, cfgs, weights, nests),
+            dict)
+        profiles = self._validate_profiles(profiles, diags)
+        decisions = guard.run(
+            "heuristics",
+            lambda: decide_transforms(program, legality, usage,
+                                      profiles, weights.scheme,
+                                      opts.params),
+            list)
+        decisions = self._validate_decisions(program, decisions, diags)
         timings["ipa"] = time.perf_counter() - t0
 
-        # ---- BE: transformation ----
+        # ---- BE: transformation + differential verification ----
         t0 = time.perf_counter()
         transformed = program
+        rolled_back: list[str] = []
         if opts.transform:
-            transformed = apply_decisions(program, decisions)
+            transformed = guard.run(
+                "apply",
+                lambda: self._contained_apply(program, decisions,
+                                              diags),
+                lambda: self._demote_all_decisions(
+                    program, decisions, "transform application failed"))
+            if opts.verify_transforms:
+                transformed = guard.run(
+                    "verify",
+                    lambda: self._verify_transforms(
+                        program, decisions, transformed, diags,
+                        rolled_back),
+                    lambda: self._demote_all_decisions(
+                        program, decisions,
+                        "verification machinery failed; transforms "
+                        "withheld"))
         timings["be"] = time.perf_counter() - t0
 
         return CompilationResult(
@@ -143,16 +315,180 @@ class Compiler:
             callgraph=callgraph, legality=legality, escape=escape,
             usage=usage, weights=weights, profiles=profiles,
             decisions=decisions, transformed=transformed,
-            timings=timings)
+            timings=timings, pass_timings=pass_timings,
+            diagnostics=diags, rolled_back=rolled_back)
+
+    # -- conservative fallbacks -------------------------------------------
 
     @staticmethod
-    def _relax(program, legality) -> None:
+    def _fallback_legality(program: Program) -> LegalityResult:
+        """Every type demoted to illegal: nothing will be transformed."""
+        res = LegalityResult(program=program)
+        for name, rec in program.records.items():
+            res.types[name] = TypeInfo(record=rec,
+                                       invalid_reasons={FAULT_REASON})
+        return res
+
+    @staticmethod
+    def _fallback_usage(program: Program) -> UsageResult:
+        """Every field counted as read and written: nothing removable."""
+        res = UsageResult()
+        for name, rec in program.records.items():
+            fu = FieldUsage(record=rec)
+            for f in rec.fields:
+                fu.refs[f.name] = FieldRefs(reads=1, writes=1)
+            res.types[name] = fu
+        return res
+
+    @staticmethod
+    def _fallback_escape(legality: LegalityResult) -> EscapeResult:
+        """Escape analysis failed: assume every type escaped."""
+        for info in legality.types.values():
+            info.invalid_reasons.add(FAULT_REASON)
+        return EscapeResult()
+
+    @staticmethod
+    def _demote_all_decisions(program: Program,
+                              decisions: list[TransformDecision],
+                              why: str) -> Program:
+        for d in decisions:
+            if d.transformed:
+                d.notes.append(f"demoted ({why})")
+                d.action = "none"
+        return program
+
+    # -- summary validation (catches corrupted results) --------------------
+
+    def _validate_legality(self, program: Program,
+                           legality: LegalityResult,
+                           diags: DiagnosticEngine) -> LegalityResult:
+        known = set(ALL_REASONS) | {FAULT_REASON, "ESCP"}
+        if not isinstance(legality, LegalityResult) \
+                or not isinstance(getattr(legality, "types", None), dict):
+            diags.warning("legality",
+                          "summary failed validation; all types "
+                          "demoted", code=CODE_CORRUPT)
+            return self._fallback_legality(program)
+        for name, rec in program.records.items():
+            info = legality.types.get(name)
+            if info is None:
+                legality.types[name] = TypeInfo(
+                    record=rec, invalid_reasons={FAULT_REASON})
+                diags.warning(
+                    "legality", "type missing from summary; demoted",
+                    type_name=name, code=CODE_CORRUPT)
+            elif not info.invalid_reasons <= known:
+                info.invalid_reasons.add(FAULT_REASON)
+                diags.warning(
+                    "legality",
+                    f"unknown violation codes "
+                    f"{sorted(info.invalid_reasons - known)}; demoted",
+                    type_name=name, code=CODE_CORRUPT)
+        return legality
+
+    def _validate_usage(self, program: Program, usage: UsageResult,
+                        diags: DiagnosticEngine) -> UsageResult:
+        if not isinstance(usage, UsageResult) \
+                or not isinstance(getattr(usage, "types", None), dict):
+            diags.warning("deadfields",
+                          "summary failed validation; no fields "
+                          "removable", code=CODE_CORRUPT)
+            return self._fallback_usage(program)
+        for name, fu in list(usage.types.items()):
+            rec = program.records.get(name)
+            if rec is None:
+                continue
+            fields = {f.name for f in rec.fields}
+            if not set(fu.refs) <= fields:
+                diags.warning(
+                    "deadfields",
+                    "summary names unknown fields; type made "
+                    "conservative", type_name=name, code=CODE_CORRUPT)
+                repaired = FieldUsage(record=rec)
+                for f in rec.fields:
+                    repaired.refs[f.name] = FieldRefs(reads=1, writes=1)
+                usage.types[name] = repaired
+        return usage
+
+    @staticmethod
+    def _validate_profiles(profiles: dict[str, TypeProfile],
+                           diags: DiagnosticEngine
+                           ) -> dict[str, TypeProfile]:
+        if not isinstance(profiles, dict):
+            diags.warning("profiles",
+                          "summary failed validation; discarded",
+                          code=CODE_CORRUPT)
+            return {}
+        ok: dict[str, TypeProfile] = {}
+        for name, prof in profiles.items():
+            counts = list(prof.read_counts.values()) \
+                + list(prof.write_counts.values())
+            if any(not math.isfinite(c) or c < 0.0 for c in counts):
+                diags.warning(
+                    "profiles",
+                    "non-finite or negative hotness; profile "
+                    "discarded, type will not be transformed",
+                    type_name=name, code=CODE_CORRUPT)
+                continue
+            ok[name] = prof
+        return ok
+
+    @staticmethod
+    def _validate_decisions(program: Program,
+                            decisions: list[TransformDecision],
+                            diags: DiagnosticEngine
+                            ) -> list[TransformDecision]:
+        if not isinstance(decisions, list):
+            diags.warning("heuristics",
+                          "decision list failed validation; discarded",
+                          code=CODE_CORRUPT)
+            return []
+        ok: list[TransformDecision] = []
+        for d in decisions:
+            if not isinstance(d, TransformDecision):
+                diags.warning("heuristics",
+                              "non-decision entry dropped",
+                              code=CODE_CORRUPT)
+                continue
+            rec = program.records.get(d.type_name)
+            if d.transformed and rec is not None:
+                fields = {f.name for f in rec.fields}
+                named = set(d.dead_fields) | set(d.cold_fields) | \
+                    set(f for g in (d.groups or []) for f in g)
+                if not named <= fields:
+                    diags.warning(
+                        "heuristics",
+                        f"decision names unknown fields "
+                        f"{sorted(named - fields)}; demoted",
+                        type_name=d.type_name, code=CODE_CORRUPT)
+                    d.notes.append("demoted: named unknown fields")
+                    d.action = "none"
+            ok.append(d)
+        return ok
+
+    # -- guarded pass bodies ----------------------------------------------
+
+    def _relax(self, program: Program, legality: LegalityResult,
+               guard: PhaseGuard, diags: DiagnosticEngine) -> None:
         """Clear the relaxable violations for types whose points-to
         sets did not collapse — the sharper legality the paper
-        estimates an upper bound for with its internal flag."""
-        from ..analysis.legality import RELAXABLE_REASONS
+        estimates an upper bound for with its internal flag.  Runs
+        under containment: any points-to failure (including the
+        fixpoint iteration cap) simply skips relaxation, keeping the
+        conservative violations in place."""
         from ..analysis.pointsto import analyze_points_to
-        pointsto = analyze_points_to(program)
+        opts = self.options
+        pointsto = guard.run(
+            "pointsto",
+            lambda: analyze_points_to(
+                program, max_sweeps=opts.pointsto_max_sweeps),
+            lambda: None)
+        if pointsto is None:
+            diags.note("pointsto",
+                       "relaxation skipped: analysis unavailable",
+                       code=CODE_CONTAINED)
+            return
+        from ..analysis.legality import RELAXABLE_REASONS
         for info in legality.types.values():
             if info.invalid_reasons and \
                     info.invalid_reasons <= RELAXABLE_REASONS and \
@@ -176,6 +512,138 @@ class Compiler:
             return estimate_ispbo_w(cfgs, callgraph, nests,
                                     entry=opts.entry)
         raise ValueError(f"unknown scheme {scheme!r}")
+
+    def _contained_apply(self, program: Program,
+                         decisions: list[TransformDecision],
+                         diags: DiagnosticEngine) -> Program:
+        """Apply decisions one type at a time; a failing application
+        demotes only that type's decision and the rest still apply."""
+        current = program
+        for d in decisions:
+            if not d.transformed:
+                continue
+            try:
+                current = apply_decisions(current, [d])
+            except Exception as exc:
+                if self.options.strict:
+                    raise FatalCompilerError(
+                        "apply", f"transform of {d.type_name!r} "
+                                 f"failed: {exc}", cause=exc) from exc
+                diags.warning(
+                    "apply",
+                    f"{d.action} failed ({type(exc).__name__}: {exc}); "
+                    f"type left untransformed",
+                    type_name=d.type_name, code=CODE_CONTAINED,
+                    action="report a rewriter bug with this source")
+                d.notes.append(f"contained apply failure: {exc}")
+                d.action = "none"
+        return current
+
+    # -- differential rollback --------------------------------------------
+
+    def _verify_transforms(self, program: Program,
+                           decisions: list[TransformDecision],
+                           transformed: Program,
+                           diags: DiagnosticEngine,
+                           rolled_back: list[str]) -> Program:
+        """Execute original vs transformed with a bounded cycle budget;
+        on any divergence or trap, bisect the decision list, roll back
+        the offending decision(s), and re-apply the rest."""
+        from ..runtime.run import try_run_program
+        opts = self.options
+        active = [d for d in decisions if d.transformed]
+        if not active:
+            return transformed
+        base = try_run_program(program,
+                               cycle_limit=opts.verify_cycle_base,
+                               entry=opts.entry)
+        if base.trap == "StepLimitExceeded":
+            diags.warning(
+                "verify",
+                f"original program exceeds the "
+                f"{opts.verify_cycle_base:,}-cycle verification "
+                f"budget; verification inconclusive, transforms kept",
+                code=CODE_VERIFY,
+                action="raise verify_cycle_base to verify this program")
+            return transformed
+        if base.trap is not None:
+            diags.note(
+                "verify",
+                f"original program not executable ({base.trap}); "
+                f"differential verification skipped", code=CODE_VERIFY)
+            return transformed
+        budget = int(base.cycles * opts.verify_cycle_factor) \
+            + opts.verify_cycle_slack
+
+        def outcome_of(prog: Program):
+            return try_run_program(prog, cycle_limit=budget,
+                                   entry=opts.entry)
+
+        def equivalent(out) -> bool:
+            return (out.trap is None and out.stdout == base.stdout
+                    and out.exit_code == base.exit_code)
+
+        def prefix_fails(k: int) -> bool:
+            if k == 0:
+                return False
+            try:
+                prog = apply_decisions(program, active[:k])
+            except Exception:
+                return True
+            return not equivalent(outcome_of(prog))
+
+        current = transformed
+        out = outcome_of(current)
+        while not equivalent(out):
+            if not active:
+                # identity compile still diverges: the divergence is
+                # not caused by any decision (should be impossible on
+                # the deterministic machine)
+                diags.error(
+                    "verify",
+                    "program diverges from itself with no transforms "
+                    "applied; emitting the original",
+                    code=CODE_VERIFY)
+                return program
+            if self.options.strict:
+                raise FatalCompilerError(
+                    "verify",
+                    f"transformed program diverged "
+                    f"(trap={out.trap}, exit={out.exit_code})")
+            # bisect: smallest k with apply(active[:k]) diverging
+            lo, hi = 0, len(active)
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if prefix_fails(mid):
+                    hi = mid
+                else:
+                    lo = mid
+            offender = active.pop(hi - 1)
+            rolled_back.append(offender.type_name)
+            why = f"trap {out.trap}" if out.trap is not None \
+                else "output mismatch"
+            diags.warning(
+                "verify",
+                f"rolled back {offender.action}: transformed program "
+                f"diverged ({why})", type_name=offender.type_name,
+                code=CODE_ROLLBACK,
+                action="report a rewriter/legality bug for this type")
+            offender.notes.append(
+                f"rolled back by differential verification ({why})")
+            offender.action = "none"
+            try:
+                current = apply_decisions(program, active)
+            except Exception:
+                # re-application failed without the offender: demote
+                # everything that is left and emit the original
+                for d in active:
+                    rolled_back.append(d.type_name)
+                    d.notes.append("rolled back: re-application failed")
+                    d.action = "none"
+                active = []
+                current = program
+            out = outcome_of(current)
+        return current
 
 
 def compile_program(program: Program,

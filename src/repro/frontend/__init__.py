@@ -2,7 +2,7 @@
 
 from .lexer import tokenize, LexError, Token
 from .parser import parse, parse_expr, ParseError
-from .program import Program
+from .program import FrontendError, Program
 from .sema import analyze, SemaError, LIBC_SIGNATURES, ALLOC_FUNCTIONS
 from .typesys import (
     Type, VoidType, IntType, FloatType, PointerType, ArrayType,
@@ -13,7 +13,8 @@ from .typesys import (
 
 __all__ = [
     "tokenize", "LexError", "Token", "parse", "parse_expr", "ParseError",
-    "Program", "analyze", "SemaError", "LIBC_SIGNATURES", "ALLOC_FUNCTIONS",
+    "Program", "FrontendError", "analyze", "SemaError",
+    "LIBC_SIGNATURES", "ALLOC_FUNCTIONS",
     "Type", "VoidType", "IntType", "FloatType", "PointerType", "ArrayType",
     "FunctionType", "RecordType", "Field", "NamedType",
     "VOID", "CHAR", "UCHAR", "SHORT", "USHORT", "INT", "UINT", "LONG",

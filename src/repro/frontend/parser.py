@@ -22,6 +22,8 @@ class ParseError(Exception):
     def __init__(self, message: str, token: Token):
         super().__init__(f"line {token.line}: {message} (at {token.text!r})")
         self.token = token
+        self.line = token.line
+        self.message = message
 
 
 _BASE_TYPE_KWS = frozenset({
@@ -31,12 +33,18 @@ _BASE_TYPE_KWS = frozenset({
 
 
 class Parser:
-    def __init__(self, tokens: list[Token], unit_name: str = "<unit>"):
+    def __init__(self, tokens: list[Token], unit_name: str = "<unit>",
+                 recover: bool = False):
         self.tokens = tokens
         self.pos = 0
         self.unit_name = unit_name
         self.struct_tags: dict[str, RecordType] = {}
         self.typedefs: dict[str, NamedType] = {}
+        #: error-recovery mode: collect ParseErrors in :attr:`errors`
+        #: and resynchronize at the next top-level declaration instead
+        #: of dying on the first syntax error
+        self.recover = recover
+        self.errors: list[ParseError] = []
 
     # -- token plumbing -------------------------------------------------
 
@@ -195,8 +203,36 @@ class Parser:
     def parse_translation_unit(self) -> ast.TranslationUnit:
         unit = ast.TranslationUnit(name=self.unit_name)
         while not self.check("eof"):
-            unit.decls.extend(self.parse_top_decl())
+            if self.recover and (self.accept("op", ";")
+                                 or self.accept("op", "}")):
+                continue             # stray recovery residue
+            try:
+                unit.decls.extend(self.parse_top_decl())
+            except ParseError as err:
+                if not self.recover:
+                    raise
+                self.errors.append(err)
+                self._synchronize()
         return unit
+
+    def _synchronize(self) -> None:
+        """Skip to the most likely start of the next top-level
+        declaration: past a ``;`` at brace depth zero, or past the
+        closing ``}`` of the aborted definition."""
+        depth = 0
+        while not self.check("eof"):
+            t = self.advance()
+            if t.kind != "op":
+                continue
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                if depth <= 1:
+                    self.accept("op", ";")
+                    return
+                depth -= 1
+            elif t.text == ";" and depth == 0:
+                return
 
     def parse_top_decl(self) -> list[ast.Node]:
         line = self.tok.line

@@ -11,11 +11,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from . import ast
-from .lexer import tokenize
-from .parser import Parser
-from .sema import SemanticAnalyzer
+from .lexer import LexError, tokenize
+from .parser import ParseError, Parser
+from .sema import SemaError, SemanticAnalyzer
 from .symbols import ProgramSymbols, FunctionSymbol, Symbol
 from .typesys import RecordType, NamedType
+
+
+@dataclass
+class FrontendError:
+    """One recovered frontend error: which unit, where, and what."""
+
+    unit: str
+    line: int
+    message: str
+    kind: str = "parse"          # lex | parse | sema
+
+    def __str__(self) -> str:
+        return f"{self.unit}:{self.line}: {self.message}"
 
 
 @dataclass
@@ -24,26 +37,57 @@ class Program:
     symbols: ProgramSymbols = field(default_factory=ProgramSymbols)
     records: dict[str, RecordType] = field(default_factory=dict)
     typedefs: dict[str, NamedType] = field(default_factory=dict)
+    #: frontend errors collected in ``recover`` mode (empty otherwise)
+    frontend_errors: list[FrontendError] = field(default_factory=list)
 
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def from_sources(cls, sources: list[tuple[str, str]]) -> "Program":
-        """Build a program from ``[(unit_name, source_text), ...]``."""
+    def from_sources(cls, sources: list[tuple[str, str]],
+                     recover: bool = False) -> "Program":
+        """Build a program from ``[(unit_name, source_text), ...]``.
+
+        With ``recover=True`` the frontend does not raise on broken
+        input: the parser resynchronizes after each syntax error so
+        *all* errors in a unit are reported, and every lex/parse/sema
+        error is collected into :attr:`frontend_errors` (units that
+        fail semantic analysis are dropped from the program).
+        """
         prog = cls()
         sema = SemanticAnalyzer(prog.symbols)
         for unit_name, text in sources:
-            parser = Parser(tokenize(text, unit_name), unit_name)
+            try:
+                tokens = tokenize(text, unit_name)
+            except LexError as err:
+                if not recover:
+                    raise
+                prog.frontend_errors.append(FrontendError(
+                    unit=unit_name, line=err.line, message=str(err),
+                    kind="lex"))
+                continue
+            parser = Parser(tokens, unit_name, recover=recover)
             parser.struct_tags = prog.records
             parser.typedefs = prog.typedefs
             unit = parser.parse_translation_unit()
-            sema.analyze(unit)
+            prog.frontend_errors.extend(FrontendError(
+                unit=unit_name, line=err.line, message=err.message)
+                for err in parser.errors)
+            try:
+                sema.analyze(unit)
+            except SemaError as err:
+                if not recover:
+                    raise
+                prog.frontend_errors.append(FrontendError(
+                    unit=unit_name, line=getattr(err, "line", 0),
+                    message=str(err), kind="sema"))
+                continue
             prog.units.append(unit)
         return prog
 
     @classmethod
-    def from_source(cls, text: str, unit_name: str = "main.c") -> "Program":
-        return cls.from_sources([(unit_name, text)])
+    def from_source(cls, text: str, unit_name: str = "main.c",
+                    recover: bool = False) -> "Program":
+        return cls.from_sources([(unit_name, text)], recover=recover)
 
     # -- queries -------------------------------------------------------------
 

@@ -10,7 +10,7 @@ from .machine import (
     ExitProgram, StepLimitExceeded,
 )
 from .codegen import CompiledProgram, CompiledFunction, CompileError
-from .run import run_program, RunResult
+from .run import run_program, try_run_program, RunResult, RunOutcome
 
 __all__ = [
     "Memory", "MemoryError_", "Allocation",
@@ -19,5 +19,5 @@ __all__ = [
     "Machine", "PMU", "EdgeProfiler", "SiteInfo", "FieldSample",
     "ExitProgram", "StepLimitExceeded",
     "CompiledProgram", "CompiledFunction", "CompileError",
-    "run_program", "RunResult",
+    "run_program", "try_run_program", "RunResult", "RunOutcome",
 ]

@@ -39,3 +39,46 @@ def run_program(program, cache_config: CacheConfig = ITANIUM2_SCALED,
     return RunResult(exit_code=code, cycles=machine.cycles,
                      stdout=machine.stdout, machine=machine,
                      compiled=compiled)
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Observable behaviour of one execution, trap included.
+
+    The differential verifier compares these: two programs are
+    output-equivalent when their stdout and exit code match and neither
+    trapped.  ``trap`` holds the exception class name when the
+    interpreter faulted (codegen error, invalid free, cycle-budget
+    exhaustion, ...) instead of exiting."""
+
+    stdout: str
+    exit_code: int
+    cycles: int
+    trap: str | None = None
+    trap_message: str = ""
+
+    @property
+    def completed(self) -> bool:
+        return self.trap is None
+
+    def same_behaviour(self, other: "RunOutcome") -> bool:
+        return (self.trap is None and other.trap is None
+                and self.stdout == other.stdout
+                and self.exit_code == other.exit_code)
+
+
+def try_run_program(program, cycle_limit: int = 2_000_000_000,
+                    entry: str = "main",
+                    cache_config: CacheConfig = ITANIUM2_SCALED
+                    ) -> RunOutcome:
+    """Run ``program``, converting any interpreter trap into a
+    :class:`RunOutcome` instead of an exception."""
+    try:
+        r = run_program(program, cache_config=cache_config,
+                        cycle_limit=cycle_limit, entry=entry)
+    except Exception as exc:          # traps become data, never raise
+        return RunOutcome(stdout="", exit_code=-1, cycles=0,
+                          trap=type(exc).__name__,
+                          trap_message=str(exc))
+    return RunOutcome(stdout=r.stdout, exit_code=r.exit_code,
+                      cycles=r.cycles)
