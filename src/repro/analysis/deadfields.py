@@ -76,25 +76,33 @@ class UsageResult:
         return self.types[type_name]
 
 
-def analyze_field_usage(program: Program) -> UsageResult:
-    """Count static reads/writes of every struct field in the program."""
-    result = UsageResult()
-    for rec in program.record_types():
-        if rec.fields:
-            result.types[rec.name] = FieldUsage(rec)
+@dataclass
+class UnitUsage:
+    """Per-TU field-reference summary — plain data, picklable, keyed by
+    ``(record name, field name)`` so the IPA merge can sum counts across
+    units without any AST objects."""
 
-    def usage_of(rec: RecordType) -> FieldUsage | None:
-        return result.types.get(rec.name)
+    unit: str = ""
+    #: (record name, field name) -> [reads, writes]
+    counts: dict[tuple[str, str], list[int]] = field(default_factory=dict)
+    #: fault containment marker: merge treats every field as referenced
+    demote_all: bool = False
+
+
+def summarize_unit_usage(unit: ast.TranslationUnit) -> UnitUsage:
+    """Count static reads/writes of struct fields inside one TU."""
+    summary = UnitUsage(unit=unit.name)
+    counts = summary.counts
 
     def note(member: ast.Member, reads: int, writes: int) -> None:
         if member.record is None:
             return
-        u = usage_of(member.record)
-        if u is None:
-            return
-        r = u.of(member.name)
-        r.reads += reads
-        r.writes += writes
+        key = (member.record.name, member.name)
+        c = counts.get(key)
+        if c is None:
+            c = counts[key] = [0, 0]
+        c[0] += reads
+        c[1] += writes
 
     def scan(e: ast.Expr, as_read: bool = True) -> None:
         if isinstance(e, ast.Assign):
@@ -131,11 +139,48 @@ def analyze_field_usage(program: Program) -> UsageResult:
         for child in ast.child_exprs(e):
             scan(child)
 
-    for fn in program.functions():
+    for fn in unit.functions():
         for s in ast.walk_stmts(fn.body):
             for e in ast.stmt_exprs(s):
                 scan(e)
-    for g in program.globals():
+    for g in unit.globals():
         if g.init is not None:
             scan(g.init)
+    return summary
+
+
+def fallback_unit_usage(unit_name: str) -> UnitUsage:
+    """Conservative summary for a contained per-unit scan."""
+    return UnitUsage(unit=unit_name, demote_all=True)
+
+
+def merge_unit_usage(program: Program,
+                     summaries: list[UnitUsage]) -> UsageResult:
+    """Sum per-TU reference counts into the whole-program result."""
+    result = UsageResult()
+    for rec in program.record_types():
+        if rec.fields:
+            result.types[rec.name] = FieldUsage(rec)
+    for s in summaries:
+        if s.demote_all:
+            # claim a read+write of every field: nothing looks dead
+            for u in result.types.values():
+                for f in u.record.fields:
+                    r = u.of(f.name)
+                    r.reads += 1
+                    r.writes += 1
+            continue
+        for (rec_name, fname), (reads, writes) in s.counts.items():
+            u = result.types.get(rec_name)
+            if u is None:
+                continue
+            r = u.of(fname)
+            r.reads += reads
+            r.writes += writes
     return result
+
+
+def analyze_field_usage(program: Program) -> UsageResult:
+    """Count static reads/writes of every struct field in the program."""
+    return merge_unit_usage(
+        program, [summarize_unit_usage(u) for u in program.units])

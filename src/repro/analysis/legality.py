@@ -44,15 +44,23 @@ SMAL_THRESHOLD = 2
 
 @dataclass(eq=False)
 class AllocSite:
-    """One dynamic allocation of a record type."""
+    """One dynamic allocation of a record type.
+
+    Carries only plain data (plus the owning record) so per-TU legality
+    summaries can be pickled as §2-style summary files;
+    ``count_expr_ok`` preserves the one fact the heuristics needed the
+    call AST for — whether the allocation's size expression is
+    analyzable by the rewriters (:func:`extract_alloc_count`).
+    """
 
     record: RecordType
     function: str
-    call: ast.Call
     line: int
     #: statically-known element count, or None when dynamic
     count: int | None = None
     kind: str = "malloc"       # malloc / calloc / realloc
+    #: the rewriters can extract this site's element-count expression
+    count_expr_ok: bool = True
 
     def __repr__(self) -> str:
         n = self.count if self.count is not None else "?"
@@ -162,61 +170,78 @@ def direct_record_of(t: Type) -> RecordType | None:
     return t if t.is_record() else None
 
 
-class LegalityAnalyzer:
-    """Runs the FE pass over every function and global."""
+@dataclass
+class UnitAllocSite:
+    """Plain-data allocation site inside one TU summary."""
 
-    def __init__(self, program: Program):
-        self.program = program
-        self.result = LegalityResult(program)
-        for rec in program.record_types():
-            if rec.fields:   # ignore empty forward declarations
-                self.result.types[rec.name] = TypeInfo(rec)
+    record: str
+    function: str
+    line: int
+    count: int | None
+    kind: str
+    count_expr_ok: bool
 
-    def _info(self, rec: RecordType | None) -> TypeInfo | None:
-        if rec is None:
-            return None
-        return self.result.types.get(rec.name)
+
+@dataclass
+class UnitLegality:
+    """The per-TU legality summary — the repo's IELF summary record.
+
+    Everything in here is plain data keyed by record-type *name*, so a
+    summary can be pickled to the on-disk summary cache and merged into
+    a :class:`LegalityResult` against any structurally-identical
+    program.  Facts that need whole-program knowledge (LIBC-vs-escape
+    classification, global scans, type nesting, SMAL) are either
+    deferred to the merge (``callee_args``) or recomputed there from
+    the program itself (globals, nesting — both cheap).
+    """
+
+    unit: str = ""
+    #: record name -> locally-decided violation reasons
+    reasons: dict[str, set[str]] = field(default_factory=dict)
+    #: (record name, callee name) pairs whose LIBC/escape status the
+    #: merge decides once the whole-program symbol table exists
+    callee_args: list[tuple[str, str]] = field(default_factory=list)
+    alloc_sites: list[UnitAllocSite] = field(default_factory=list)
+    freed: set[str] = field(default_factory=set)
+    realloced: set[str] = field(default_factory=set)
+    address_taken: dict[str, set[str]] = field(default_factory=dict)
+    local_ptr: set[str] = field(default_factory=set)
+    local_var: set[str] = field(default_factory=set)
+    static_array: set[str] = field(default_factory=set)
+    #: fault containment marker: merge demotes every type (FAULT)
+    demote_all: bool = False
+
+    def add_reason(self, rec_name: str, reason: str) -> None:
+        self.reasons.setdefault(rec_name, set()).add(reason)
+
+
+class _UnitScanner:
+    """Scans one translation unit into a :class:`UnitLegality`."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.summary = UnitLegality(unit=unit.name)
+        self._callee_args: set[tuple[str, str]] = set()
+
+    @staticmethod
+    def _eligible(rec: RecordType | None) -> bool:
+        # mirror LegalityResult membership: defined types only
+        return rec is not None and bool(rec.fields)
 
     def invalidate(self, rec: RecordType | None, reason: str) -> None:
-        info = self._info(rec)
-        if info is not None:
-            info.invalid_reasons.add(reason)
+        if self._eligible(rec):
+            self.summary.add_reason(rec.name, reason)
 
-    # -- driver --------------------------------------------------------------
+    # -- driver -------------------------------------------------------------
 
-    def run(self) -> LegalityResult:
-        self._scan_type_nesting()
-        self._scan_globals()
-        for fn in self.program.functions():
+    def run(self) -> UnitLegality:
+        for fn in self.unit.functions():
             self._scan_function(fn)
-        self._apply_smal()
-        return self.result
+        # deterministic order for byte-identical pickled summaries
+        self.summary.callee_args = sorted(self._callee_args)
+        return self.summary
 
-    # -- structural scans ---------------------------------------------------
-
-    def _scan_type_nesting(self) -> None:
-        for info in self.result.types.values():
-            for inner in info.record.nested_records():
-                self.invalidate(inner, "NEST")
-                self.invalidate(info.record, "NEST")
-
-    def _scan_globals(self) -> None:
-        for g in self.program.globals():
-            t = g.decl_type.strip()
-            rec = record_of(t)
-            info = self._info(rec)
-            if info is None:
-                continue
-            if t.is_pointer():
-                info.has_global_ptr = True
-                if direct_record_of(t) is rec:
-                    info.global_ptr_symbols.append(g.symbol)
-            elif t.is_array():
-                info.has_static_array = True
-            elif t.is_record():
-                info.has_global_var = True
-
-    # -- function scan ---------------------------------------------------------
+    # -- function scan ------------------------------------------------------
 
     def _scan_function(self, fn: ast.FunctionDef) -> None:
         for p in fn.params:
@@ -230,19 +255,18 @@ class LegalityAnalyzer:
     def _note_var(self, t: Type, is_local: bool) -> None:
         t = t.strip()
         rec = record_of(t)
-        info = self._info(rec)
-        if info is None:
+        if not self._eligible(rec):
             return
         if t.is_pointer():
             if is_local:
-                info.has_local_ptr = True
+                self.summary.local_ptr.add(rec.name)
         elif t.is_array():
-            info.has_static_array = True
+            self.summary.static_array.add(rec.name)
         elif t.is_record():
             if is_local:
-                info.has_local_var = True
+                self.summary.local_var.add(rec.name)
 
-    # -- expression scan ---------------------------------------------------------
+    # -- expression scan ----------------------------------------------------
 
     def _scan_expr(self, e: ast.Expr, fn: ast.FunctionDef,
                    in_call_arg: bool) -> None:
@@ -252,11 +276,11 @@ class LegalityAnalyzer:
             return
         if isinstance(e, ast.Unary) and e.op == "&":
             if isinstance(e.operand, ast.Member):
-                if not in_call_arg:
-                    self.invalidate(e.operand.record, "ATKN")
-                    info = self._info(e.operand.record)
-                    if info is not None:
-                        info.address_taken_fields.add(e.operand.name)
+                if not in_call_arg and self._eligible(e.operand.record):
+                    rec_name = e.operand.record.name
+                    self.summary.add_reason(rec_name, "ATKN")
+                    self.summary.address_taken.setdefault(
+                        rec_name, set()).add(e.operand.name)
             self._scan_expr(e.operand, fn, in_call_arg=False)
             return
         if isinstance(e, ast.Call):
@@ -294,60 +318,172 @@ class LegalityAnalyzer:
 
     def _record_alloc(self, rec: RecordType, call: ast.Call,
                       fn: ast.FunctionDef, kind: str) -> None:
-        info = self._info(rec)
-        if info is None:
+        if not self._eligible(rec):
             return
+        from ..transform.common import extract_alloc_count
         count = _alloc_count(call, rec)
-        info.alloc_sites.append(AllocSite(
-            record=rec, function=fn.name, call=call, line=call.line,
-            count=count, kind=kind))
+        self.summary.alloc_sites.append(UnitAllocSite(
+            record=rec.name, function=fn.name, line=call.line,
+            count=count, kind=kind,
+            count_expr_ok=extract_alloc_count(call, rec) is not None))
         if kind == "realloc":
-            info.realloced = True
+            self.summary.realloced.add(rec.name)
 
     def _scan_call(self, e: ast.Call, fn: ast.FunctionDef) -> None:
         callee = e.resolved_callee
         self._scan_expr(e.func, fn, in_call_arg=False)
-
-        # classify the callee
         is_indirect = callee is None
-        sym = None if is_indirect else \
-            self.program.function_symbol(callee)
-        is_defined = (not is_indirect) and \
-            self.program.has_function(callee)
-        is_libc = sym is not None and getattr(sym, "is_libc", False) \
-            and not is_defined
 
         for arg in e.args:
             self._scan_expr(arg, fn, in_call_arg=True)
             rec = record_of(arg.type) if arg.type is not None else None
-            info = self._info(rec)
-            if info is None:
+            if not self._eligible(rec):
                 continue
             if is_indirect:
                 self.invalidate(rec, "IND")
             elif callee == "free":
-                info.freed = True
+                self.summary.freed.add(rec.name)
             elif callee in ALLOC_FUNCTIONS:
                 if callee == "realloc":
-                    info.realloced = True
+                    self.summary.realloced.add(rec.name)
             elif callee in MEMSTREAM_FUNCTIONS:
                 self.invalidate(rec, "MSET")
-            elif is_libc:
-                self.invalidate(rec, "LIBC")
             else:
-                # non-library callee: record the <type, function> tuple;
+                # named, non-allocator callee: whether this is a LIBC
+                # violation or a <type, function> escape tuple depends
+                # on the whole-program symbol table — defer to merge
+                self._callee_args.add((rec.name, callee))
+
+
+def summarize_unit_legality(unit: ast.TranslationUnit) -> UnitLegality:
+    """The per-TU half of the legality analysis (pure in the unit)."""
+    return _UnitScanner(unit).run()
+
+
+def fallback_unit_legality(unit_name: str) -> UnitLegality:
+    """Conservative summary for a unit whose scan was contained: the
+    merge demotes every type (the unit could have mentioned any)."""
+    return UnitLegality(unit=unit_name, demote_all=True)
+
+
+def merge_unit_legality(program: Program,
+                        summaries: list[UnitLegality]) -> LegalityResult:
+    """IPA half: combine per-TU summaries into a whole-program result.
+
+    Deterministic by construction — summaries are merged in unit order
+    and every whole-program scan iterates the program's own ordered
+    tables, so the result is independent of how (or where) the per-TU
+    halves were computed.
+    """
+    result = LegalityResult(program=program)
+    types = result.types
+    for rec in program.record_types():
+        if rec.fields:   # ignore empty forward declarations
+            types[rec.name] = TypeInfo(rec)
+
+    # structural whole-program scans (cheap; need the full type table)
+    for info in types.values():
+        for inner in info.record.nested_records():
+            inner_info = types.get(inner.name) if inner is not None \
+                else None
+            if inner_info is not None:
+                inner_info.invalid_reasons.add("NEST")
+            info.invalid_reasons.add("NEST")
+    for g in program.globals():
+        t = g.decl_type.strip()
+        rec = record_of(t)
+        info = types.get(rec.name) if rec is not None else None
+        if info is None:
+            continue
+        if t.is_pointer():
+            info.has_global_ptr = True
+            if direct_record_of(t) is rec:
+                info.global_ptr_symbols.append(g.symbol)
+        elif t.is_array():
+            info.has_static_array = True
+        elif t.is_record():
+            info.has_global_var = True
+
+    # whole-program callee classification context
+    defined = {fn.name for fn in program.functions()}
+
+    for s in summaries:
+        if s.demote_all:
+            for info in types.values():
+                info.invalid_reasons.add("FAULT")
+            continue
+        for name, reasons in s.reasons.items():
+            info = types.get(name)
+            if info is not None:
+                info.invalid_reasons |= reasons
+        for site in s.alloc_sites:
+            info = types.get(site.record)
+            if info is None:
+                continue
+            info.alloc_sites.append(AllocSite(
+                record=info.record, function=site.function,
+                line=site.line, count=site.count, kind=site.kind,
+                count_expr_ok=site.count_expr_ok))
+        for name in s.freed:
+            info = types.get(name)
+            if info is not None:
+                info.freed = True
+        for name in s.realloced:
+            info = types.get(name)
+            if info is not None:
+                info.realloced = True
+        for name, fields in s.address_taken.items():
+            info = types.get(name)
+            if info is not None:
+                info.address_taken_fields |= fields
+        for name in s.local_ptr:
+            info = types.get(name)
+            if info is not None:
+                info.has_local_ptr = True
+        for name in s.local_var:
+            info = types.get(name)
+            if info is not None:
+                info.has_local_var = True
+        for name in s.static_array:
+            info = types.get(name)
+            if info is not None:
+                info.has_static_array = True
+        for name, callee in s.callee_args:
+            info = types.get(name)
+            if info is None:
+                continue
+            sym = program.function_symbol(callee)
+            is_libc = sym is not None \
+                and getattr(sym, "is_libc", False) \
+                and callee not in defined
+            if is_libc:
+                info.invalid_reasons.add("LIBC")
+            else:
                 # the IPA escape analysis decides whether the callee is
                 # inside the compilation scope (see analysis.escape)
                 info.escapes_to.add(callee)
 
-    # -- SMAL --------------------------------------------------------------
+    # SMAL needs the merged site list
+    for info in types.values():
+        for site in info.alloc_sites:
+            if site.count is not None and site.count < SMAL_THRESHOLD:
+                info.invalid_reasons.add("SMAL")
+                break
+    return result
 
-    def _apply_smal(self) -> None:
-        for info in self.result.types.values():
-            for site in info.alloc_sites:
-                if site.count is not None and site.count < SMAL_THRESHOLD:
-                    info.invalid_reasons.add("SMAL")
-                    break
+
+class LegalityAnalyzer:
+    """Whole-program driver, kept for API compatibility: summarizes
+    each unit and merges — the same halves the parallel pipeline and
+    the summary cache use separately."""
+
+    def __init__(self, program: Program):
+        self.program = program
+
+    def run(self) -> LegalityResult:
+        summaries = [summarize_unit_legality(u)
+                     for u in self.program.units]
+        return merge_unit_legality(self.program, summaries)
 
 
 def _alloc_count(call: ast.Call, rec: RecordType) -> int | None:

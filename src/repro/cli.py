@@ -49,7 +49,7 @@ class CliError(Exception):
         self.code = code
 
 
-def _load_program(paths: list[str]) -> Program:
+def _read_sources(paths: list[str]) -> list[tuple[str, str]]:
     sources = []
     for p in paths:
         path = Path(p)
@@ -58,7 +58,10 @@ def _load_program(paths: list[str]) -> Program:
         except OSError as exc:
             raise CliError(f"cannot read '{p}': {exc.strerror or exc}",
                            EXIT_USAGE) from exc
-    program = Program.from_sources(sources, recover=True)
+    return sources
+
+
+def _reject_frontend_errors(program: Program) -> None:
     if program.frontend_errors:
         for err in program.frontend_errors:
             print(f"repro: error: {err.unit}:{err.line}: {err.message}",
@@ -66,7 +69,21 @@ def _load_program(paths: list[str]) -> Program:
         raise CliError(
             f"{len(program.frontend_errors)} error(s) in source",
             EXIT_COMPILE)
+
+
+def _load_program(paths: list[str]) -> Program:
+    program = Program.from_sources(_read_sources(paths), recover=True)
+    _reject_frontend_errors(program)
     return program
+
+
+def _compile(paths: list[str],
+             options: CompilerOptions) -> CompilationResult:
+    """Read, parse (in parallel when ``--jobs`` asks for it, through the
+    summary cache when ``--cache-dir`` names one) and compile."""
+    result = Compiler(options).compile_sources(_read_sources(paths))
+    _reject_frontend_errors(result.program)
+    return result
 
 
 class OptionBundle(NamedTuple):
@@ -90,11 +107,16 @@ def _options(args) -> OptionBundle:
         scheme = "PBO"
     verify = (getattr(args, "verify_default", False)
               and not getattr(args, "no_verify", False))
+    cache_dir = getattr(args, "cache_dir", None)
+    if getattr(args, "no_cache", False):
+        cache_dir = None
     options = CompilerOptions(
         scheme=scheme, feedback=feedback, params=params,
         relax_legality=getattr(args, "relax", False),
         strict=getattr(args, "strict", False),
-        verify_transforms=verify)
+        verify_transforms=verify,
+        jobs=getattr(args, "jobs", 1) or 1,
+        cache_dir=cache_dir)
     return OptionBundle(options, feedback)
 
 
@@ -116,10 +138,9 @@ def _first_divergence(before: str, after: str) -> str:
 
 
 def cmd_analyze(args) -> int:
-    program = _load_program(args.files)
     options = _options(args).options
     options.transform = False
-    result = Compiler(options).compile(program)
+    result = _compile(args.files, options)
 
     types, legal, relaxed = result.table1_row()
     print(f"record types: {types}  legal: {legal}  "
@@ -139,10 +160,9 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_advise(args) -> int:
-    program = _load_program(args.files)
     options, feedback = _options(args)
     options.transform = False
-    result = Compiler(options).compile(program)
+    result = _compile(args.files, options)
     print(advisor_report(result, feedback=feedback))
     print("scenario advice (section 3.3):")
     for name, profile in result.profiles.items():
@@ -165,9 +185,8 @@ def cmd_advise(args) -> int:
 
 
 def cmd_transform(args) -> int:
-    program = _load_program(args.files)
     options = _options(args).options
-    result = Compiler(options).compile(program)
+    result = _compile(args.files, options)
     transformed = result.transformed_types()
     print(f"transformed {len(transformed)} type(s): "
           f"{', '.join(d.type_name for d in transformed) or '-'}",
@@ -200,9 +219,8 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    program = _load_program(args.files)
     options = _options(args).options
-    result = Compiler(options).compile(program)
+    result = _compile(args.files, options)
     before = run_program(result.program, cycle_limit=args.cycle_limit)
     after = run_program(result.transformed,
                         cycle_limit=args.cycle_limit)
@@ -255,6 +273,15 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--strict", action="store_true",
                            help="abort on the first contained fault "
                                 "instead of degrading gracefully")
+            p.add_argument("-j", "--jobs", type=int, default=1,
+                           metavar="N",
+                           help="parse translation units with N "
+                                "parallel workers (default 1)")
+            p.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="keep per-TU summaries in DIR so "
+                                "unchanged units are not re-analyzed")
+            p.add_argument("--no-cache", action="store_true",
+                           help="ignore --cache-dir for this run")
 
     p = sub.add_parser("analyze", help="legality + planned transforms")
     add_common(p)

@@ -2,24 +2,31 @@
 
 from .diagnostics import (
     Diagnostic, DiagnosticEngine, FatalCompilerError, SourceLoc,
-    SEVERITIES, CODE_BUDGET, CODE_CONTAINED, CODE_CORRUPT, CODE_MISMATCH,
-    CODE_PARSE, CODE_ROLLBACK, CODE_VERIFY,
+    SEVERITIES, CODE_BUDGET, CODE_CACHE, CODE_CONTAINED, CODE_CORRUPT,
+    CODE_MISMATCH, CODE_PARSE, CODE_ROLLBACK, CODE_VERIFY,
 )
 from .faults import (
     FAULTS, FaultRegistry, FaultSpec, InjectedFault, INJECTABLE_PASSES,
     inject_fault,
 )
+from .fe import FEReport, UnifyError, assemble_program
 from .pipeline import (
     Compiler, CompilerOptions, CompilationResult, PhaseGuard,
-    compile_program, compile_source, FAULT_REASON, SCHEMES,
+    compile_program, compile_source, compile_sources, FAULT_REASON,
+    SCHEMES,
 )
+from .summarycache import CacheEvent, SummaryCache, fingerprint
 
 __all__ = [
     "Compiler", "CompilerOptions", "CompilationResult", "PhaseGuard",
-    "compile_program", "compile_source", "FAULT_REASON", "SCHEMES",
+    "compile_program", "compile_source", "compile_sources",
+    "FAULT_REASON", "SCHEMES",
     "Diagnostic", "DiagnosticEngine", "FatalCompilerError", "SourceLoc",
-    "SEVERITIES", "CODE_BUDGET", "CODE_CONTAINED", "CODE_CORRUPT",
-    "CODE_MISMATCH", "CODE_PARSE", "CODE_ROLLBACK", "CODE_VERIFY",
+    "SEVERITIES", "CODE_BUDGET", "CODE_CACHE", "CODE_CONTAINED",
+    "CODE_CORRUPT", "CODE_MISMATCH", "CODE_PARSE", "CODE_ROLLBACK",
+    "CODE_VERIFY",
     "FAULTS", "FaultRegistry", "FaultSpec", "InjectedFault",
     "INJECTABLE_PASSES", "inject_fault",
+    "FEReport", "UnifyError", "assemble_program",
+    "CacheEvent", "SummaryCache", "fingerprint",
 ]

@@ -35,6 +35,8 @@ CODE_ROLLBACK = "rollback"             # transform undone by verification
 CODE_PARSE = "parse-error"             # frontend syntax/semantic error
 CODE_MISMATCH = "output-mismatch"      # compare found diverging output
 CODE_VERIFY = "verify"                 # verification status notes
+CODE_CACHE = "cache"                   # summary-cache events (corrupt entry
+                                       # discarded, hit/miss accounting)
 
 
 @dataclass(frozen=True)

@@ -52,7 +52,10 @@ class FaultSpec:
     fired: int = 0                    # times the fault actually triggered
 
     def __post_init__(self):
-        if self.pass_name not in INJECTABLE_PASSES:
+        # per-unit sub-passes are named "<pass>[<unit>]" (for example
+        # "legality[a.c]") and are injectable like their parent pass
+        base = self.pass_name.split("[", 1)[0]
+        if base not in INJECTABLE_PASSES:
             raise ValueError(
                 f"unknown pass {self.pass_name!r}; injectable passes: "
                 f"{', '.join(INJECTABLE_PASSES)}")

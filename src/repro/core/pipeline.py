@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Any, Callable
 
 from ..frontend.program import Program
@@ -39,11 +40,14 @@ from ..ir.cfg import FunctionCFG, lower_program
 from ..ir.callgraph import CallGraph, build_call_graph
 from ..ir.loops import LoopNest, find_loops
 from ..analysis.deadfields import (
-    FieldRefs, FieldUsage, UsageResult, analyze_field_usage,
+    FieldRefs, FieldUsage, UnitUsage, UsageResult,
+    fallback_unit_usage, merge_unit_usage, summarize_unit_usage,
 )
 from ..analysis.escape import EscapeResult, analyze_escapes
 from ..analysis.legality import (
-    ALL_REASONS, LegalityResult, TypeInfo, analyze_legality,
+    ALL_REASONS, LegalityResult, TypeInfo, UnitLegality,
+    fallback_unit_legality, merge_unit_legality,
+    summarize_unit_legality,
 )
 from ..profit.affinity import TypeProfile, compute_profiles
 from ..profit.feedback import FeedbackFile, match_feedback
@@ -55,10 +59,12 @@ from ..transform.heuristics import (
     decide_transforms,
 )
 from .diagnostics import (
-    CODE_BUDGET, CODE_CONTAINED, CODE_CORRUPT, CODE_PARSE, CODE_ROLLBACK,
-    CODE_VERIFY, DiagnosticEngine, FatalCompilerError,
+    CODE_BUDGET, CODE_CACHE, CODE_CONTAINED, CODE_CORRUPT, CODE_PARSE,
+    CODE_ROLLBACK, CODE_VERIFY, DiagnosticEngine, FatalCompilerError,
 )
 from .faults import FAULTS, InjectedFault
+from .fe import FEReport, assemble_program
+from .summarycache import SummaryCache, fingerprint
 
 #: weight schemes the pipeline can drive transformations with
 SCHEMES = ("SPBO", "ISPBO", "ISPBO.NO", "ISPBO.W", "PBO", "PPBO")
@@ -98,6 +104,13 @@ class CompilerOptions:
     #: transformed-run budget = original cycles * factor + slack
     verify_cycle_factor: float = 4.0
     verify_cycle_slack: int = 1_000_000
+    #: front-end parallelism: number of parse workers for
+    #: :meth:`Compiler.compile_sources` (1 = in-process, no pool)
+    jobs: int = 1
+    #: directory for the content-addressed summary cache (None = off);
+    #: holds per-TU parse artifacts, per-TU analysis summaries, and
+    #: whole-program FE results keyed by source + options fingerprints
+    cache_dir: str | Path | None = None
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -105,6 +118,21 @@ class CompilerOptions:
                              f"choose from {SCHEMES}")
         if self.scheme in ("PBO", "PPBO") and self.feedback is None:
             raise ValueError(f"{self.scheme} requires a feedback file")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def fingerprint(self) -> str:
+        """Hash of every option that can change FE/IPA artifacts.
+
+        Excludes ``jobs``/``cache_dir`` (execution strategy, not
+        semantics) and the verification knobs (BE-only).  Used to key
+        every cache tier, so changing any semantic option is a full
+        cache miss.
+        """
+        return fingerprint(
+            "options", self.scheme, self.relax_legality, self.entry,
+            sorted(asdict(self.params).items()),
+            self.pointsto_max_sweeps)
 
 
 @dataclass
@@ -131,6 +159,8 @@ class CompilationResult:
         default_factory=DiagnosticEngine)
     #: type names whose transforms verification rolled back
     rolled_back: list[str] = field(default_factory=list)
+    #: how the front end ran (compile_sources only; None otherwise)
+    fe_report: FEReport | None = None
 
     @property
     def ok(self) -> bool:
@@ -237,28 +267,266 @@ class Compiler:
                            budget=opts.phase_budget,
                            timings=pass_timings)
 
+        self._parse_diags(program, diags)
+
+        # ---- FE: per-unit analysis ----
+        t0 = time.perf_counter()
+        cfgs, nests, legality, usage = self._fe_analyses(
+            program, guard, diags, pass_timings)
+        timings["fe"] = time.perf_counter() - t0
+
+        return self._ipa_be(program, cfgs, nests, legality, usage,
+                            timings, pass_timings, diags, guard)
+
+    def compile_sources(self, sources: list[tuple[str, str]]
+                        ) -> CompilationResult:
+        """Compile ``[(unit_name, source_text), ...]`` with the parallel
+        front end and (when ``cache_dir`` is set) the content-addressed
+        summary cache.
+
+        Warm path: an unchanged ``(sources, options)`` pair restores
+        the entire FE result — program, CFGs, loop nests, legality and
+        usage summaries — from one cache entry (the paper's "IELF
+        files" kept between compiles) and goes straight to IPA.  Cache
+        problems of any kind degrade to recomputation with a
+        ``CODE_CACHE`` diagnostic; they never fail the compile.
+
+        The cache is bypassed while fault injection is armed so
+        injected faults always exercise the real passes.
+        """
+        opts = self.options
+        timings: dict[str, float] = {}
+        pass_timings: dict[str, float] = {}
+        diags = DiagnosticEngine()
+        guard = PhaseGuard(diags, strict=opts.strict,
+                           budget=opts.phase_budget,
+                           timings=pass_timings)
+
+        cache: SummaryCache | None = None
+        if opts.cache_dir is not None and not FAULTS:
+            cache = SummaryCache(Path(opts.cache_dir))
+        opts_fp = opts.fingerprint()
+
+        # ---- FE: whole-result cache probe ----
+        t0 = time.perf_counter()
+        if cache is not None:
+            fe_key = cache.key_for("fe", opts_fp, tuple(sources))
+            artifacts = self._load_fe_artifacts(cache, fe_key)
+            if artifacts is not None:
+                program, cfgs, nests, legality, usage = artifacts
+                timings["fe"] = time.perf_counter() - t0
+                diags.note("fe", "front end restored from summary "
+                           "cache", code=CODE_CACHE)
+                self._cache_diags(cache, diags)
+                return self._ipa_be(program, cfgs, nests, legality,
+                                    usage, timings, pass_timings,
+                                    diags, guard)
+
+        # ---- FE: parse (parallel + per-TU parse cache) ----
+        n_units = max(len(sources), 1)
+        unit_budget = opts.phase_budget / n_units \
+            if opts.phase_budget is not None else None
+        program, fe_report = assemble_program(
+            sources, jobs=opts.jobs, cache=cache, cache_salt=opts_fp,
+            recover=True, unit_budget=unit_budget)
+        self._fe_report_diags(fe_report, diags, unit_budget)
+        self._parse_diags(program, diags)
+
+        # ---- FE: analyses (per-TU summaries + summary cache) ----
+        unit_sources = dict(sources) if cache is not None else None
+        cfgs, nests, legality, usage = self._fe_analyses(
+            program, guard, diags, pass_timings, cache=cache,
+            unit_sources=unit_sources, opts_fp=opts_fp)
+        timings["fe"] = time.perf_counter() - t0
+
+        if cache is not None and not program.frontend_errors \
+                and not diags.contained():
+            # only clean front ends are cached: a contained fault or a
+            # budget overrun must be recomputed (and re-reported), not
+            # replayed silently from disk
+            cache.store("fe", fe_key,
+                        (program, cfgs, nests, legality, usage))
+        if cache is not None:
+            self._cache_diags(cache, diags)
+
+        result = self._ipa_be(program, cfgs, nests, legality, usage,
+                              timings, pass_timings, diags, guard)
+        result.fe_report = fe_report
+        return result
+
+    # -- FE internals ------------------------------------------------------
+
+    @staticmethod
+    def _parse_diags(program: Program,
+                     diags: DiagnosticEngine) -> None:
         for fe_err in program.frontend_errors:
             diags.error("parse", fe_err.message, unit=fe_err.unit,
                         line=fe_err.line or None, code=CODE_PARSE,
                         action="fix the source and recompile")
 
-        # ---- FE: per-unit analysis ----
-        t0 = time.perf_counter()
+    @staticmethod
+    def _fe_report_diags(report: FEReport, diags: DiagnosticEngine,
+                         unit_budget: float | None) -> None:
+        if report.mode == "legacy" and report.fallback_reason:
+            diags.note(
+                "parse",
+                f"parallel front end fell back to the serial parser: "
+                f"{report.fallback_reason}")
+        for name in report.budget_overruns:
+            diags.warning(
+                "parse",
+                f"unit {name} exceeded its "
+                f"{unit_budget:.3f}s front-end budget share"
+                if unit_budget is not None else
+                f"unit {name} exceeded its front-end budget share",
+                unit=name, code=CODE_BUDGET,
+                action="raise phase_budget or split the unit")
+
+    @staticmethod
+    def _load_fe_artifacts(cache: SummaryCache, fe_key: str):
+        """The cached whole-FE artifact tuple, validated, or None."""
+        blob = cache.load("fe", fe_key)
+        if blob is None:
+            return None
+        if not (isinstance(blob, tuple) and len(blob) == 5
+                and isinstance(blob[0], Program)
+                and isinstance(blob[1], dict)
+                and isinstance(blob[2], dict)
+                and isinstance(blob[3], LegalityResult)
+                and isinstance(blob[4], UsageResult)):
+            cache.hits -= 1           # reclassify: that was no hit
+            cache._event("corrupt", "fe", fe_key,
+                         "artifact has the wrong shape")
+            cache._discard("fe", fe_key)
+            return None
+        return blob
+
+    @staticmethod
+    def _cache_diags(cache: SummaryCache,
+                     diags: DiagnosticEngine) -> None:
+        for e in cache.drain_events():
+            if e.kind == "corrupt":
+                diags.warning(
+                    "cache",
+                    f"corrupt cache entry discarded and recomputed "
+                    f"({e})", code=CODE_CACHE,
+                    action="delete the cache directory if this "
+                           "persists")
+            elif e.kind == "io-error":
+                diags.note("cache", f"cache I/O problem ({e})",
+                           code=CODE_CACHE)
+        if cache.hits or cache.misses:
+            diags.note("cache",
+                       f"summary cache: {cache.hits} hit(s), "
+                       f"{cache.misses} miss(es)", code=CODE_CACHE)
+
+    def _fe_analyses(self, program: Program, guard: PhaseGuard,
+                     diags: DiagnosticEngine,
+                     pass_timings: dict[str, float],
+                     cache: SummaryCache | None = None,
+                     unit_sources: dict[str, str] | None = None,
+                     opts_fp: str = ""):
+        """Lower + loops + legality + deadfields, the per-unit halves
+        running under per-unit containment guards (``legality[a.c]``)
+        with a proportional share of the phase budget each."""
         cfgs = guard.run("lower", lambda: lower_program(program), dict)
         nests = guard.run(
             "loops",
             lambda: {name: find_loops(cfg)
                      for name, cfg in cfgs.items()},
             dict)
+        iface_fp = self._interface_fingerprint(program) \
+            if cache is not None else ""
         legality = guard.run(
-            "legality", lambda: analyze_legality(program),
+            "legality",
+            lambda: self._unit_merged(
+                program, diags, pass_timings, cache, unit_sources,
+                iface_fp, opts_fp, kind="legality",
+                summarize=summarize_unit_legality,
+                unit_fallback=fallback_unit_legality,
+                merge=merge_unit_legality, summary_type=UnitLegality),
             lambda: self._fallback_legality(program))
         legality = self._validate_legality(program, legality, diags)
         usage = guard.run(
-            "deadfields", lambda: analyze_field_usage(program),
+            "deadfields",
+            lambda: self._unit_merged(
+                program, diags, pass_timings, cache, unit_sources,
+                iface_fp, opts_fp, kind="deadfields",
+                summarize=summarize_unit_usage,
+                unit_fallback=fallback_unit_usage,
+                merge=merge_unit_usage, summary_type=UnitUsage),
             lambda: self._fallback_usage(program))
         usage = self._validate_usage(program, usage, diags)
-        timings["fe"] = time.perf_counter() - t0
+        return cfgs, nests, legality, usage
+
+    def _unit_merged(self, program: Program, diags: DiagnosticEngine,
+                     pass_timings: dict[str, float],
+                     cache: SummaryCache | None,
+                     unit_sources: dict[str, str] | None,
+                     iface_fp: str, opts_fp: str, *, kind: str,
+                     summarize, unit_fallback, merge, summary_type):
+        """Summarize every unit (under per-unit guards, consulting the
+        per-TU summary cache) and merge — the FE/IPA split of §2."""
+        opts = self.options
+        n = max(len(program.units), 1)
+        share = opts.phase_budget / n \
+            if opts.phase_budget is not None else None
+        sub = PhaseGuard(diags, strict=opts.strict, budget=share,
+                         timings=pass_timings)
+        summaries = []
+        for u in program.units:
+            key = None
+            if cache is not None and unit_sources is not None \
+                    and u.name in unit_sources:
+                key = cache.key_for("summary", kind, u.name,
+                                    unit_sources[u.name], iface_fp,
+                                    opts_fp)
+                got = cache.load("summary", key)
+                if isinstance(got, summary_type):
+                    summaries.append(got)
+                    continue
+                if got is not None:
+                    cache.hits -= 1
+                    cache._event("corrupt", "summary", key,
+                                 "artifact has the wrong type")
+                    cache._discard("summary", key)
+            s = sub.run(f"{kind}[{u.name}]",
+                        lambda u=u: summarize(u),
+                        lambda u=u: unit_fallback(u.name))
+            if key is not None and isinstance(s, summary_type) \
+                    and not s.demote_all:
+                cache.store("summary", key, s)
+            summaries.append(s)
+        return merge(program, summaries)
+
+    @staticmethod
+    def _interface_fingerprint(program: Program) -> str:
+        """Hash of the cross-unit facts a per-TU summary can depend on:
+        record layouts, typedefs, function signatures (and libc-ness),
+        and global types.  A per-TU summary is reusable as long as the
+        unit's source and this interface are unchanged."""
+        recs = [(name,
+                 [(f.name, str(f.type), f.bit_width)
+                  for f in rec.fields])
+                for name, rec in program.records.items()]
+        tds = [(n, str(t.aliased))
+               for n, t in program.typedefs.items()]
+        fns = sorted(
+            (n, str(s.type), bool(getattr(s, "is_libc", False)),
+             bool(getattr(s, "is_builtin", False)))
+            for n, s in program.symbols.functions.items())
+        gls = sorted((n, str(s.type))
+                     for n, s in program.symbols.globals.items())
+        return fingerprint("iface", recs, tds, fns, gls)
+
+    # -- IPA + BE ----------------------------------------------------------
+
+    def _ipa_be(self, program: Program, cfgs, nests, legality, usage,
+                timings: dict[str, float],
+                pass_timings: dict[str, float],
+                diags: DiagnosticEngine,
+                guard: PhaseGuard) -> CompilationResult:
+        opts = self.options
 
         # ---- IPA: aggregation, weights, heuristics ----
         t0 = time.perf_counter()
@@ -658,3 +926,11 @@ def compile_source(source: str,
                    ) -> CompilationResult:
     """Compile MiniC source text directly."""
     return compile_program(Program.from_source(source), options)
+
+
+def compile_sources(sources: list[tuple[str, str]],
+                    options: CompilerOptions | None = None
+                    ) -> CompilationResult:
+    """Compile ``[(unit_name, source_text), ...]`` through the parallel
+    front end, honouring ``options.jobs`` and ``options.cache_dir``."""
+    return Compiler(options).compile_sources(sources)

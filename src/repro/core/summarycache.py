@@ -1,0 +1,195 @@
+"""Content-addressed on-disk summary cache (§2's IELF summary files).
+
+The paper's front end writes per-TU summary files that the IPA phase
+consumes; SYZYGY keeps them on disk so an unchanged translation unit is
+never re-analyzed.  This module is that mechanism for the reproduction:
+a small content-addressed store keyed by SHA-256 of *what produced the
+artifact* — the TU source text, a fingerprint of the compiler options,
+and the cache schema version — holding pickled artifacts (parsed units,
+per-TU analysis summaries, whole-program FE results).
+
+Design rules:
+
+- **Keys are content hashes.**  A changed source byte, option, or
+  schema version produces a different key; stale entries are simply
+  never addressed again (no invalidation protocol).
+- **Loads never raise.**  A missing, truncated, corrupt, or
+  unpicklable entry is a *miss*: :meth:`SummaryCache.load` returns
+  ``None`` and records an event the caller can surface through the
+  diagnostics engine.  A cache must never take the compilation down.
+- **Stores are atomic.**  Artifacts are written to a temp file and
+  renamed into place so a crashed writer can only leave garbage that
+  reads as a miss, never a half-entry that reads as data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: bump when the pickled artifact layout changes; old entries become
+#: unreachable (different keys) instead of unreadable
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class CacheEvent:
+    """One observable cache interaction, for diagnostics and tests."""
+
+    kind: str                 # hit | miss | corrupt | store | io-error
+    category: str             # parse | summary | fe
+    key: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        note = f" ({self.detail})" if self.detail else ""
+        return f"{self.category} {self.kind} {self.key[:12]}{note}"
+
+
+def fingerprint(*parts: object) -> str:
+    """SHA-256 over a stable rendering of ``parts``."""
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(repr(p).encode("utf-8", "surrogatepass"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@dataclass
+class SummaryCache:
+    """Content-addressed pickle store under one directory.
+
+    ``category`` namespaces keys (parse artifacts vs analysis summaries
+    vs whole-program FE artifacts) so unrelated artifact kinds can never
+    collide even if their key material does.
+    """
+
+    root: Path
+    events: list[CacheEvent] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+
+    def __post_init__(self):
+        self.root = Path(self.root)
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def key_for(category: str, *parts: object) -> str:
+        return fingerprint(SCHEMA_VERSION, category, *parts)
+
+    def _path(self, category: str, key: str) -> Path:
+        # two-level fanout keeps directories small on big projects
+        return self.root / category / key[:2] / f"{key}.pkl"
+
+    # -- store --------------------------------------------------------------
+
+    def store(self, category: str, key: str, value: Any) -> bool:
+        """Atomically persist ``value``; False (never an exception) on
+        any I/O or pickling failure."""
+        path = self._path(category, key)
+        try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            self._event("io-error", category, key,
+                        f"unpicklable artifact: {type(exc).__name__}")
+            return False
+        return self.store_blob(category, key, blob)
+
+    def store_blob(self, category: str, key: str, blob: bytes) -> bool:
+        """Persist an already-pickled artifact atomically."""
+        path = self._path(category, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception as exc:
+            self._event("io-error", category, key,
+                        f"store failed: {type(exc).__name__}")
+            return False
+        self._event("store", category, key)
+        return True
+
+    # -- load ---------------------------------------------------------------
+
+    def load(self, category: str, key: str) -> Any | None:
+        """The cached artifact, or None on miss/corruption (never
+        raises).  Corruption is reported as a distinct event kind so the
+        pipeline can emit a diagnostic rather than silently recompute."""
+        blob = self.load_blob(category, key)
+        if blob is None:
+            return None
+        try:
+            value = pickle.loads(blob)
+        except Exception as exc:
+            self._event("corrupt", category, key,
+                        f"unpickle failed: {type(exc).__name__}")
+            self._discard(category, key)
+            return None
+        if value is None:
+            # None is not a legal artifact (it is the miss sentinel);
+            # treat a stored None as corruption
+            self._event("corrupt", category, key, "null artifact")
+            self._discard(category, key)
+            return None
+        self.hits += 1
+        self._event("hit", category, key)
+        return value
+
+    def load_blob(self, category: str, key: str) -> bytes | None:
+        path = self._path(category, key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            self._event("miss", category, key)
+            return None
+        except OSError as exc:
+            self.misses += 1
+            self._event("io-error", category, key,
+                        f"read failed: {type(exc).__name__}")
+            return None
+        if not blob:
+            self.misses += 1
+            self._event("corrupt", category, key, "empty file")
+            self._discard(category, key)
+            return None
+        return blob
+
+    # -- maintenance --------------------------------------------------------
+
+    def _discard(self, category: str, key: str) -> None:
+        """Drop a bad entry so it is recomputed cleanly next time."""
+        self.misses += 1
+        try:
+            self._path(category, key).unlink()
+        except OSError:
+            pass
+
+    def corrupt_events(self) -> list[CacheEvent]:
+        return [e for e in self.events if e.kind == "corrupt"]
+
+    def drain_events(self) -> list[CacheEvent]:
+        """Return and clear accumulated events (one compile's worth)."""
+        out = self.events
+        self.events = []
+        return out
+
+    def _event(self, kind: str, category: str, key: str,
+               detail: str = "") -> None:
+        self.events.append(CacheEvent(kind=kind, category=category,
+                                      key=key, detail=detail))

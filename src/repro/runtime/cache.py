@@ -134,7 +134,8 @@ class CacheHierarchy:
     main memory), which is exactly what the PMU attributes to fields."""
 
     __slots__ = ("config", "levels", "accesses", "fp_accesses",
-                 "total_latency", "_strides", "prefetches")
+                 "total_latency", "_strides", "prefetches",
+                 "_path_int", "_path_fp", "_mem_latency", "_prefetch_on")
 
     def __init__(self, config: CacheConfig = ITANIUM2_SCALED):
         self.config = config
@@ -145,28 +146,93 @@ class CacheHierarchy:
         self.prefetches = 0
         # stride prefetcher state: site -> (last_addr, last_stride)
         self._strides: dict[int, tuple[int, int]] = {}
+        # Flattened per-level lookup paths for the hot loop: everything
+        # :meth:`access` needs, with the attribute chains pre-resolved.
+        # The ``sets`` list object is created once per level and never
+        # reassigned, so aliasing it here is safe; hit/miss counters stay
+        # on the CacheLevel so ``stats()``/``reset_stats()`` are unchanged.
+        self._mem_latency = config.memory_latency
+        self._prefetch_on = config.prefetch
+        self._path_int = tuple(
+            (i, l, l.line_bits, l.num_sets, l.sets, l.config.latency,
+             l.config.ways)
+            for i, l in enumerate(self.levels))
+        self._path_fp = tuple(
+            p for p in self._path_int if not p[1].config.fp_bypass)
 
     def access(self, addr: int, is_float: bool = False,
                is_write: bool = False, site: int = 0) -> tuple[int, int]:
         self.accesses += 1
         if is_float:
             self.fp_accesses += 1
+            path = self._path_fp
+        else:
+            path = self._path_int
         latency = 0
         serviced = -1
-        for idx, level in enumerate(self.levels):
-            if is_float and level.config.fp_bypass:
-                continue
-            latency += level.config.latency
-            if level.access(addr, is_write):
+        for idx, level, line_bits, num_sets, lsets, lat, ways in path:
+            latency += lat
+            line = addr >> line_bits
+            s = lsets[line % num_sets]
+            if line in s:
+                level.hits += 1
+                if s[-1] != line:
+                    s.remove(line)
+                    s.append(line)
                 serviced = idx
                 break
+            level.misses += 1
+            if is_write:
+                level.write_misses += 1
+            s.append(line)
+            if len(s) > ways:
+                s.pop(0)
         else:
-            latency += self.config.memory_latency
+            latency += self._mem_latency
         self.total_latency += latency
 
-        if self.config.prefetch and not is_write and site:
+        if self._prefetch_on and not is_write and site:
             self._prefetch(addr, site)
         return latency, serviced
+
+    def access_latency(self, addr: int, is_float: bool = False,
+                       is_write: bool = False, site: int = 0) -> int:
+        """Like :meth:`access` but returns only the latency.
+
+        The serviced-level index exists for PMU attribution; plain runs
+        have no PMU, and skipping the result tuple removes an allocation
+        from every simulated memory access.  Counter updates are
+        identical to :meth:`access`."""
+        self.accesses += 1
+        if is_float:
+            self.fp_accesses += 1
+            path = self._path_fp
+        else:
+            path = self._path_int
+        latency = 0
+        for idx, level, line_bits, num_sets, lsets, lat, ways in path:
+            latency += lat
+            line = addr >> line_bits
+            s = lsets[line % num_sets]
+            if line in s:
+                level.hits += 1
+                if s[-1] != line:
+                    s.remove(line)
+                    s.append(line)
+                break
+            level.misses += 1
+            if is_write:
+                level.write_misses += 1
+            s.append(line)
+            if len(s) > ways:
+                s.pop(0)
+        else:
+            latency += self._mem_latency
+        self.total_latency += latency
+
+        if self._prefetch_on and not is_write and site:
+            self._prefetch(addr, site)
+        return latency
 
     def _prefetch(self, addr: int, site: int) -> None:
         prev = self._strides.get(site)

@@ -262,19 +262,21 @@ class _FunctionCompiler:
         is_float = t.is_float()
         site = self.site(e.line, record, field, is_float, False)
         m = self.m
+        mr = m.mem_read
         # bit-field loads read the unit then extract
         if isinstance(e, ast.Member):
             f = e.record.field(e.name)
             if f.is_bitfield:
                 bo = f.bit_offset
 
-                def load_bits(env, addr_fn=addr_fn, m=m, site=site, bo=bo):
+                def load_bits(env, addr_fn=addr_fn, m=m, mr=mr, site=site,
+                              bo=bo):
                     a = addr_fn(env)
-                    m.mem_read(a, False, site)
+                    mr(a, False, site)
                     return m.memory.bit_cells.get((a, bo), 0)
                 return load_bits
-        return lambda env, addr_fn=addr_fn, m=m, site=site, \
-            is_float=is_float: m.mem_read(addr_fn(env), is_float, site)
+        return lambda env, addr_fn=addr_fn, mr=mr, site=site, \
+            is_float=is_float: mr(addr_fn(env), is_float, site)
 
     def store_at(self, addr_fn, value_fn, e: ast.Expr,
                  record: str | None, field: str | None):
@@ -283,6 +285,7 @@ class _FunctionCompiler:
         is_float = t.is_float()
         site = self.site(e.line, record, field, is_float, True)
         m = self.m
+        mw = m.mem_write
         if isinstance(e, ast.Member):
             f = e.record.field(e.name)
             if f.is_bitfield:
@@ -294,27 +297,27 @@ class _FunctionCompiler:
                 signed = f.type.strip().signed
 
                 def store_bits(env, addr_fn=addr_fn, value_fn=value_fn,
-                               m=m, site=site, bo=bo, mask=mask,
+                               m=m, mw=mw, site=site, bo=bo, mask=mask,
                                half=half, full=full, signed=signed):
                     a = addr_fn(env)
                     v = int(value_fn(env)) & mask
                     if signed and v >= half:
                         v -= full
-                    m.mem_write(a, m.memory.cells.get(a, 0), False, site)
+                    mw(a, m.memory.cells.get(a, 0), False, site)
                     m.memory.bit_cells[(a, bo)] = v
                     return v
                 return store_bits
         if is_float:
-            return lambda env, addr_fn=addr_fn, value_fn=value_fn, m=m, \
-                site=site: _store_ret(m, addr_fn(env),
+            return lambda env, addr_fn=addr_fn, value_fn=value_fn, mw=mw, \
+                site=site: _store_ret(mw, addr_fn(env),
                                       float(value_fn(env)), True, site)
         wrap = _make_wrap(t)
         if wrap is not None:
-            return lambda env, addr_fn=addr_fn, value_fn=value_fn, m=m, \
+            return lambda env, addr_fn=addr_fn, value_fn=value_fn, mw=mw, \
                 site=site, wrap=wrap: _store_ret(
-                    m, addr_fn(env), wrap(value_fn(env)), False, site)
-        return lambda env, addr_fn=addr_fn, value_fn=value_fn, m=m, \
-            site=site: _store_ret(m, addr_fn(env), value_fn(env), False,
+                    mw, addr_fn(env), wrap(value_fn(env)), False, site)
+        return lambda env, addr_fn=addr_fn, value_fn=value_fn, mw=mw, \
+            site=site: _store_ret(mw, addr_fn(env), value_fn(env), False,
                                   site)
 
     # -- rvalues ---------------------------------------------------------------
@@ -394,17 +397,17 @@ class _FunctionCompiler:
             if t.is_array() or t.is_record():
                 return lambda env, a=a: a
             site = self.site(e.line, None, sym.name, t.is_float(), False)
-            m = self.m
-            return lambda env, a=a, m=m, site=site, \
-                fl=t.is_float(): m.mem_read(a, fl, site)
+            mr = self.m.mem_read
+            return lambda env, a=a, mr=mr, site=site, \
+                fl=t.is_float(): mr(a, fl, site)
         i = self.slots[sym]
         if sym in self.mem_symbols:
             if t.is_array() or t.is_record():
                 return lambda env, i=i: env[i]
             site = self.site(e.line, None, sym.name, t.is_float(), False)
-            m = self.m
-            return lambda env, i=i, m=m, site=site, \
-                fl=t.is_float(): m.mem_read(env[i], fl, site)
+            mr = self.m.mem_read
+            return lambda env, i=i, mr=mr, site=site, \
+                fl=t.is_float(): mr(env[i], fl, site)
         return lambda env, i=i: env[i]
 
     def _rvalue_unary(self, e: ast.Unary):
@@ -463,14 +466,15 @@ class _FunctionCompiler:
         is_float = t.is_float()
         rsite = self.site(e.line, record, field, is_float, False)
         wsite = self.site(e.line, record, field, is_float, True)
-        m = self.m
+        mr = self.m.mem_read
+        mw = self.m.mem_write
 
-        def rmw(env, addr_fn=addr_fn, m=m, d=delta, post=post,
+        def rmw(env, addr_fn=addr_fn, mr=mr, mw=mw, d=delta, post=post,
                 rsite=rsite, wsite=wsite, fl=is_float):
             a = addr_fn(env)
-            v = m.mem_read(a, fl, rsite)
+            v = mr(a, fl, rsite)
             nv = v + d
-            m.mem_write(a, nv, fl, wsite)
+            mw(a, nv, fl, wsite)
             return v if post else nv
         return rmw
 
@@ -603,6 +607,8 @@ class _FunctionCompiler:
         wsite = self.site(e.line, record, field, is_float, True)
         wrap = _make_wrap(t)
         m = self.m
+        mr = m.mem_read
+        mw = m.mem_write
 
         if isinstance(target, ast.Member) and \
                 target.record.field(target.name).is_bitfield:
@@ -611,39 +617,40 @@ class _FunctionCompiler:
             mask = (1 << width) - 1
 
             def rmw_bits(env, addr_fn=addr_fn, value=value, fn=fn, m=m,
-                         rsite=rsite, wsite=wsite, bo=bo, mask=mask):
+                         mr=mr, mw=mw, rsite=rsite, wsite=wsite, bo=bo,
+                         mask=mask):
                 a = addr_fn(env)
-                m.mem_read(a, False, rsite)
+                mr(a, False, rsite)
                 old = m.memory.bit_cells.get((a, bo), 0)
                 nv = int(fn(old, value(env))) & mask
-                m.mem_write(a, m.memory.cells.get(a, 0), False, wsite)
+                mw(a, m.memory.cells.get(a, 0), False, wsite)
                 m.memory.bit_cells[(a, bo)] = nv
                 return nv
             return rmw_bits
 
         if is_float:
-            def rmw_f(env, addr_fn=addr_fn, value=value, fn=fn, m=m,
-                      rsite=rsite, wsite=wsite):
+            def rmw_f(env, addr_fn=addr_fn, value=value, fn=fn, mr=mr,
+                      mw=mw, rsite=rsite, wsite=wsite):
                 a = addr_fn(env)
-                v = float(fn(m.mem_read(a, True, rsite), value(env)))
-                m.mem_write(a, v, True, wsite)
+                v = float(fn(mr(a, True, rsite), value(env)))
+                mw(a, v, True, wsite)
                 return v
             return rmw_f
 
         if wrap is not None:
-            def rmw_w(env, addr_fn=addr_fn, value=value, fn=fn, m=m,
-                      rsite=rsite, wsite=wsite, wrap=wrap):
+            def rmw_w(env, addr_fn=addr_fn, value=value, fn=fn, mr=mr,
+                      mw=mw, rsite=rsite, wsite=wsite, wrap=wrap):
                 a = addr_fn(env)
-                v = wrap(fn(m.mem_read(a, False, rsite), value(env)))
-                m.mem_write(a, v, False, wsite)
+                v = wrap(fn(mr(a, False, rsite), value(env)))
+                mw(a, v, False, wsite)
                 return v
             return rmw_w
 
-        def rmw(env, addr_fn=addr_fn, value=value, fn=fn, m=m,
+        def rmw(env, addr_fn=addr_fn, value=value, fn=fn, mr=mr, mw=mw,
                 rsite=rsite, wsite=wsite):
             a = addr_fn(env)
-            v = fn(m.mem_read(a, False, rsite), value(env))
-            m.mem_write(a, v, False, wsite)
+            v = fn(mr(a, False, rsite), value(env))
+            mw(a, v, False, wsite)
             return v
         return rmw
 
@@ -698,10 +705,10 @@ class _FunctionCompiler:
                 if sym in self.mem_symbols:
                     site = self.site(s.line, None, sym.name,
                                      t.is_float(), True)
-                    m = self.m
+                    mw = self.m.mem_write
                     fl = t.is_float()
-                    return lambda env, i=i, init=init, m=m, site=site, \
-                        fl=fl: m.mem_write(env[i], init(env), fl, site)
+                    return lambda env, i=i, init=init, mw=mw, site=site, \
+                        fl=fl: mw(env[i], init(env), fl, site)
                 if t.is_float():
                     def initf(env, i=i, init=init):
                         env[i] = float(init(env))
@@ -801,8 +808,8 @@ class _FunctionCompiler:
         raise CompileError(f"unknown terminator {b.term}")
 
 
-def _store_ret(m, a, v, fl, site):
-    m.mem_write(a, v, fl, site)
+def _store_ret(mw, a, v, fl, site):
+    mw(a, v, fl, site)
     return v
 
 

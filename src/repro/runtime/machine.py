@@ -75,6 +75,7 @@ class PMU:
         self._countdown = self._next_interval()
         self.site_samples: dict[int, FieldSample] = {}
         self.samples_taken = 0
+        self._by_field_memo: tuple | None = None
 
     def _next_interval(self) -> int:
         """Deterministically jittered sampling interval in
@@ -104,7 +105,14 @@ class PMU:
 
     def by_field(self, sites: list[SiteInfo]
                  ) -> dict[tuple[str, str], FieldSample]:
-        """Roll site samples up to ``(record, field)`` pairs."""
+        """Roll site samples up to ``(record, field)`` pairs.
+
+        Memoized on the site list and sample count: reporting code calls
+        this repeatedly per record while neither changes between runs."""
+        memo = self._by_field_memo
+        if memo is not None and memo[0] == id(sites) and \
+                memo[1] == len(sites) and memo[2] == self.samples_taken:
+            return memo[3]
         out: dict[tuple[str, str], FieldSample] = {}
         for info in sites:
             if info.record is None or info.field is None:
@@ -119,6 +127,8 @@ class PMU:
             agg.accesses += s.accesses
             agg.misses += s.misses
             agg.total_latency += s.total_latency
+        self._by_field_memo = (id(sites), len(sites), self.samples_taken,
+                               out)
         return out
 
 
@@ -179,6 +189,30 @@ class Machine:
         self._first_fp_level = next(
             (i for i, l in enumerate(self.cache.levels)
              if not l.config.fp_bypass), 0)
+        if self.pmu is None:
+            self._bind_fast_paths()
+
+    def _bind_fast_paths(self) -> None:
+        """Shadow :meth:`mem_read`/:meth:`mem_write` with closures that
+        pre-resolve the cache and memory lookups.  Only installed when no
+        PMU is attached, which is every plain (uninstrumented) run — the
+        interpreter spends most of its time in these two functions."""
+        access = self.cache.access_latency
+        cells = self.memory.cells
+        cells_get = cells.get
+
+        def mem_read(addr: int, is_float: bool, site: int,
+                     m=self) -> int | float:
+            m.cycles += access(addr, is_float, False, site)
+            return cells_get(addr, 0)
+
+        def mem_write(addr: int, value: int | float, is_float: bool,
+                      site: int, m=self) -> None:
+            m.cycles += access(addr, is_float, True, site)
+            cells[addr] = value
+
+        self.mem_read = mem_read
+        self.mem_write = mem_write
 
     # -- memory access (the interpreter hot path) -------------------------
 

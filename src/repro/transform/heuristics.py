@@ -25,7 +25,7 @@ from ..frontend.program import Program
 from ..analysis.deadfields import UsageResult
 from ..analysis.legality import LegalityResult, TypeInfo
 from ..profit.affinity import TypeProfile
-from .common import TransformError, extract_alloc_count
+from .common import TransformError
 from .peeling import PeelSpec, check_peelable, peel_structure
 from .reorder import hotness_order
 from .splitting import SplitSpec, split_structure
@@ -116,8 +116,7 @@ def decide_type(program: Program, info: TypeInfo, usage,
            for s in info.alloc_sites):
         d.notes.append("only single-object allocations")
         return d
-    if any(extract_alloc_count(s.call, info.record) is None
-           for s in info.alloc_sites):
+    if any(not s.count_expr_ok for s in info.alloc_sites):
         d.notes.append("unanalyzable allocation site")
         return d
     if info.realloced:

@@ -1,0 +1,198 @@
+"""The content-addressed summary cache and per-unit fault containment.
+
+Cache contract (§2's on-disk IELF summary files): an unchanged
+(source, options) pair is a hit; editing one TU misses only that TU's
+per-unit artifacts; changing any semantic option misses everything;
+and a corrupt entry of any kind is *contained* — discarded with a
+diagnostic and recomputed, never an exception, never wrong output.
+"""
+
+import pathlib
+import pickle
+
+import pytest
+
+from repro.core import (
+    CODE_BUDGET, CODE_CACHE, Compiler, CompilerOptions, compile_sources,
+    inject_fault,
+)
+from repro.transform import program_sources
+
+SOURCES = [
+    ("u1.c", """
+struct item { int key; int weight; int pad; struct item *next; };
+struct item *mk(int k) {
+  struct item *p = (struct item*)malloc(sizeof(struct item));
+  p->key = k; p->next = 0; return p;
+}
+"""),
+    ("u2.c", """
+struct item;
+struct item *mk(int k);
+int total(struct item *p) {
+  int s = 0;
+  while (p) { s = s + p->key; p = p->next; }
+  return s;
+}
+"""),
+    ("u3.c", """
+struct item;
+struct item *mk(int k);
+int total(struct item *p);
+int main() { printf("%d\\n", total(mk(5))); return 0; }
+"""),
+]
+
+
+def opts(cache_dir, **kw):
+    return CompilerOptions(cache_dir=cache_dir, **kw)
+
+
+def fingerprint(result):
+    return ([(d.type_name, d.action) for d in result.decisions],
+            program_sources(result.transformed))
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+def cache_notes(result):
+    return [d for d in result.diagnostics.by_code(CODE_CACHE)]
+
+
+# ---------------------------------------------------------------------------
+# hits and misses
+# ---------------------------------------------------------------------------
+
+def test_warm_recompile_hits_whole_fe(cache_dir):
+    cold = compile_sources(SOURCES, opts(cache_dir))
+    warm = compile_sources(SOURCES, opts(cache_dir))
+    assert fingerprint(warm) == fingerprint(cold)
+    assert any("restored from summary cache" in d.message
+               for d in cache_notes(warm))
+    # the warm path never ran the parallel parser at all
+    assert warm.fe_report is None and cold.fe_report is not None
+
+
+def test_edited_unit_misses_only_that_unit(cache_dir):
+    compile_sources(SOURCES, opts(cache_dir))
+    edited = [(n, t.replace("s + p->key", "s + p->key + 0", 1)
+               if n == "u2.c" else t) for n, t in SOURCES]
+    result = compile_sources(edited, opts(cache_dir))
+    # whole-FE entry missed, but u1.c and u3.c parses were reused
+    assert result.fe_report is not None
+    assert result.fe_report.parse_cache_hits == 2
+
+
+def test_changed_options_miss_everything(cache_dir):
+    compile_sources(SOURCES, opts(cache_dir))
+    result = compile_sources(SOURCES, opts(cache_dir, scheme="SPBO"))
+    assert result.fe_report is not None
+    assert result.fe_report.parse_cache_hits == 0
+    summary = [d for d in cache_notes(result)
+               if "hit(s)" in d.message]
+    assert summary and "0 hit(s)" in summary[0].message
+
+
+def test_options_fingerprint_ignores_strategy_knobs():
+    a = CompilerOptions(jobs=1, cache_dir=None).fingerprint()
+    b = CompilerOptions(jobs=8, cache_dir="/tmp/x").fingerprint()
+    c = CompilerOptions(scheme="SPBO").fingerprint()
+    assert a == b
+    assert a != c
+
+
+# ---------------------------------------------------------------------------
+# corruption is contained
+# ---------------------------------------------------------------------------
+
+def _damage_entries(cache_dir, mutate):
+    paths = sorted(pathlib.Path(cache_dir).rglob("*.pkl"))
+    assert paths, "expected cached entries"
+    for p in paths:
+        mutate(p)
+    return len(paths)
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda p: p.write_bytes(p.read_bytes()[:5]),          # truncated
+    lambda p: p.write_bytes(b"\x00garbage\xff" * 8),      # not a pickle
+    lambda p: p.write_bytes(b""),                         # empty file
+    lambda p: p.write_bytes(pickle.dumps([1, 2, 3])),     # wrong type
+], ids=["truncated", "garbage", "empty", "wrong-type"])
+def test_corrupt_entries_recompute_with_diagnostic(cache_dir, mutate):
+    cold = compile_sources(SOURCES, opts(cache_dir))
+    _damage_entries(cache_dir, mutate)
+    result = compile_sources(SOURCES, opts(cache_dir))
+    assert fingerprint(result) == fingerprint(cold)
+    assert not result.diagnostics.has_errors
+    # recompute must also have repaired the cache: next compile is warm
+    warm = compile_sources(SOURCES, opts(cache_dir))
+    assert any("restored from summary cache" in d.message
+               for d in cache_notes(warm))
+    assert fingerprint(warm) == fingerprint(cold)
+
+
+def test_corrupt_entry_emits_cache_warning(cache_dir):
+    compile_sources(SOURCES, opts(cache_dir))
+    _damage_entries(cache_dir, lambda p: p.write_bytes(b"\x80broken"))
+    result = compile_sources(SOURCES, opts(cache_dir))
+    warnings = [d for d in result.diagnostics.warnings()
+                if d.code == CODE_CACHE]
+    assert warnings and "recomputed" in warnings[0].message
+
+
+def test_unwritable_cache_dir_degrades_to_note(tmp_path):
+    blocker = tmp_path / "blocked"
+    blocker.write_text("a file where the cache dir should be")
+    result = compile_sources(SOURCES, opts(blocker))
+    assert not result.diagnostics.has_errors
+    assert fingerprint(result) == fingerprint(
+        compile_sources(SOURCES, CompilerOptions()))
+
+
+# ---------------------------------------------------------------------------
+# interaction with fault injection and budgets
+# ---------------------------------------------------------------------------
+
+def test_injected_faults_bypass_the_cache(cache_dir):
+    compile_sources(SOURCES, opts(cache_dir))          # populate
+    with inject_fault("legality[u1.c]"):
+        faulty = compile_sources(SOURCES, opts(cache_dir))
+    contained = faulty.diagnostics.contained()
+    assert any(d.phase == "legality[u1.c]" for d in contained)
+    assert "FAULT" in faulty.legality.types["item"].invalid_reasons
+    assert faulty.degraded
+    # the clean cache was neither consulted nor poisoned
+    clean = compile_sources(SOURCES, opts(cache_dir))
+    assert not clean.diagnostics.contained()
+    assert "FAULT" not in clean.legality.types["item"].invalid_reasons
+
+
+def test_per_unit_fault_demotes_only_through_containment():
+    with inject_fault("deadfields[u2.c]"):
+        result = compile_sources(SOURCES, CompilerOptions())
+    assert any(d.phase == "deadfields[u2.c]"
+               for d in result.diagnostics.contained())
+    # conservative merge: the faulted unit claims every field live
+    usage = result.usage.types["item"]
+    assert usage.dead_fields() == [] and usage.unused_fields() == []
+
+
+def test_tiny_phase_budget_surfaces_per_unit_overruns():
+    result = compile_sources(
+        SOURCES, CompilerOptions(phase_budget=1e-9))
+    overruns = result.diagnostics.by_code(CODE_BUDGET)
+    assert overruns, "expected budget diagnostics"
+    assert not result.diagnostics.has_errors
+    assert result.transformed is not None
+
+
+def test_contained_compiles_are_not_cached(cache_dir):
+    with inject_fault("legality[u1.c]"):
+        compile_sources(SOURCES, opts(cache_dir))
+    # fault armed -> cache bypassed entirely: nothing was written
+    assert not list(pathlib.Path(cache_dir).rglob("*.pkl")) \
+        or not (pathlib.Path(cache_dir) / "fe").exists()
