@@ -12,11 +12,18 @@ standalone tool"; this module is that tool for the reproduction:
 - ``repro run FILE...``        — execute on the simulated machine and
                                  report cycles and cache statistics
 - ``repro compare FILE...``    — measure original vs transformed
+- ``repro serve``              — the supervised compile daemon
+                                 (worker pool, deadlines, retries,
+                                 circuit breakers, degradation ladder)
+- ``repro client CMD FILE...`` — send one request to a running daemon
 
 Invoke as ``python -m repro <command> ...``.
 
 Exit codes: 0 on success, 1 when the source failed to compile or a
-transformation failed verification, 2 on file or usage errors.
+transformation failed verification, 2 on file or usage errors.  The
+``client`` command additionally exits 1 when the daemon served a
+degraded ladder tier, shed the request (busy), or returned a
+structured error, and 2 when the daemon is unreachable.
 """
 
 from __future__ import annotations
@@ -244,6 +251,169 @@ def cmd_compare(args) -> int:
     return _report(result)
 
 
+def _parse_fault_flag(spec: str) -> dict:
+    """``STAGE:MODE[:TIMES[:SECONDS]]`` -> a process-fault spec dict.
+
+    A test/ops tool: lets resilience drills inject worker-level faults
+    (kill, hang, slow-start, oom) through a live daemon.
+    """
+    parts = spec.split(":")
+    if len(parts) < 2:
+        raise CliError(
+            f"bad --inject-fault {spec!r}; expected STAGE:MODE"
+            f"[:TIMES[:SECONDS]]", EXIT_USAGE)
+    fault: dict = {"stage": parts[0], "mode": parts[1]}
+    try:
+        if len(parts) > 2:
+            fault["times"] = int(parts[2])
+        if len(parts) > 3:
+            fault["seconds"] = float(parts[3])
+    except ValueError as exc:
+        raise CliError(f"bad --inject-fault {spec!r}: {exc}",
+                       EXIT_USAGE) from exc
+    return fault
+
+
+def cmd_serve(args) -> int:
+    from .service import CompileServer, Supervisor, SupervisorConfig
+    config = SupervisorConfig(
+        pool_size=args.pool_size, deadline=args.deadline,
+        max_retries=args.max_retries, hang_timeout=args.hang_timeout,
+        cache_dir=args.cache_dir, crash_dir=args.crash_dir,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown)
+    server = CompileServer(args.socket, Supervisor(config),
+                           queue_max=args.queue_max)
+    try:
+        server.start()
+    except OSError as exc:
+        raise CliError(f"cannot bind {args.socket!r}: {exc}",
+                       EXIT_USAGE) from exc
+    print(f"repro: serving on {args.socket} "
+          f"(pool={args.pool_size}, deadline={args.deadline:.0f}s, "
+          f"max-retries={args.max_retries}, "
+          f"queue-max={args.queue_max})", file=sys.stderr, flush=True)
+    # SIGTERM must run the same orderly shutdown as Ctrl-C, or the
+    # worker subprocesses outlive the daemon as orphans
+    import signal
+    signal.signal(signal.SIGTERM,
+                  lambda *_: server.request_shutdown())
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return EXIT_OK
+
+
+def _render_client_payload(args, resp: dict) -> None:
+    """Print the served payload the way the serial CLI would."""
+    payload = resp.get("payload") or {}
+    tier = resp.get("tier")
+    if resp["op"] == "transform" and tier == "full":
+        for unit_name, text in payload.get("transformed_sources", []):
+            if args.output:
+                out = Path(args.output)
+                if len(payload["transformed_sources"]) > 1:
+                    out = out.with_name(f"{out.stem}_{unit_name}")
+                out.write_text(text)
+                print(f"wrote {out}", file=sys.stderr)
+            else:
+                sys.stdout.write(f"/* === {unit_name} === */\n" + text)
+        return
+    if resp["op"] == "compare" and tier == "full":
+        cmp_data = payload.get("compare", {})
+        print(f"output   : {cmp_data.get('output', '').strip()}")
+        print(f"before   : {cmp_data.get('before_cycles', 0):,} cycles")
+        print(f"after    : {cmp_data.get('after_cycles', 0):,} cycles")
+        gain = cmp_data.get("gain_pct")
+        if gain is not None:
+            print(f"effect   : {gain:+.2f}%")
+        return
+    if "report" in payload:
+        print(payload["report"])
+        return
+    table1 = payload.get("table1")
+    if table1:
+        print(f"record types: {table1[0]}  legal: {table1[1]}  "
+              f"legal under relaxation: {table1[2]}")
+    for name, row in sorted(payload.get("types", {}).items()):
+        attrs = " ".join(row.get("attrs", []))
+        print(f"  {name:24s} [{row.get('status', '?'):>14s}] "
+              f"{attrs:20s} plan={row.get('plan', '-'):5s} "
+              f"{'; '.join(row.get('notes', []))}")
+
+
+def cmd_client(args) -> int:
+    from .core.diagnostics import Diagnostic, DiagnosticEngine
+    from .service import ProtocolError, single_request
+    options: dict = {}
+    if getattr(args, "scheme", None):
+        options["scheme"] = args.scheme
+    if getattr(args, "relax", False):
+        options["relax"] = True
+    if getattr(args, "ts", None) is not None:
+        options["ts"] = args.ts
+    if getattr(args, "peel_mode", None):
+        options["peel_mode"] = args.peel_mode
+    if getattr(args, "no_verify", False):
+        options["verify"] = False
+    if getattr(args, "no_cache", False):
+        options["cache"] = False
+    payload = {
+        "op": args.client_op,
+        "sources": [[n, t] for n, t in _read_sources(args.files)],
+        "options": options,
+    }
+    if args.deadline is not None:
+        payload["deadline"] = args.deadline
+    if args.max_retries is not None:
+        payload["max_retries"] = args.max_retries
+    if args.inject_fault:
+        payload["faults"] = [_parse_fault_flag(s)
+                             for s in args.inject_fault]
+    try:
+        resp = single_request(args.socket, payload,
+                              timeout=args.timeout)
+    except (OSError, ConnectionError, ProtocolError) as exc:
+        raise CliError(
+            f"cannot reach daemon at '{args.socket}': {exc}",
+            EXIT_USAGE) from exc
+
+    engine = DiagnosticEngine()
+    for d in resp.get("diagnostics", []):
+        try:
+            engine.emit(Diagnostic.from_dict(d))
+        except (KeyError, ValueError):
+            pass
+    status = resp.get("status")
+    if status == "busy":
+        print(f"repro: busy: {resp.get('error', {}).get('message', '')}"
+              f" (retry after {resp.get('retry_after', 0.5)}s)",
+              file=sys.stderr)
+        return EXIT_COMPILE
+    if status == "error":
+        print(f"repro: error: "
+              f"{resp.get('error', {}).get('message', 'request failed')}",
+              file=sys.stderr)
+        rendered = engine.render("warning")
+        if rendered:
+            print(rendered, file=sys.stderr)
+        return EXIT_COMPILE
+    _render_client_payload(args, resp)
+    if status == "degraded":
+        print(f"repro: degraded: served tier {resp.get('tier')!r} "
+              f"(attempts={resp.get('attempts')}, "
+              f"respawns={resp.get('respawns')})", file=sys.stderr)
+    rendered = engine.render("warning")
+    if rendered:
+        print(rendered, file=sys.stderr)
+    if status != "ok" or engine.has_errors:
+        return EXIT_COMPILE
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -321,6 +491,82 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip differential verification of the "
                         "transformed program")
     p.set_defaults(fn=cmd_compare, verify_default=True)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the supervised compile daemon (worker pool, "
+             "deadlines, retries, circuit breakers, degradation "
+             "ladder)")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="Unix socket path to listen on")
+    p.add_argument("--pool-size", type=int, default=2, metavar="N",
+                   help="worker subprocesses (default 2)")
+    p.add_argument("--deadline", type=float, default=60.0, metavar="S",
+                   help="per-attempt wall-clock deadline in seconds "
+                        "(default 60)")
+    p.add_argument("--max-retries", type=int, default=2, metavar="K",
+                   help="retries at the requested ladder tier "
+                        "(default 2)")
+    p.add_argument("--hang-timeout", type=float, default=2.0,
+                   metavar="S",
+                   help="kill a worker whose heartbeat is older than "
+                        "this (default 2)")
+    p.add_argument("--queue-max", type=int, default=8, metavar="Q",
+                   help="bounded request queue beyond the pool; "
+                        "excess requests are shed with a busy "
+                        "response (default 8)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="shared content-addressed summary cache for "
+                        "the worker pool")
+    p.add_argument("--crash-dir", default=None, metavar="DIR",
+                   help="where crash reports are persisted "
+                        "(default: <cache-dir>/crashes)")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   metavar="N",
+                   help="consecutive failures tripping a circuit "
+                        "breaker (default 3)")
+    p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                   metavar="S",
+                   help="seconds an open breaker waits before a "
+                        "half-open probe (default 30)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="send one analyze/advise/transform/compare request to a "
+             "running daemon")
+    p.add_argument("client_op", metavar="CMD",
+                   choices=["analyze", "advise", "transform",
+                            "compare"],
+                   help="operation to request")
+    p.add_argument("files", nargs="+",
+                   help="MiniC source files (one program)")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="Unix socket of the daemon")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="per-attempt deadline override")
+    p.add_argument("--max-retries", type=int, default=None,
+                   metavar="K", help="retry budget override")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   metavar="S", help="client-side socket timeout")
+    p.add_argument("--scheme", default=None,
+                   choices=["SPBO", "ISPBO", "ISPBO.NO", "ISPBO.W"])
+    p.add_argument("--relax", action="store_true")
+    p.add_argument("--ts", type=float, default=None)
+    p.add_argument("--peel-mode", default=None,
+                   choices=["auto", "per-field", "hot-cold",
+                            "affinity"])
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the daemon's summary cache for this "
+                        "request")
+    p.add_argument("-o", "--output", default=None,
+                   help="output file for transformed sources")
+    p.add_argument("--inject-fault", action="append", default=[],
+                   metavar="STAGE:MODE[:TIMES[:SECONDS]]",
+                   help="arm a worker-process fault for resilience "
+                        "drills (modes: kill, hang, slow-start, oom)")
+    p.set_defaults(fn=cmd_client)
 
     return parser
 

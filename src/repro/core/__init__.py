@@ -4,10 +4,13 @@ from .diagnostics import (
     Diagnostic, DiagnosticEngine, FatalCompilerError, SourceLoc,
     SEVERITIES, CODE_BUDGET, CODE_CACHE, CODE_CONTAINED, CODE_CORRUPT,
     CODE_MISMATCH, CODE_PARSE, CODE_ROLLBACK, CODE_VERIFY,
+    CODE_WORKER, CODE_DEADLINE, CODE_HANG, CODE_DEGRADED, CODE_BREAKER,
 )
 from .faults import (
     FAULTS, FaultRegistry, FaultSpec, InjectedFault, INJECTABLE_PASSES,
     inject_fault,
+    PROC_FAULTS, PROCESS_FAULT_MODES, ProcessFault, ProcessFaultRegistry,
+    ProcessFaultSpec,
 )
 from .fe import FEReport, UnifyError, assemble_program
 from .pipeline import (
@@ -25,8 +28,12 @@ __all__ = [
     "SEVERITIES", "CODE_BUDGET", "CODE_CACHE", "CODE_CONTAINED",
     "CODE_CORRUPT", "CODE_MISMATCH", "CODE_PARSE", "CODE_ROLLBACK",
     "CODE_VERIFY",
+    "CODE_WORKER", "CODE_DEADLINE", "CODE_HANG", "CODE_DEGRADED",
+    "CODE_BREAKER",
     "FAULTS", "FaultRegistry", "FaultSpec", "InjectedFault",
     "INJECTABLE_PASSES", "inject_fault",
+    "PROC_FAULTS", "PROCESS_FAULT_MODES", "ProcessFault",
+    "ProcessFaultRegistry", "ProcessFaultSpec",
     "FEReport", "UnifyError", "assemble_program",
     "CacheEvent", "SummaryCache", "fingerprint",
 ]

@@ -37,6 +37,11 @@ CODE_MISMATCH = "output-mismatch"      # compare found diverging output
 CODE_VERIFY = "verify"                 # verification status notes
 CODE_CACHE = "cache"                   # summary-cache events (corrupt entry
                                        # discarded, hit/miss accounting)
+CODE_WORKER = "worker-fault"           # service worker crashed / went fatal
+CODE_DEADLINE = "deadline-expired"     # request killed at its deadline
+CODE_HANG = "worker-hang"              # heartbeat loss; worker killed
+CODE_DEGRADED = "degraded"             # served from a lower ladder tier
+CODE_BREAKER = "breaker-open"          # circuit breaker short-circuited a tier
 
 
 @dataclass(frozen=True)
@@ -65,10 +70,18 @@ class Diagnostic:
     type_name: str | None = None       # affected record type, if any
     code: str | None = None            # machine-readable category
     action: str | None = None          # suggested next step for the user
+    count: int = 1                     # occurrences collapsed into this entry
 
     def __post_init__(self):
         if self.severity not in SEVERITIES:
             raise ValueError(f"unknown severity {self.severity!r}")
+
+    def dedup_key(self) -> tuple:
+        """Identity for collapsing repeats (retries re-emitting the same
+        complaint at the same place collapse into one entry)."""
+        return (self.severity, self.phase, self.message, self.code,
+                str(self.loc) if self.loc is not None else None,
+                self.type_name)
 
     def format(self, prog: str = "repro") -> str:
         """One-line rendering, clang style."""
@@ -82,7 +95,31 @@ class Diagnostic:
         text = " ".join(parts)
         if self.action:
             text += f" ({self.action})"
+        if self.count > 1:
+            text += f" [x{self.count}]"
         return text
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the service wire format)."""
+        d = {"severity": self.severity, "phase": self.phase,
+             "message": self.message, "count": self.count}
+        if self.loc is not None:
+            d["unit"] = self.loc.unit
+            d["line"] = self.loc.line
+        for key in ("type_name", "code", "action"):
+            if getattr(self, key) is not None:
+                d[key] = getattr(self, key)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Diagnostic":
+        loc = None
+        if d.get("unit") is not None or d.get("line") is not None:
+            loc = SourceLoc(d.get("unit"), d.get("line"))
+        return cls(severity=d["severity"], phase=d["phase"],
+                   message=d["message"], loc=loc,
+                   type_name=d.get("type_name"), code=d.get("code"),
+                   action=d.get("action"), count=int(d.get("count", 1)))
 
     def __str__(self) -> str:
         return self.format()
@@ -95,14 +132,28 @@ class DiagnosticEngine:
         self.diagnostics: list[Diagnostic] = []
         self.max_diagnostics = max_diagnostics
         self._overflowed = False
+        self._index: dict[tuple, Diagnostic] = {}
 
     # -- emission ---------------------------------------------------------
 
     def emit(self, diag: Diagnostic) -> Diagnostic:
+        """Record one diagnostic, collapsing exact repeats.
+
+        A diagnostic identical in severity, phase, message, code,
+        location and affected type to one already recorded (a retry
+        re-running a pass, a loop re-reporting the same complaint) does
+        not grow the list: the existing entry's ``count`` is bumped and
+        returned instead."""
+        key = diag.dedup_key()
+        existing = self._index.get(key)
+        if existing is not None:
+            existing.count += diag.count
+            return existing
         if len(self.diagnostics) >= self.max_diagnostics:
             self._overflowed = True
             return diag
         self.diagnostics.append(diag)
+        self._index[key] = diag
         return diag
 
     def report(self, severity: str, phase: str, message: str, *,

@@ -24,6 +24,8 @@ so that the *differential* layer has to save the compile.
 from __future__ import annotations
 
 import math
+import os
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -199,3 +201,123 @@ DEFAULT_CORRUPTERS: dict[str, Callable[[Any], Any]] = {
     "weights": _corrupt_weights,
     "heuristics": _corrupt_decisions,
 }
+
+
+# ---------------------------------------------------------------------------
+# Process-level faults: the service worker-pool failure modes
+# ---------------------------------------------------------------------------
+#
+# The in-process registry above exercises *contained* failures — the
+# pipeline survives them without outside help.  The compile service
+# (``repro serve``) additionally has to survive failures no in-process
+# guard can contain: a worker subprocess dying outright, wedging with
+# its heartbeat gone, starting too slowly to join the pool, or being
+# shot by the OOM killer.  These specs travel *with a service request*
+# (JSON-able, armed inside the worker subprocess by
+# ``repro.service.worker``) so every supervisor recovery path — kill
+# detection, hang detection, deadline enforcement, retry, degradation —
+# is provable from tests.
+
+#: process-level fault modes the service worker can arm
+PROCESS_FAULT_MODES = ("kill", "hang", "slow-start", "oom")
+
+#: pseudo-stages besides the pipeline pass names: "start" fires during
+#: worker boot (before the first heartbeat), "request" at job receipt
+PROCESS_STAGES_EXTRA = ("start", "request")
+
+
+class ProcessFault(BaseException):
+    """Raised by an ``oom``-mode process fault.
+
+    Deliberately a :class:`BaseException`: like a real OOM kill, it must
+    not be containable by the in-process ``PhaseGuard`` (whose boundary
+    is ``except Exception``) — only the worker's top level may catch it,
+    report a fatal message, and die.
+    """
+
+
+@dataclass
+class ProcessFaultSpec:
+    """One armed process-level fault.
+
+    ``stage`` is a pipeline pass name (``apply``, ``legality[a.c]``
+    matches ``legality``, ...) or one of the pseudo-stages ``start`` /
+    ``request``.  ``times`` bounds the fault to the first N execution
+    attempts of a request, so a retry after the injected crash can be
+    observed succeeding.
+    """
+
+    stage: str
+    mode: str = "kill"
+    seconds: float = 3600.0           # hang / slow-start duration
+    times: int = 1                    # fire on attempts <= times
+    silent: bool = True               # hang: also stop the heartbeat
+
+    def __post_init__(self):
+        if self.mode not in PROCESS_FAULT_MODES:
+            raise ValueError(
+                f"unknown process fault mode {self.mode!r}; choose "
+                f"from {PROCESS_FAULT_MODES}")
+
+    def to_dict(self) -> dict:
+        return {"stage": self.stage, "mode": self.mode,
+                "seconds": self.seconds, "times": self.times,
+                "silent": self.silent}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ProcessFaultSpec":
+        return cls(stage=str(d["stage"]), mode=str(d.get("mode", "kill")),
+                   seconds=float(d.get("seconds", 3600.0)),
+                   times=int(d.get("times", 1)),
+                   silent=bool(d.get("silent", True)))
+
+
+class ProcessFaultRegistry:
+    """Per-worker-process registry of armed process-level faults.
+
+    The service worker arms it from the request payload and calls
+    :meth:`fire` at stage boundaries (via the pipeline's pass observer).
+    ``on_hang`` is a callback the worker installs to silence its
+    heartbeat thread before a ``hang`` fault sleeps, so the supervisor's
+    heartbeat-loss detector — not just the deadline — is exercised.
+    """
+
+    def __init__(self):
+        self._specs: list[ProcessFaultSpec] = []
+        self._attempt: int = 1
+        self.on_hang: Callable[[], None] | None = None
+
+    def arm(self, specs: list[ProcessFaultSpec],
+            attempt: int = 1) -> None:
+        self._specs = list(specs)
+        self._attempt = attempt
+
+    def disarm(self) -> None:
+        self._specs = []
+        self._attempt = 1
+
+    def fire(self, stage: str) -> None:
+        """Trigger any armed fault matching ``stage``."""
+        if not self._specs:
+            return
+        base = stage.split("[", 1)[0]
+        for spec in self._specs:
+            if spec.stage not in (stage, base):
+                continue
+            if self._attempt > spec.times:
+                continue
+            if spec.mode == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif spec.mode == "hang":
+                if spec.silent and self.on_hang is not None:
+                    self.on_hang()
+                time.sleep(spec.seconds)
+            elif spec.mode == "slow-start":
+                time.sleep(spec.seconds)
+            elif spec.mode == "oom":
+                raise ProcessFault(
+                    f"simulated out-of-memory in stage {stage!r}")
+
+
+#: the per-process registry service workers arm from request payloads
+PROC_FAULTS = ProcessFaultRegistry()

@@ -72,6 +72,14 @@ SCHEMES = ("SPBO", "ISPBO", "ISPBO.NO", "ISPBO.W", "PBO", "PPBO")
 #: legality pseudo-reason marking a type demoted by fault containment
 FAULT_REASON = "FAULT"
 
+#: optional hook called with each pass name as the guard enters it.
+#: Service workers install one to publish their current pass into
+#: shared memory (for crash reports naming the last pass) and to give
+#: process-level fault injection its stage boundaries.  Called *before*
+#: the containment boundary on purpose: a process fault firing here
+#: (SIGKILL, simulated OOM) must not be containable in-process.
+PASS_OBSERVER: Callable[[str], None] | None = None
+
 
 @dataclass
 class CompilerOptions:
@@ -214,6 +222,9 @@ class PhaseGuard:
 
     def run(self, name: str, fn: Callable[[], Any],
             fallback: Callable[[], Any]) -> Any:
+        observer = PASS_OBSERVER
+        if observer is not None:
+            observer(name)
         t0 = time.perf_counter()
         try:
             FAULTS.fire(name)        # injection point (raise / stall)

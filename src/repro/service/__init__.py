@@ -1,0 +1,32 @@
+"""Supervised compile service: ``repro serve`` / ``repro client``.
+
+A long-lived daemon executing analyze/advise/transform/compare requests
+on a supervised pool of worker subprocesses, with per-request
+deadlines, heartbeat-based hang detection, retry with jittered
+backoff, per-(op, tier, workload) circuit breakers, persisted crash
+reports, and a graceful-degradation ladder that guarantees a
+structured response for every request.
+"""
+
+from .breaker import (
+    CircuitBreaker, STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN,
+)
+from .requests import (
+    COMPILE_OPS, CONTROL_OPS, LADDER, OPS, ProtocolError, Request,
+    STATUS_BUSY, STATUS_DEGRADED, STATUS_ERROR, STATUS_OK, TIERS,
+    busy_response, decode, encode, error_response, response,
+)
+from .server import (
+    CompileServer, ServiceClient, single_request, wait_ready,
+)
+from .supervisor import Supervisor, SupervisorConfig
+
+__all__ = [
+    "CircuitBreaker", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN",
+    "COMPILE_OPS", "CONTROL_OPS", "LADDER", "OPS", "ProtocolError",
+    "Request", "STATUS_BUSY", "STATUS_DEGRADED", "STATUS_ERROR",
+    "STATUS_OK", "TIERS",
+    "busy_response", "decode", "encode", "error_response", "response",
+    "CompileServer", "ServiceClient", "single_request", "wait_ready",
+    "Supervisor", "SupervisorConfig",
+]

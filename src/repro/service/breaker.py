@@ -1,0 +1,121 @@
+"""Circuit breaker for the compile service.
+
+One breaker instance tracks many keys — the supervisor keys it by
+``(op, ladder tier, source fingerprint)``, so a workload that keeps
+crashing one tier stops being attempted *at that tier* without
+affecting other workloads or the lower ladder tiers.
+
+Per key, the classic three states:
+
+- **closed** — requests flow; consecutive failures are counted;
+- **open** — tripped after ``threshold`` consecutive failures; the
+  supervisor skips the tier (falling down the ladder) until
+  ``cooldown`` seconds have passed;
+- **half-open** — after the cooldown one probe request is let through;
+  success closes the breaker, failure re-opens it for another full
+  cooldown.
+
+Thread-safe; the clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+@dataclass
+class _KeyState:
+    consecutive_failures: int = 0
+    failures: int = 0
+    successes: int = 0
+    opened_at: float | None = None
+    probing: bool = False
+    trips: int = 0
+
+
+class CircuitBreaker:
+    """Keyed circuit breaker with half-open probing."""
+
+    def __init__(self, threshold: int = 3, cooldown: float = 30.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._keys: dict[str, _KeyState] = {}
+        self._lock = threading.Lock()
+
+    def _state_of(self, ks: _KeyState) -> str:
+        if ks.opened_at is None:
+            return STATE_CLOSED
+        if ks.probing:
+            return STATE_HALF_OPEN
+        if self._clock() - ks.opened_at >= self.cooldown:
+            return STATE_HALF_OPEN
+        return STATE_OPEN
+
+    def state(self, key: str) -> str:
+        with self._lock:
+            ks = self._keys.get(key)
+            return self._state_of(ks) if ks is not None else STATE_CLOSED
+
+    def allow(self, key: str) -> bool:
+        """May a request for ``key`` proceed right now?
+
+        In half-open state exactly one caller is admitted as the probe;
+        concurrent callers see the breaker as still open.
+        """
+        with self._lock:
+            ks = self._keys.get(key)
+            if ks is None or ks.opened_at is None:
+                return True
+            if ks.probing:
+                return False          # a probe is already in flight
+            if self._clock() - ks.opened_at >= self.cooldown:
+                ks.probing = True     # admit this caller as the probe
+                return True
+            return False
+
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            ks = self._keys.setdefault(key, _KeyState())
+            ks.successes += 1
+            ks.consecutive_failures = 0
+            ks.opened_at = None
+            ks.probing = False
+
+    def record_failure(self, key: str) -> None:
+        with self._lock:
+            ks = self._keys.setdefault(key, _KeyState())
+            ks.failures += 1
+            ks.consecutive_failures += 1
+            if ks.probing or ks.consecutive_failures >= self.threshold:
+                if ks.opened_at is None or ks.probing:
+                    ks.trips += 1
+                ks.opened_at = self._clock()
+                ks.probing = False
+
+    def snapshot(self) -> dict:
+        """Stats for the ``stats`` control op (JSON-able)."""
+        with self._lock:
+            return {
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown,
+                "keys": {
+                    key: {
+                        "state": self._state_of(ks),
+                        "consecutive_failures": ks.consecutive_failures,
+                        "failures": ks.failures,
+                        "successes": ks.successes,
+                        "trips": ks.trips,
+                    }
+                    for key, ks in self._keys.items()
+                },
+            }

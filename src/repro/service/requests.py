@@ -1,0 +1,198 @@
+"""Wire protocol for the supervised compile service (``repro serve``).
+
+The daemon speaks newline-delimited JSON over a local stream socket:
+one request object per line in, exactly one response object per line
+out — a connection is *never* dropped without a structured response.
+
+A compile request names an operation (``analyze`` / ``advise`` /
+``transform`` / ``compare``), carries its sources inline, and may set a
+per-attempt ``deadline``, a ``max_retries`` budget, and (for tests and
+resilience drills) a list of process-level fault specs the worker arms
+before executing.  Control operations (``ping`` / ``stats`` /
+``shutdown``) take no sources.
+
+Responses carry a ``status``:
+
+- ``ok``        — the requested ladder tier was served;
+- ``degraded``  — a lower tier of the degradation ladder was served
+  (e.g. an advisory report instead of a transformation);
+- ``busy``      — the bounded request queue was full; the request was
+  shed with a ``retry_after`` hint (the 429 of this protocol);
+- ``error``     — every ladder tier failed; ``error`` holds a
+  structured description (tiers tried, failure reasons, crash
+  fingerprints).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..core.faults import ProcessFaultSpec
+from ..core.summarycache import fingerprint
+
+#: compile operations (ladder-governed) and control operations
+COMPILE_OPS = ("analyze", "advise", "transform", "compare")
+CONTROL_OPS = ("ping", "stats", "shutdown")
+OPS = COMPILE_OPS + CONTROL_OPS
+
+#: response statuses
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_BUSY = "busy"
+STATUS_ERROR = "error"
+
+#: the graceful-degradation ladder per operation, best tier first.
+#: ``full`` applies (and verifies) the transformations; ``advisory``
+#: runs the complete analysis but applies nothing; ``legality`` is the
+#: minimal parse + legality report.  A request that exhausts its ladder
+#: gets a structured ``error`` response — never a dropped connection.
+LADDER: dict[str, tuple[str, ...]] = {
+    "transform": ("full", "advisory", "legality"),
+    "compare": ("full", "advisory", "legality"),
+    "advise": ("advisory", "legality"),
+    "analyze": ("advisory", "legality"),
+}
+
+#: every ladder tier, best first (plus the terminal error pseudo-tier)
+TIERS = ("full", "advisory", "legality", "error")
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be understood (malformed JSON, unknown op,
+    bad field types).  Always answered with a structured error
+    response, never a dropped connection."""
+
+
+@dataclass
+class Request:
+    """One parsed compile/control request."""
+
+    op: str
+    id: str | int | None = None
+    sources: list[tuple[str, str]] = field(default_factory=list)
+    options: dict = field(default_factory=dict)
+    deadline: float | None = None      # per-attempt wall clock, seconds
+    max_retries: int | None = None     # retries at the requested tier
+    faults: list[ProcessFaultSpec] = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Request":
+        if not isinstance(d, dict):
+            raise ProtocolError("request must be a JSON object")
+        op = d.get("op")
+        if op not in OPS:
+            raise ProtocolError(
+                f"unknown op {op!r}; expected one of {', '.join(OPS)}")
+        sources: list[tuple[str, str]] = []
+        if op in COMPILE_OPS:
+            raw = d.get("sources")
+            if not isinstance(raw, list) or not raw:
+                raise ProtocolError(
+                    f"op {op!r} requires a non-empty 'sources' list of "
+                    f"[unit_name, text] pairs")
+            for entry in raw:
+                if (not isinstance(entry, (list, tuple))
+                        or len(entry) != 2
+                        or not all(isinstance(x, str) for x in entry)):
+                    raise ProtocolError(
+                        "each source must be a [unit_name, text] pair "
+                        "of strings")
+                sources.append((entry[0], entry[1]))
+        options = d.get("options") or {}
+        if not isinstance(options, dict):
+            raise ProtocolError("'options' must be an object")
+        deadline = d.get("deadline")
+        if deadline is not None:
+            deadline = float(deadline)
+            if deadline <= 0:
+                raise ProtocolError("'deadline' must be positive")
+        max_retries = d.get("max_retries")
+        if max_retries is not None:
+            max_retries = int(max_retries)
+            if max_retries < 0:
+                raise ProtocolError("'max_retries' must be >= 0")
+        try:
+            faults = [ProcessFaultSpec.from_dict(f)
+                      for f in (d.get("faults") or [])]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad fault spec: {exc}") from exc
+        return cls(op=op, id=d.get("id"), sources=sources,
+                   options=options, deadline=deadline,
+                   max_retries=max_retries, faults=faults)
+
+    def source_fingerprint(self) -> str:
+        """Content hash of the sources — the per-workload half of the
+        circuit-breaker key."""
+        return fingerprint("req-sources", tuple(self.sources))
+
+    def ladder(self) -> tuple[str, ...]:
+        return LADDER[self.op]
+
+
+# ---------------------------------------------------------------------------
+# Framing: newline-delimited JSON
+# ---------------------------------------------------------------------------
+
+def encode(obj: dict) -> bytes:
+    """One message as a single JSON line."""
+    return (json.dumps(obj, separators=(",", ":"),
+                       sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: str | bytes) -> dict:
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("message must be a JSON object")
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Response constructors (kept together so every path stays structured)
+# ---------------------------------------------------------------------------
+
+def response(req_id, op: str, status: str, *, tier: str | None = None,
+             payload: dict | None = None,
+             diagnostics: list[dict] | None = None,
+             attempts: int = 0, respawns: int = 0,
+             elapsed_s: float | None = None,
+             error: dict | None = None,
+             retry_after: float | None = None) -> dict:
+    resp: dict = {"id": req_id, "op": op, "status": status}
+    if tier is not None:
+        resp["tier"] = tier
+    if payload is not None:
+        resp["payload"] = payload
+    resp["diagnostics"] = diagnostics or []
+    resp["attempts"] = attempts
+    resp["respawns"] = respawns
+    if elapsed_s is not None:
+        resp["elapsed_s"] = round(elapsed_s, 4)
+    if error is not None:
+        resp["error"] = error
+    if retry_after is not None:
+        resp["retry_after"] = retry_after
+    return resp
+
+
+def busy_response(req_id, op: str, retry_after: float = 0.5) -> dict:
+    return response(req_id, op, STATUS_BUSY, retry_after=retry_after,
+                    error={"message": "server at capacity; request "
+                                      "shed by the bounded queue"})
+
+
+def error_response(req_id, op: str, message: str, *,
+                   diagnostics: list[dict] | None = None,
+                   attempts: int = 0, respawns: int = 0,
+                   detail: dict | None = None) -> dict:
+    err = {"message": message}
+    if detail:
+        err.update(detail)
+    return response(req_id, op, STATUS_ERROR, tier="error",
+                    diagnostics=diagnostics, attempts=attempts,
+                    respawns=respawns, error=err)

@@ -1,0 +1,263 @@
+"""The ``repro serve`` daemon: socket front door for the supervisor.
+
+Listens on a local Unix stream socket and speaks the newline-delimited
+JSON protocol of :mod:`repro.service.requests`.  One thread per
+connection; a connection may carry any number of sequential requests.
+
+Backpressure: at most ``pool_size + queue_max`` compile requests may be
+in flight (executing or waiting for a worker).  Beyond that the server
+*sheds load*: the request is answered immediately with a ``busy``
+response and a ``retry_after`` hint instead of queueing unboundedly —
+the 429 of this protocol.
+
+The invariant the tests enforce: **every request line receives exactly
+one structured response line**.  Malformed JSON, unknown ops, internal
+errors, worker crashes — all of them produce an ``error`` (or
+``busy``/``degraded``) response; none of them kill the daemon or drop
+the connection without an answer.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from pathlib import Path
+
+from .requests import (
+    COMPILE_OPS, ProtocolError, Request, busy_response, decode, encode,
+    error_response,
+)
+from .supervisor import Supervisor
+
+
+class CompileServer:
+    """Accept loop + per-connection request handling."""
+
+    def __init__(self, socket_path: str, supervisor: Supervisor,
+                 queue_max: int = 8):
+        self.socket_path = str(socket_path)
+        self.supervisor = supervisor
+        self.queue_max = queue_max
+        #: bounds in-flight compile requests: pool + bounded queue
+        self._slots = threading.BoundedSemaphore(
+            supervisor.config.pool_size + queue_max)
+        self._listener: socket.socket | None = None
+        self._stop = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._started_at = time.monotonic()
+        self._lock = threading.Lock()
+        self._served = 0
+        self._shed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind, start the pool, and accept in a background thread."""
+        path = Path(self.socket_path)
+        if path.exists():
+            path.unlink()
+        self.supervisor.start()
+        self._listener = socket.socket(socket.AF_UNIX,
+                                       socket.SOCK_STREAM)
+        self._listener.bind(self.socket_path)
+        self._listener.listen(16)
+        self._started_at = time.monotonic()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="repro-accept")
+        self._accept_thread.start()
+
+    def serve_forever(self) -> None:
+        """Blocking variant for the CLI: start, then wait for shutdown."""
+        if self._accept_thread is None:
+            self.start()
+        try:
+            while not self._stop.wait(timeout=0.2):
+                pass
+        finally:
+            self.shutdown()
+
+    def request_shutdown(self) -> None:
+        """Signal-handler-safe: ask ``serve_forever`` to exit and run
+        the orderly ``shutdown`` (reaping every worker subprocess)."""
+        self._stop.set()
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        self.supervisor.stop()
+        try:
+            Path(self.socket_path).unlink()
+        except OSError:
+            pass
+
+    # -- accept / per-connection loop --------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return                # listener closed: shutting down
+            threading.Thread(target=self._handle_connection,
+                             args=(conn,), daemon=True,
+                             name="repro-conn").start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        try:
+            reader = conn.makefile("rb")
+            for line in reader:
+                if not line.strip():
+                    continue
+                resp = self._handle_line(line)
+                try:
+                    conn.sendall(encode(resp))
+                except OSError:
+                    return            # client went away
+                if resp.get("op") == "shutdown":
+                    self._stop.set()
+                    return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle_line(self, line: bytes) -> dict:
+        """One request line -> exactly one structured response dict."""
+        try:
+            raw = decode(line)
+        except ProtocolError as exc:
+            return error_response(None, "(unknown)", str(exc))
+        req_id = raw.get("id") if isinstance(raw, dict) else None
+        op = raw.get("op") if isinstance(raw, dict) else None
+        try:
+            req = Request.from_dict(raw)
+        except ProtocolError as exc:
+            return error_response(req_id, op or "(unknown)", str(exc))
+        try:
+            return self._dispatch(req)
+        except Exception as exc:      # the daemon must never die here
+            return error_response(
+                req.id, req.op,
+                f"internal error: {type(exc).__name__}: {exc}")
+
+    def _dispatch(self, req: Request) -> dict:
+        if req.op == "ping":
+            return {"id": req.id, "op": "ping", "status": "ok",
+                    "pong": True}
+        if req.op == "shutdown":
+            return {"id": req.id, "op": "shutdown", "status": "ok"}
+        if req.op == "stats":
+            return {"id": req.id, "op": "stats", "status": "ok",
+                    "stats": self.stats()}
+        assert req.op in COMPILE_OPS
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                self._shed += 1
+            return busy_response(req.id, req.op)
+        try:
+            resp = self.supervisor.submit(req)
+            with self._lock:
+                self._served += 1
+            return resp
+        finally:
+            self._slots.release()
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            server = {
+                "served": self._served,
+                "shed": self._shed,
+                "queue_max": self.queue_max,
+                "uptime_s": round(
+                    time.monotonic() - self._started_at, 2),
+                "socket": self.socket_path,
+            }
+        out = {"server": server}
+        out.update(self.supervisor.stats())
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Client side
+# ---------------------------------------------------------------------------
+
+class ServiceClient:
+    """Line-oriented client for one connection to the daemon."""
+
+    def __init__(self, socket_path: str, timeout: float | None = None):
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._reader = None
+
+    def connect(self) -> "ServiceClient":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self.socket_path)
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object; block for its response."""
+        if self._sock is None:
+            self.connect()
+        self._sock.sendall(encode(payload))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError(
+                "connection closed before a response arrived")
+        return decode(line)
+
+
+def single_request(socket_path: str, payload: dict,
+                   timeout: float | None = None) -> dict:
+    """One-shot convenience: connect, send, receive, close."""
+    with ServiceClient(socket_path, timeout=timeout) as client:
+        return client.request(payload)
+
+
+def wait_ready(socket_path: str, timeout: float = 10.0,
+               interval: float = 0.05) -> bool:
+    """Poll the daemon with pings until it answers (or timeout)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            resp = single_request(socket_path, {"op": "ping"},
+                                  timeout=interval * 10)
+            if resp.get("pong"):
+                return True
+        except (OSError, ConnectionError, ProtocolError):
+            pass
+        time.sleep(interval)
+    return False

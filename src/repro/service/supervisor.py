@@ -1,0 +1,562 @@
+"""Supervisor: the worker pool, deadlines, retries, and the ladder.
+
+The supervisor owns a fixed-size pool of worker subprocesses
+(:mod:`repro.service.worker`) and turns each compile request into a
+response by walking the request's graceful-degradation ladder:
+
+1. The *requested tier* (e.g. ``full`` for ``transform``) is attempted
+   up to ``1 + max_retries`` times, with jittered exponential backoff
+   between attempts.
+2. Every failed attempt feeds the per-``(op, tier, workload)`` circuit
+   breaker; a tier whose breaker is open is skipped outright.
+3. On exhaustion the next ladder tier is attempted (once each), down to
+   the minimal ``legality`` report.
+4. If every tier fails, the caller gets a *structured error response* —
+   never a dropped connection, never a dead daemon.
+
+Each attempt runs under a wall-clock **deadline** and a
+**heartbeat-based hang detector**: a worker whose heartbeat goes stale
+(``hang_timeout``) or whose attempt outlives the deadline is terminated
+(SIGTERM, then SIGKILL escalation), a **crash report** naming its last
+pass is persisted, and a replacement worker is spawned.  The on-disk
+summary cache is shared by the whole pool, so a respawned worker is
+warm immediately and a poisoned request degrades only itself.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.diagnostics import (
+    CODE_BREAKER, CODE_DEADLINE, CODE_DEGRADED, CODE_HANG, CODE_WORKER,
+    Diagnostic, DiagnosticEngine,
+)
+from ..core.summarycache import fingerprint
+from .breaker import CircuitBreaker
+from .requests import (
+    Request, STATUS_DEGRADED, STATUS_OK, busy_response, error_response,
+    response,
+)
+from .worker import STAGE_BYTES, get_stage, worker_main
+
+
+@dataclass
+class SupervisorConfig:
+    """Knobs for one supervisor (CLI flags map onto these)."""
+
+    pool_size: int = 2
+    #: per-attempt wall-clock deadline, seconds (requests may lower it)
+    deadline: float = 60.0
+    #: retries at the requested tier (lower tiers get one attempt each)
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    #: kill a busy worker whose heartbeat is older than this
+    hang_timeout: float = 2.0
+    heartbeat_interval: float = 0.05
+    #: max wait for a fresh worker's first heartbeat before respawning
+    ready_timeout: float = 15.0
+    spawn_retries: int = 3
+    #: SIGTERM grace before SIGKILL escalation
+    term_grace: float = 0.5
+    #: shared content-addressed summary cache (None = no cache)
+    cache_dir: str | None = None
+    #: where crash reports are persisted (default: <cache_dir>/crashes,
+    #: or a temp directory when there is no cache)
+    crash_dir: str | None = None
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    #: multiprocessing start method ("fork" keeps respawn cheap on
+    #: Linux; "spawn" is the portable fallback)
+    start_method: str | None = None
+    #: boot-time fault specs (slow-start drills) forwarded to the first
+    #: ``boot_fault_spawns`` worker spawns only, so recovery converges
+    boot_faults: list[dict] = field(default_factory=list)
+    boot_fault_spawns: int = 1
+    #: RNG seed for backoff jitter (None = nondeterministic)
+    jitter_seed: int | None = None
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker subprocess."""
+
+    def __init__(self, index: int, proc, conn, heartbeat, state):
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.heartbeat = heartbeat
+        self.state = state
+        self.spawned_at = time.monotonic()
+        self.jobs_done = 0
+
+    @property
+    def last_stage(self) -> str:
+        return get_stage(self.state)
+
+
+class _Outcome:
+    """Result of one execution attempt."""
+
+    def __init__(self, kind: str, *, payload=None, diagnostics=None,
+                 detail: str = "", last_stage: str = ""):
+        self.kind = kind      # ok | error | fatal | crash | deadline |
+        #                       hang | busy
+        self.payload = payload
+        self.diagnostics = diagnostics or []
+        self.detail = detail
+        self.last_stage = last_stage
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "ok"
+
+
+class Supervisor:
+    """Owns the pool; turns requests into structured responses."""
+
+    def __init__(self, config: SupervisorConfig | None = None):
+        self.config = config or SupervisorConfig()
+        cfg = self.config
+        method = cfg.start_method
+        if method is None:
+            method = "fork" if "fork" in \
+                multiprocessing.get_all_start_methods() else "spawn"
+        self._ctx = multiprocessing.get_context(method)
+        self.breaker = CircuitBreaker(threshold=cfg.breaker_threshold,
+                                      cooldown=cfg.breaker_cooldown)
+        self._rng = random.Random(cfg.jitter_seed)
+        self._cv = threading.Condition()
+        self._idle: list[_WorkerHandle] = []
+        #: every live handle, idle or checked out — stop() must reap
+        #: busy workers too, or they outlive the daemon as orphans
+        self._workers: set[_WorkerHandle] = set()
+        self._stopping = False
+        self._spawn_count = 0
+        self._crash_seq = 0
+        self.stats_lock = threading.Lock()
+        self.stats_counters = {
+            "requests": 0, "served_ok": 0, "served_degraded": 0,
+            "errors": 0, "busy": 0, "attempts": 0, "respawns": 0,
+            "crashes": 0, "deadline_kills": 0, "hang_kills": 0,
+            "breaker_skips": 0,
+        }
+        if cfg.crash_dir is None:
+            if cfg.cache_dir is not None:
+                cfg.crash_dir = str(Path(cfg.cache_dir) / "crashes")
+            else:
+                import tempfile
+                cfg.crash_dir = tempfile.mkdtemp(prefix="repro-crash-")
+        Path(cfg.crash_dir).mkdir(parents=True, exist_ok=True)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        for i in range(self.config.pool_size):
+            handle = self._spawn(i)
+            with self._cv:
+                self._idle.append(handle)
+                self._cv.notify()
+
+    def stop(self) -> None:
+        with self._cv:
+            self._stopping = True
+            idle = list(self._idle)
+            self._idle.clear()
+            everyone = list(self._workers)
+            self._cv.notify_all()
+        for w in idle:
+            try:
+                w.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        for w in everyone:
+            w.proc.join(timeout=1.0 if w in idle else 0.0)
+            if w.proc.is_alive():
+                self._kill(w)
+            try:
+                w.conn.close()
+            except OSError:
+                pass
+        with self._cv:
+            self._workers.clear()
+
+    # -- spawning / killing ------------------------------------------------
+
+    def _spawn(self, index: int) -> _WorkerHandle:
+        """Spawn one worker and wait for its first heartbeat.
+
+        A worker that does not come up within ``ready_timeout``
+        (slow-start fault, wedged import) is killed, crash-reported,
+        and replaced, up to ``spawn_retries`` times.
+        """
+        cfg = self.config
+        last_error = "worker never became ready"
+        for attempt in range(cfg.spawn_retries + 1):
+            self._spawn_count += 1
+            boot_faults = cfg.boot_faults \
+                if self._spawn_count <= cfg.boot_fault_spawns else []
+            parent_conn, child_conn = self._ctx.Pipe()
+            heartbeat = self._ctx.Value("d", 0.0, lock=False)
+            state = self._ctx.Array("c", STAGE_BYTES)
+            proc = self._ctx.Process(
+                target=worker_main,
+                args=(child_conn, heartbeat, state, cfg.cache_dir,
+                      cfg.heartbeat_interval, boot_faults),
+                daemon=True, name=f"repro-worker-{index}")
+            proc.start()
+            child_conn.close()
+            handle = _WorkerHandle(index, proc, parent_conn, heartbeat,
+                                   state)
+            t0 = time.monotonic()
+            while time.monotonic() - t0 < cfg.ready_timeout:
+                if heartbeat.value > 0.0:
+                    with self._cv:
+                        self._workers.add(handle)
+                    return handle
+                if not proc.is_alive():
+                    break
+                time.sleep(0.01)
+            last_error = ("worker died during startup"
+                          if not proc.is_alive()
+                          else f"no heartbeat within "
+                               f"{cfg.ready_timeout:.1f}s")
+            self._kill(handle)
+            self._crash_report(
+                op="(spawn)", tier="-", request_id=None, attempt=attempt,
+                units=[], last_stage="start", reason="slow-start",
+                detail=last_error, exitcode=proc.exitcode)
+        raise RuntimeError(
+            f"worker {index} failed to start after "
+            f"{cfg.spawn_retries + 1} attempts: {last_error}")
+
+    def _kill(self, w: _WorkerHandle) -> None:
+        """SIGTERM, grace, then SIGKILL escalation."""
+        with self._cv:
+            self._workers.discard(w)
+        if w.proc.is_alive():
+            w.proc.terminate()
+            w.proc.join(timeout=self.config.term_grace)
+        if w.proc.is_alive():
+            w.proc.kill()
+            w.proc.join(timeout=2.0)
+        try:
+            w.conn.close()
+        except OSError:
+            pass
+
+    def _replace(self, w: _WorkerHandle) -> None:
+        """Kill ``w`` (if needed) and return a fresh worker to the pool.
+
+        The replacement inherits nothing from the corpse except the
+        on-disk summary cache — which is the point: warm state survives
+        the crash."""
+        self._kill(w)
+        with self._cv:
+            if self._stopping:
+                return                # shutting down: no replacement
+        with self.stats_lock:
+            self.stats_counters["respawns"] += 1
+        replacement = self._spawn(w.index)
+        self._release(replacement)
+
+    # -- pool checkout -----------------------------------------------------
+
+    def _acquire(self, timeout: float) -> _WorkerHandle | None:
+        deadline = time.monotonic() + timeout
+        with self._cv:
+            while not self._idle and not self._stopping:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cv.wait(timeout=remaining)
+            if self._stopping or not self._idle:
+                return None
+            return self._idle.pop()
+
+    def _release(self, w: _WorkerHandle) -> None:
+        with self._cv:
+            if self._stopping:
+                pass
+            self._idle.append(w)
+            self._cv.notify()
+
+    # -- crash reports -----------------------------------------------------
+
+    def _crash_report(self, *, op: str, tier: str, request_id,
+                      attempt: int, units: list[str], last_stage: str,
+                      reason: str, detail: str,
+                      exitcode: int | None) -> Path:
+        """Persist one crash report; returns its path."""
+        self._crash_seq += 1
+        fp = fingerprint("crash", op, tier, tuple(units), last_stage,
+                         reason)[:16]
+        report = {
+            "time": time.time(),
+            "request_id": request_id,
+            "op": op,
+            "tier": tier,
+            "attempt": attempt,
+            "units": units,
+            "last_pass": last_stage,
+            "reason": reason,
+            "detail": detail,
+            "exitcode": exitcode,
+            "fingerprint": fp,
+        }
+        path = Path(self.config.crash_dir) / \
+            f"crash-{os.getpid()}-{self._crash_seq:04d}.json"
+        try:
+            path.write_text(json.dumps(report, indent=2) + "\n")
+        except OSError:
+            pass                      # reporting must never fail a request
+        return path
+
+    # -- one execution attempt ---------------------------------------------
+
+    def _execute(self, req: Request, tier: str, attempt: int,
+                 deadline: float) -> _Outcome:
+        cfg = self.config
+        w = self._acquire(timeout=deadline)
+        if w is None:
+            return _Outcome("busy", detail="no worker available")
+        # a worker can die while idle (external kill); replace silently
+        if not w.proc.is_alive():
+            self._replace(w)
+            w = self._acquire(timeout=deadline)
+            if w is None:
+                return _Outcome("busy", detail="no worker available")
+
+        job = {"id": req.id, "op": req.op, "tier": tier,
+               "sources": [[n, t] for n, t in req.sources],
+               "options": req.options, "attempt": attempt,
+               "faults": [f.to_dict() for f in req.faults]}
+        try:
+            w.conn.send(job)
+        except (OSError, ValueError) as exc:
+            last = w.last_stage
+            self._replace(w)
+            return _Outcome("crash", detail=f"dispatch failed: {exc}",
+                            last_stage=last)
+
+        start = time.monotonic()
+        while True:
+            try:
+                if w.conn.poll(0.02):
+                    msg = w.conn.recv()
+                    break
+            except (EOFError, OSError):
+                msg = None            # pipe died: worker crashed
+                break
+            now = time.monotonic()
+            if now - start > deadline:
+                last = w.last_stage
+                with self.stats_lock:
+                    self.stats_counters["deadline_kills"] += 1
+                self._crash_report(
+                    op=req.op, tier=tier, request_id=req.id,
+                    attempt=attempt, units=[n for n, _ in req.sources],
+                    last_stage=last, reason="deadline",
+                    detail=f"attempt exceeded its {deadline:.2f}s "
+                           f"deadline", exitcode=None)
+                self._replace(w)
+                return _Outcome("deadline", last_stage=last,
+                                detail=f"{deadline:.2f}s deadline "
+                                       f"expired in pass {last!r}")
+            hb = w.heartbeat.value
+            if hb > 0.0 and now - hb > cfg.hang_timeout:
+                last = w.last_stage
+                with self.stats_lock:
+                    self.stats_counters["hang_kills"] += 1
+                self._crash_report(
+                    op=req.op, tier=tier, request_id=req.id,
+                    attempt=attempt, units=[n for n, _ in req.sources],
+                    last_stage=last, reason="hang",
+                    detail=f"heartbeat stale for "
+                           f"{now - hb:.2f}s", exitcode=None)
+                self._replace(w)
+                return _Outcome(
+                    "hang", last_stage=last,
+                    detail=f"heartbeat lost for {now - hb:.2f}s in "
+                           f"pass {last!r}")
+            if not w.proc.is_alive():
+                try:
+                    if w.conn.poll(0.0):
+                        continue      # drain the last message first
+                except (EOFError, OSError):
+                    pass
+                msg = None
+                break
+
+        if msg is None:               # worker died mid-request
+            last = w.last_stage
+            exitcode = w.proc.exitcode
+            with self.stats_lock:
+                self.stats_counters["crashes"] += 1
+            self._crash_report(
+                op=req.op, tier=tier, request_id=req.id,
+                attempt=attempt, units=[n for n, _ in req.sources],
+                last_stage=last, reason="crash",
+                detail=f"worker exited with {exitcode}",
+                exitcode=exitcode)
+            self._replace(w)
+            return _Outcome("crash", last_stage=last,
+                            detail=f"worker died (exit {exitcode}) in "
+                                   f"pass {last!r}")
+
+        kind = msg.get("kind")
+        if kind == "result":
+            w.jobs_done += 1
+            self._release(w)
+            return _Outcome("ok", payload=msg.get("payload"),
+                            diagnostics=msg.get("diagnostics"))
+        if kind == "fatal":           # worker reported OOM and is dying
+            last = msg.get("stage") or w.last_stage
+            w.proc.join(timeout=2.0)
+            with self.stats_lock:
+                self.stats_counters["crashes"] += 1
+            self._crash_report(
+                op=req.op, tier=tier, request_id=req.id,
+                attempt=attempt, units=[n for n, _ in req.sources],
+                last_stage=last, reason="fatal",
+                detail=msg.get("error", ""), exitcode=w.proc.exitcode)
+            self._replace(w)
+            return _Outcome("fatal", last_stage=last,
+                            detail=msg.get("error", "worker fatal"))
+        # kind == "error": the job failed but the worker is healthy
+        self._release(w)
+        return _Outcome("error", last_stage=msg.get("stage", ""),
+                        detail=msg.get("error", "request failed"))
+
+    # -- the ladder --------------------------------------------------------
+
+    def submit(self, req: Request) -> dict:
+        """Serve one request by walking its degradation ladder."""
+        cfg = self.config
+        with self.stats_lock:
+            self.stats_counters["requests"] += 1
+        t_start = time.monotonic()
+        deadline = req.deadline if req.deadline is not None \
+            else cfg.deadline
+        max_retries = req.max_retries if req.max_retries is not None \
+            else cfg.max_retries
+        ladder = req.ladder()
+        src_fp = req.source_fingerprint()[:16]
+        engine = DiagnosticEngine()
+        respawns_before = self.stats_counters["respawns"]
+        attempts = 0
+        failure_reasons: list[dict] = []
+
+        for tier_index, tier in enumerate(ladder):
+            key = f"{req.op}:{tier}:{src_fp}"
+            if not self.breaker.allow(key):
+                with self.stats_lock:
+                    self.stats_counters["breaker_skips"] += 1
+                engine.warning(
+                    "service",
+                    f"circuit breaker open for tier {tier!r} of this "
+                    f"workload; tier skipped", code=CODE_BREAKER,
+                    action=f"retry after the "
+                           f"{self.breaker.cooldown:.0f}s cooldown")
+                failure_reasons.append(
+                    {"tier": tier, "reason": "breaker-open"})
+                continue
+            tries = 1 + (max_retries if tier_index == 0 else 0)
+            for local_try in range(tries):
+                attempts += 1
+                with self.stats_lock:
+                    self.stats_counters["attempts"] += 1
+                outcome = self._execute(req, tier, attempts, deadline)
+                if outcome.kind == "busy":
+                    with self.stats_lock:
+                        self.stats_counters["busy"] += 1
+                    return busy_response(req.id, req.op)
+                if outcome.ok:
+                    self.breaker.record_success(key)
+                    return self._success_response(
+                        req, tier, ladder, outcome, engine, attempts,
+                        respawns_before, t_start)
+                self.breaker.record_failure(key)
+                self._note_failure(engine, tier, attempts, outcome)
+                failure_reasons.append(
+                    {"tier": tier, "reason": outcome.kind,
+                     "detail": outcome.detail,
+                     "last_pass": outcome.last_stage})
+                if local_try < tries - 1:
+                    time.sleep(self._backoff(local_try))
+
+        with self.stats_lock:
+            self.stats_counters["errors"] += 1
+        return error_response(
+            req.id, req.op,
+            "every degradation-ladder tier failed for this request",
+            diagnostics=[d.to_dict() for d in engine],
+            attempts=attempts,
+            respawns=self.stats_counters["respawns"] - respawns_before,
+            detail={"tiers_tried": list(ladder),
+                    "failures": failure_reasons})
+
+    def _backoff(self, local_try: int) -> float:
+        cfg = self.config
+        raw = min(cfg.backoff_cap, cfg.backoff_base * (2 ** local_try))
+        return raw * (0.5 + self._rng.random() * 0.5)
+
+    def _note_failure(self, engine: DiagnosticEngine, tier: str,
+                      attempt: int, outcome: _Outcome) -> None:
+        code = {"deadline": CODE_DEADLINE, "hang": CODE_HANG}.get(
+            outcome.kind, CODE_WORKER)
+        engine.warning(
+            "service",
+            f"tier {tier!r} attempt failed ({outcome.kind}: "
+            f"{outcome.detail})", code=code,
+            action="the supervisor retried or degraded the request")
+
+    def _success_response(self, req: Request, tier: str,
+                          ladder: tuple[str, ...], outcome: _Outcome,
+                          engine: DiagnosticEngine, attempts: int,
+                          respawns_before: int,
+                          t_start: float) -> dict:
+        for d in outcome.diagnostics:
+            try:
+                engine.emit(Diagnostic.from_dict(d))
+            except (KeyError, ValueError):
+                pass
+        degraded = tier != ladder[0]
+        if degraded:
+            engine.warning(
+                "service",
+                f"request degraded: served tier {tier!r} instead of "
+                f"{ladder[0]!r}", code=CODE_DEGRADED,
+                action="fix or re-try the workload for a full result")
+        status = STATUS_DEGRADED if degraded else STATUS_OK
+        with self.stats_lock:
+            key = "served_degraded" if degraded else "served_ok"
+            self.stats_counters[key] += 1
+            respawns = self.stats_counters["respawns"] - respawns_before
+        return response(
+            req.id, req.op, status, tier=tier, payload=outcome.payload,
+            diagnostics=[d.to_dict() for d in engine],
+            attempts=attempts, respawns=respawns,
+            elapsed_s=time.monotonic() - t_start)
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self.stats_lock:
+            counters = dict(self.stats_counters)
+        with self._cv:
+            idle = len(self._idle)
+        counters.update({
+            "pool_size": self.config.pool_size,
+            "idle_workers": idle,
+            "spawns": self._spawn_count,
+            "crash_dir": str(self.config.crash_dir),
+        })
+        return {"supervisor": counters,
+                "breaker": self.breaker.snapshot()}

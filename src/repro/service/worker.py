@@ -1,0 +1,257 @@
+"""Worker subprocess for the supervised compile service.
+
+Each worker is one long-lived subprocess executing compile jobs the
+supervisor sends over a pipe.  The worker
+
+- runs a daemon *heartbeat thread* stamping a shared
+  ``multiprocessing.Value`` with the monotonic clock every
+  ``heartbeat_interval`` seconds — the supervisor's hang detector;
+- publishes its *current pass* into a shared character array (via the
+  pipeline's ``PASS_OBSERVER`` hook) so a crash report can name the
+  last pass a dead worker was in;
+- arms per-request *process-level faults*
+  (:class:`~repro.core.faults.ProcessFaultSpec`) before executing, so
+  kill/hang/OOM recovery paths are provable from tests;
+- answers every job with exactly one message: ``result`` (payload +
+  serialized diagnostics), ``error`` (the job failed but the worker is
+  healthy), or ``fatal`` (the worker is dying — simulated or real OOM —
+  and exits right after sending).
+
+The worker holds no state a crash can lose: parse artifacts and
+analysis summaries live in the on-disk content-addressed summary cache
+shared by the whole pool, so a respawned worker is warm immediately.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+
+from ..analysis.legality import (
+    fallback_unit_legality, merge_unit_legality, summarize_unit_legality,
+)
+from ..core import pipeline as pipeline_mod
+from ..core.diagnostics import CODE_CONTAINED, CODE_MISMATCH, \
+    DiagnosticEngine
+from ..core.faults import PROC_FAULTS, ProcessFault, ProcessFaultSpec
+from ..core.pipeline import Compiler, CompilerOptions
+from ..frontend.program import Program
+from ..transform.heuristics import HeuristicParams
+from ..transform.unparse import program_sources
+
+#: bytes reserved for the shared current-pass name
+STAGE_BYTES = 96
+
+#: exit status a worker uses when dying on a fatal (OOM-like) fault;
+#: chosen to mirror a SIGKILLed process (128 + 9)
+FATAL_EXIT = 137
+
+
+def set_stage(state, name: str) -> None:
+    """Publish the current pass name into the shared array."""
+    state.value = name.encode("utf-8", errors="replace")[:STAGE_BYTES - 1]
+
+
+def get_stage(state) -> str:
+    return state.value.decode("utf-8", errors="replace")
+
+
+# ---------------------------------------------------------------------------
+# Job execution (runs inside the worker process)
+# ---------------------------------------------------------------------------
+
+def build_options(odict: dict, tier: str,
+                  cache_dir: str | None) -> CompilerOptions:
+    """Compiler options for one job at one ladder tier."""
+    params = HeuristicParams()
+    if odict.get("ts") is not None:
+        params.ts_static = float(odict["ts"])
+        params.ts_profile = float(odict["ts"])
+    if odict.get("peel_mode"):
+        params.peel_mode = odict["peel_mode"]
+    full = tier == "full"
+    if not odict.get("cache", True):
+        cache_dir = None
+    return CompilerOptions(
+        scheme=odict.get("scheme", "ISPBO"),
+        params=params,
+        relax_legality=bool(odict.get("relax", False)),
+        transform=full,
+        verify_transforms=full and bool(odict.get("verify", True)),
+        jobs=int(odict.get("jobs", 1)),
+        cache_dir=cache_dir)
+
+
+def _type_rows(result) -> dict:
+    """Per-type legality/plan rows (the ``repro analyze`` table)."""
+    rows = {}
+    for name in sorted(result.legality.types):
+        info = result.legality.types[name]
+        decision = result.decision_for(name)
+        rows[name] = {
+            "status": "OK" if info.is_legal()
+            else ",".join(sorted(info.invalid_reasons)),
+            "attrs": list(info.attributes()),
+            "plan": decision.action if decision is not None else "none",
+            "notes": list(decision.notes) if decision is not None else [],
+        }
+    return rows
+
+
+def _legality_payload(sources: list[tuple[str, str]]) -> tuple[dict, list]:
+    """The ``legality`` ladder tier: parse + per-unit legality merge
+    only — no weights, profiles, heuristics, or transformation.  The
+    cheapest still-useful answer the service can give."""
+    diags = DiagnosticEngine()
+    program = Program.from_sources(sources, recover=True)
+    for err in program.frontend_errors:
+        diags.error("parse", err.message, unit=err.unit,
+                    line=err.line or None)
+    summaries = []
+    for unit in program.units:
+        try:
+            summaries.append(summarize_unit_legality(unit))
+        except Exception as exc:
+            diags.warning(
+                f"legality[{unit.name}]",
+                f"unit summary failed ({type(exc).__name__}: {exc}); "
+                f"conservative fallback substituted",
+                unit=unit.name, code=CODE_CONTAINED)
+            summaries.append(fallback_unit_legality(unit.name))
+    legality = merge_unit_legality(program, summaries)
+    rows = {
+        name: {"status": "OK" if info.is_legal()
+               else ",".join(sorted(info.invalid_reasons)),
+               "attrs": list(info.attributes())}
+        for name, info in sorted(legality.types.items())
+    }
+    payload = {"table1": list(legality.counts()), "types": rows}
+    return payload, [d.to_dict() for d in diags]
+
+
+def execute_job(job: dict, cache_dir: str | None) -> tuple[dict, list]:
+    """Run one job at its assigned tier; returns (payload, diagnostics).
+
+    Raises on failure — the caller turns exceptions into ``error``
+    messages (or ``fatal`` for :class:`ProcessFault`/``MemoryError``).
+    """
+    op: str = job["op"]
+    tier: str = job["tier"]
+    sources = [(n, t) for n, t in job["sources"]]
+    if tier == "legality":
+        return _legality_payload(sources)
+
+    options = build_options(job.get("options") or {}, tier, cache_dir)
+    result = Compiler(options).compile_sources(sources)
+    payload: dict = {
+        "table1": list(result.table1_row()),
+        "types": _type_rows(result),
+        "timings": {k: round(v, 4) for k, v in result.timings.items()},
+    }
+
+    if op == "advise":
+        from ..advisor import advisor_report
+        payload["report"] = advisor_report(result)
+
+    if tier == "full":
+        payload["transformed_types"] = [
+            {"type_name": d.type_name, "action": d.action,
+             "cold_fields": list(d.cold_fields),
+             "dead_fields": list(d.dead_fields)}
+            for d in result.transformed_types()]
+        payload["rolled_back"] = list(result.rolled_back)
+        if op == "transform":
+            payload["transformed_sources"] = [
+                [name, text]
+                for name, text in program_sources(result.transformed)]
+        elif op == "compare":
+            from ..runtime import run_program
+            cycle_limit = int(job.get("options", {}).get(
+                "cycle_limit", 2_000_000_000))
+            before = run_program(result.program, cycle_limit=cycle_limit)
+            after = run_program(result.transformed,
+                                cycle_limit=cycle_limit)
+            mismatch = before.stdout != after.stdout
+            if mismatch:
+                result.diagnostics.error(
+                    phase="compare", code=CODE_MISMATCH,
+                    message="transformation changed program output")
+            payload["compare"] = {
+                "before_cycles": before.cycles,
+                "after_cycles": after.cycles,
+                "gain_pct": round(
+                    100.0 * (before.cycles / after.cycles - 1.0), 2)
+                if after.cycles else None,
+                "output": before.stdout,
+                "mismatch": mismatch,
+            }
+    return payload, [d.to_dict() for d in result.diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# Process entry point
+# ---------------------------------------------------------------------------
+
+def worker_main(conn, heartbeat, state, cache_dir: str | None,
+                heartbeat_interval: float,
+                boot_faults: list[dict]) -> None:
+    """Run the worker loop until the parent sends ``None`` or dies."""
+    PROC_FAULTS.arm([ProcessFaultSpec.from_dict(d) for d in boot_faults])
+    set_stage(state, "start")
+    PROC_FAULTS.fire("start")         # slow-start boot faults land here
+
+    silenced = threading.Event()
+    PROC_FAULTS.on_hang = silenced.set
+
+    def beat() -> None:
+        while not silenced.is_set():
+            heartbeat.value = time.monotonic()
+            time.sleep(heartbeat_interval)
+
+    threading.Thread(target=beat, daemon=True,
+                     name="repro-heartbeat").start()
+
+    def observe(pass_name: str) -> None:
+        set_stage(state, pass_name)
+        PROC_FAULTS.fire(pass_name)
+
+    pipeline_mod.PASS_OBSERVER = observe
+    set_stage(state, "idle")
+
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):
+            break                     # supervisor is gone
+        if job is None:
+            break                     # orderly shutdown
+        set_stage(state, "request")
+        PROC_FAULTS.arm(
+            [ProcessFaultSpec.from_dict(d)
+             for d in job.get("faults", [])],
+            attempt=int(job.get("attempt", 1)))
+        try:
+            PROC_FAULTS.fire("request")
+            observe("parse")          # stages before the first guard
+            payload, diagnostics = execute_job(job, cache_dir)
+            conn.send({"kind": "result", "id": job.get("id"),
+                       "payload": payload, "diagnostics": diagnostics})
+        except (ProcessFault, MemoryError) as exc:
+            # an OOM (simulated or real) is not survivable in-process:
+            # report what we can, then die like the OOM killer hit us
+            try:
+                conn.send({"kind": "fatal", "id": job.get("id"),
+                           "error": f"{type(exc).__name__}: {exc}",
+                           "stage": get_stage(state)})
+            finally:
+                os._exit(FATAL_EXIT)
+        except Exception as exc:      # job failed; worker is healthy
+            conn.send({"kind": "error", "id": job.get("id"),
+                       "error": f"{type(exc).__name__}: {exc}",
+                       "stage": get_stage(state),
+                       "traceback": traceback.format_exc(limit=8)})
+        finally:
+            PROC_FAULTS.disarm()
+            set_stage(state, "idle")

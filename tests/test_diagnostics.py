@@ -82,6 +82,65 @@ class TestEngine:
         assert eng.summary() == "1 error(s), 1 warning(s), 0 note(s)"
 
 
+class TestDeduplication:
+    """Identical repeats (retry attempts re-reporting the same fault)
+    collapse into one entry with an occurrence count."""
+
+    def test_identical_repeats_collapse(self):
+        eng = DiagnosticEngine()
+        for _ in range(3):
+            eng.warning("apply", "pass failed", unit="a.c", line=4,
+                        code=CODE_CONTAINED)
+        assert len(eng) == 1
+        assert eng.diagnostics[0].count == 3
+        assert "[x3]" in eng.render()
+
+    def test_different_location_not_collapsed(self):
+        eng = DiagnosticEngine()
+        eng.error("parse", "bad token", unit="a.c", line=1)
+        eng.error("parse", "bad token", unit="a.c", line=2)
+        eng.error("parse", "bad token", unit="b.c", line=1)
+        assert len(eng) == 3
+        assert all(d.count == 1 for d in eng)
+
+    def test_different_severity_or_code_not_collapsed(self):
+        eng = DiagnosticEngine()
+        eng.warning("legality", "demoted")
+        eng.note("legality", "demoted")
+        eng.warning("legality", "demoted", code=CODE_CONTAINED)
+        assert len(eng) == 3
+
+    def test_emit_returns_the_collapsed_entry(self):
+        eng = DiagnosticEngine()
+        first = eng.warning("be", "w")
+        second = eng.warning("be", "w")
+        assert first is second
+        assert first.count == 2
+
+    def test_merge_deduplicates(self):
+        a, b = DiagnosticEngine(), DiagnosticEngine()
+        a.warning("be", "w")
+        b.warning("be", "w")
+        b.warning("be", "other")
+        a.merge(b)
+        assert len(a) == 2
+        assert a.diagnostics[0].count == 2
+
+    def test_count_survives_the_wire_format(self):
+        eng = DiagnosticEngine()
+        eng.warning("apply", "pass failed", unit="a.c", line=4)
+        eng.warning("apply", "pass failed", unit="a.c", line=4)
+        blob = eng.diagnostics[0].to_dict()
+        back = Diagnostic.from_dict(blob)
+        assert back.count == 2
+        assert back.loc.unit == "a.c" and back.loc.line == 4
+        assert "[x2]" in back.format()
+
+    def test_no_single_count_marker(self):
+        d = Diagnostic("note", "verify", "skipped")
+        assert "[x" not in d.format()
+
+
 # ---------------------------------------------------------------------------
 # CLI integration
 # ---------------------------------------------------------------------------
