@@ -10,6 +10,10 @@ measurements backing the PR's performance claims:
   front end from one content-addressed entry, so the claim is >= 5x.
 - ``parallel_speedup`` — cold compile with ``jobs=4`` versus
   ``jobs=1`` (no cache either way), isolating the parse-pool win.
+- ``phases`` — per-phase wall time (fe/ipa/be), the hottest guarded
+  passes, and the observability cost: best-of-N compile time with
+  tracing disabled versus enabled (the disabled path must stay a
+  no-op; ``benchmarks/obs_smoke.py`` gates it at < 5%).
 - ``simulator`` — cycles/second executing 181.mcf (train) on the
   simulated machine, plus the cycle count and an output/stats hash so
   any semantic drift in the simulator fast path is caught, not just
@@ -38,6 +42,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import Compiler, CompilerOptions  # noqa: E402
+from repro.obs import MetricsRegistry, Tracer  # noqa: E402
 from repro.runtime import run_program  # noqa: E402
 from repro.workloads import ALL_WORKLOADS  # noqa: E402
 
@@ -129,6 +134,55 @@ def bench_pipeline(n_units: int, repeats: int) -> dict:
     }
 
 
+def bench_phases(n_units: int, repeats: int) -> dict:
+    """Per-phase wall time from one traced compile of the synthetic
+    program, plus the cost of observability itself: best-of-N wall
+    time with tracing disabled (the NULL-tracer fast path) versus
+    enabled (tracer + metrics + per-pass profiler)."""
+    sources = make_sources(n_units=n_units)
+
+    def timed(tracer=None, metrics=None):
+        opts = CompilerOptions(jobs=1, cache_dir=None)
+        t0 = time.perf_counter()
+        result = Compiler(opts, tracer=tracer,
+                          metrics=metrics).compile_sources(sources)
+        assert not result.diagnostics.has_errors, \
+            result.diagnostics.render()
+        return time.perf_counter() - t0, result
+
+    n = max(repeats, 1)
+    untraced = min(timed()[0] for _ in range(n))
+    traced_walls = []
+    result = tracer = metrics = None
+    for _ in range(n):
+        tracer, metrics = Tracer(), MetricsRegistry()
+        wall, result = timed(tracer, metrics)
+        traced_walls.append(wall)
+    traced = min(traced_walls)
+
+    snap = metrics.snapshot()
+    pass_hist = {k: v for k, v in snap.items()
+                 if k.startswith("pass.wall_ms")}
+    hottest = sorted(result.pass_timings.items(),
+                     key=lambda kv: -kv[1])[:5]
+    return {
+        "units": n_units,
+        "untraced_s": round(untraced, 4),
+        "traced_s": round(traced, 4),
+        "tracing_overhead_pct": round(
+            100.0 * (traced / untraced - 1.0), 2),
+        "phase_wall_ms": {
+            p: round(result.timings[p] * 1e3, 3)
+            for p in ("fe", "ipa", "be") if p in result.timings},
+        "hottest_passes_ms": {
+            name: round(t * 1e3, 3) for name, t in hottest},
+        "pass_metric_samples": sum(
+            v["count"] for v in pass_hist.values()),
+        "span_count": len(tracer.finished()),
+        "trace_id": tracer.trace_id,
+    }
+
+
 def bench_simulator(repeats: int) -> dict:
     wl = next(w for w in ALL_WORKLOADS if "mcf" in w.name)
     prog = wl.program("train")
@@ -168,10 +222,12 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     pipeline = bench_pipeline(args.units, args.repeats)
+    phases = bench_phases(args.units, args.repeats)
     simulator = bench_simulator(args.repeats)
     report = {
         "benchmark": "pipeline",
         "pipeline": pipeline,
+        "phases": phases,
         "simulator": simulator,
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

@@ -9,12 +9,16 @@ and the compiler-based advisory tool.
 
 Quickstart::
 
-    from repro import Program, compile_source, run_program
+    from repro import Session, run_program
 
-    result = compile_source(source_text)        # analyze + transform
+    result = Session().compile_source(source_text)   # analyze + transform
     before = run_program(result.program)
     after = run_program(result.transformed)
     print(before.cycles / after.cycles)
+
+The legacy module-level ``compile_program`` / ``compile_source``
+helpers still work but are deprecated in favour of
+:class:`repro.api.Session` (see the migration table in DESIGN.md).
 """
 
 from .frontend import Program
@@ -22,14 +26,18 @@ from .core import (
     Compiler, CompilerOptions, CompilationResult, compile_program,
     compile_source, SCHEMES,
 )
+from .api import (
+    CompileOptions, CompileReply, CompileRequest, Session,
+)
 from .runtime import run_program, RunResult, Machine, CompiledProgram
 from .advisor import advisor_report, classify_report
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Program", "Compiler", "CompilerOptions", "CompilationResult",
     "compile_program", "compile_source", "SCHEMES",
+    "Session", "CompileOptions", "CompileRequest", "CompileReply",
     "run_program", "RunResult", "Machine", "CompiledProgram",
     "advisor_report", "classify_report", "__version__",
 ]

@@ -2,6 +2,7 @@
 
 from .report import (
     advisor_report, format_type_report, AdvisorOptions, hotness_bar, rw_bar,
+    phase_cost_footer,
 )
 from .vcg import affinity_vcg, program_vcg
 from .classify import (
@@ -11,6 +12,7 @@ from .classify import (
 
 __all__ = [
     "advisor_report", "format_type_report", "AdvisorOptions",
+    "phase_cost_footer",
     "hotness_bar", "rw_bar",
     "affinity_vcg", "program_vcg",
     "Advice", "ClassifierParams", "affinity_clusters", "classify_type",

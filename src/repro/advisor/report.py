@@ -47,6 +47,11 @@ class AdvisorOptions:
     max_types: int | None = None
     #: skip types with zero hotness
     skip_cold_types: bool = False
+    #: append the per-phase compile-cost footer (wall time per phase,
+    #: hottest passes).  Off by default: the footer contains wall-clock
+    #: numbers, and default reports must stay deterministic (the
+    #: service's serial-vs-daemon parity depends on it).
+    phase_costs: bool = False
 
 
 def format_type_report(profile: TypeProfile, legality: LegalityResult,
@@ -143,4 +148,32 @@ def advisor_report(result: CompilationResult,
     header = (f"Structure layout advisory report "
               f"(scheme: {result.weights.scheme}, "
               f"{len(order)} of {len(profiles)} types)\n" + "=" * 69)
-    return header + "\n\n" + "\n\n".join(sections) + "\n"
+    report = header + "\n\n" + "\n\n".join(sections) + "\n"
+    if options.phase_costs:
+        report += "\n" + phase_cost_footer(result)
+    return report
+
+
+def phase_cost_footer(result: CompilationResult) -> str:
+    """The per-phase compile-cost footer: phase wall time and the
+    hottest guarded passes (with peak-RSS growth when the compile ran
+    with a tracer and per-pass profiling is available)."""
+    lines = ["per-phase compile cost", "-" * 69]
+    total = sum(result.timings.values()) or 1.0
+    for phase in ("fe", "ipa", "be"):
+        t = result.timings.get(phase)
+        if t is None:
+            continue
+        lines.append(f"  {phase:4s} {t * 1e3:9.1f} ms  "
+                     f"({100.0 * t / total:5.1f}%)")
+    passes = sorted(result.pass_timings.items(),
+                    key=lambda kv: -kv[1])[:5]
+    if passes:
+        lines.append("  hottest passes:")
+        for name, t in passes:
+            extra = ""
+            prof = result.pass_profile.get(name)
+            if prof and prof.get("rss_kb_delta"):
+                extra = f"  (+{prof['rss_kb_delta']} kB peak RSS)"
+            lines.append(f"    {name:24s} {t * 1e3:9.1f} ms{extra}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,548 @@
+"""The typed public facade: one schema for every way in.
+
+Historically the toolchain had three separate entry paths — the
+module-level ``compile_program`` / ``compile_source`` /
+``compile_sources`` helpers, the CLI subcommands, and the service's
+hand-rolled wire validation — each with its own slightly different
+notion of "options".  This module unifies them:
+
+- :class:`CompileOptions` is the one options schema.  The CLI builds
+  it from flags, the service validates wire dicts against it, and
+  :meth:`CompileOptions.compiler_options` lowers it onto the core
+  :class:`~repro.core.pipeline.CompilerOptions` for one ladder tier.
+- :class:`CompileRequest` / :class:`CompileReply` are the typed
+  request/response pair.  ``repro client`` serializes a request with
+  :meth:`CompileRequest.to_wire`; the daemon parses the same dict
+  back with :meth:`CompileRequest.from_dict`; a reply parses with
+  :meth:`CompileReply.from_wire`.
+- :class:`Session` is the in-process entry point: a compiler handle
+  carrying options plus the observability hooks (a
+  :class:`~repro.obs.Tracer` and a
+  :class:`~repro.obs.MetricsRegistry`).  It subsumes the deprecated
+  module-level ``compile_*`` helpers and can also execute a full
+  :class:`CompileRequest` locally — the *same* payload builder the
+  service workers run (:func:`execute_tier`), so a local
+  ``Session.execute`` and a daemon round-trip produce identical
+  payloads.
+
+Validation errors raise :class:`ApiError`, which carries a structured
+``detail`` dict (e.g. the list of unknown fields) so the service can
+answer with a structured diagnostic instead of a bare string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dc_fields
+
+from .core.diagnostics import CODE_CONTAINED, CODE_MISMATCH, \
+    DiagnosticEngine
+from .core.faults import ProcessFaultSpec
+from .core.pipeline import CompilationResult, Compiler, CompilerOptions
+from .core.summarycache import fingerprint
+from .frontend.program import Program
+from .obs import MetricsRegistry, NULL_TRACER, Tracer
+from .transform.heuristics import HeuristicParams
+
+#: compile operations, ladder-governed (the service adds control ops)
+COMPILE_OPS = ("analyze", "advise", "transform", "compare")
+
+#: the graceful-degradation ladder per operation, best tier first.
+#: ``full`` applies (and verifies) the transformations; ``advisory``
+#: runs the complete analysis but applies nothing; ``legality`` is the
+#: minimal parse + legality report.
+LADDER: dict[str, tuple[str, ...]] = {
+    "transform": ("full", "advisory", "legality"),
+    "compare": ("full", "advisory", "legality"),
+    "advise": ("advisory", "legality"),
+    "analyze": ("advisory", "legality"),
+}
+
+#: every ladder tier, best first (plus the terminal error pseudo-tier)
+TIERS = ("full", "advisory", "legality", "error")
+
+#: response statuses
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_BUSY = "busy"
+STATUS_ERROR = "error"
+
+
+class ApiError(ValueError):
+    """A request or option set that fails schema validation.
+
+    ``detail`` is a JSON-ready dict naming what failed (unknown
+    fields, the offending value, ...) so transports can answer with a
+    structured diagnostic."""
+
+    def __init__(self, message: str, *, detail: dict | None = None):
+        super().__init__(message)
+        self.detail = detail or {}
+
+
+def _reject_unknown(d: dict, known: tuple[str, ...],
+                    where: str) -> None:
+    unknown = sorted(set(d) - set(known))
+    if unknown:
+        raise ApiError(
+            f"unknown {where} field(s): {', '.join(unknown)}",
+            detail={"unknown_fields": unknown,
+                    "known_fields": sorted(known),
+                    "where": where})
+
+
+# ---------------------------------------------------------------------------
+# Options
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CompileOptions:
+    """The one user-facing options schema.
+
+    Every field is wire-serializable; the service validates incoming
+    ``options`` objects against exactly this set of fields (unknown
+    keys are rejected with a structured diagnostic)."""
+
+    scheme: str = "ISPBO"              # weight-estimation scheme
+    relax: bool = False                # legality relaxation (§3.2)
+    ts: float | None = None            # splitting threshold, percent
+    peel_mode: str | None = None       # auto|per-field|hot-cold|affinity
+    verify: bool = True                # differential verification
+    cache: bool = True                 # use the daemon's summary cache
+    jobs: int = 1                      # parallel front-end width
+    cycle_limit: int = 2_000_000_000   # simulator budget for compare
+
+    WIRE_FIELDS = ("scheme", "relax", "ts", "peel_mode", "verify",
+                   "cache", "jobs", "cycle_limit")
+
+    @classmethod
+    def from_dict(cls, d: dict | None) -> "CompileOptions":
+        if d is None:
+            return cls()
+        if not isinstance(d, dict):
+            raise ApiError("'options' must be an object",
+                           detail={"where": "options"})
+        _reject_unknown(d, cls.WIRE_FIELDS, "options")
+        opts = cls()
+        try:
+            if "scheme" in d:
+                opts.scheme = str(d["scheme"])
+            if "relax" in d:
+                opts.relax = bool(d["relax"])
+            if d.get("ts") is not None:
+                opts.ts = float(d["ts"])
+            if d.get("peel_mode") is not None:
+                opts.peel_mode = str(d["peel_mode"])
+            if "verify" in d:
+                opts.verify = bool(d["verify"])
+            if "cache" in d:
+                opts.cache = bool(d["cache"])
+            if "jobs" in d:
+                opts.jobs = int(d["jobs"])
+            if "cycle_limit" in d:
+                opts.cycle_limit = int(d["cycle_limit"])
+        except (TypeError, ValueError) as exc:
+            raise ApiError(f"bad options value: {exc}",
+                           detail={"where": "options"}) from exc
+        return opts
+
+    def to_dict(self) -> dict:
+        """Only the non-default fields — the compact wire form."""
+        out = {}
+        for f in dc_fields(self):
+            v = getattr(self, f.name)
+            if v != f.default:
+                out[f.name] = v
+        return out
+
+    def compiler_options(self, tier: str = "full",
+                         cache_dir: str | None = None
+                         ) -> CompilerOptions:
+        """Lower onto core options for one degradation-ladder tier."""
+        params = HeuristicParams()
+        if self.ts is not None:
+            params.ts_static = float(self.ts)
+            params.ts_profile = float(self.ts)
+        if self.peel_mode:
+            params.peel_mode = self.peel_mode
+        full = tier == "full"
+        return CompilerOptions(
+            scheme=self.scheme,
+            params=params,
+            relax_legality=self.relax,
+            transform=full,
+            verify_transforms=full and self.verify,
+            jobs=self.jobs,
+            cache_dir=cache_dir if self.cache else None)
+
+
+# ---------------------------------------------------------------------------
+# Request / reply
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CompileRequest:
+    """One typed compile request — the CLI, the service wire protocol,
+    and in-process execution all build exactly this."""
+
+    op: str
+    sources: list[tuple[str, str]] = field(default_factory=list)
+    options: CompileOptions = field(default_factory=CompileOptions)
+    id: str | int | None = None
+    deadline: float | None = None      # per-attempt wall clock, seconds
+    max_retries: int | None = None     # retries at the requested tier
+    faults: list[ProcessFaultSpec] = field(default_factory=list)
+    #: ask for a stitched distributed trace of this request
+    trace: bool = False
+
+    WIRE_FIELDS = ("op", "id", "sources", "options", "deadline",
+                   "max_retries", "faults", "trace")
+
+    def __post_init__(self):
+        if self.op not in COMPILE_OPS:
+            raise ApiError(
+                f"unknown op {self.op!r}; expected one of "
+                f"{', '.join(COMPILE_OPS)}",
+                detail={"op": self.op, "known_ops": list(COMPILE_OPS)})
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CompileRequest":
+        if not isinstance(d, dict):
+            raise ApiError("request must be a JSON object")
+        _reject_unknown(d, cls.WIRE_FIELDS, "request")
+        op = d.get("op")
+        if op not in COMPILE_OPS:
+            raise ApiError(
+                f"unknown op {op!r}; expected one of "
+                f"{', '.join(COMPILE_OPS)}",
+                detail={"op": op, "known_ops": list(COMPILE_OPS)})
+        raw = d.get("sources")
+        if not isinstance(raw, list) or not raw:
+            raise ApiError(
+                f"op {op!r} requires a non-empty 'sources' list of "
+                f"[unit_name, text] pairs", detail={"where": "sources"})
+        sources: list[tuple[str, str]] = []
+        for entry in raw:
+            if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                    or not all(isinstance(x, str) for x in entry)):
+                raise ApiError(
+                    "each source must be a [unit_name, text] pair of "
+                    "strings", detail={"where": "sources"})
+            sources.append((entry[0], entry[1]))
+        options = CompileOptions.from_dict(d.get("options"))
+        deadline = d.get("deadline")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError) as exc:
+                raise ApiError("'deadline' must be a number",
+                               detail={"where": "deadline"}) from exc
+            if deadline <= 0:
+                raise ApiError("'deadline' must be positive",
+                               detail={"where": "deadline"})
+        max_retries = d.get("max_retries")
+        if max_retries is not None:
+            try:
+                max_retries = int(max_retries)
+            except (TypeError, ValueError) as exc:
+                raise ApiError("'max_retries' must be an integer",
+                               detail={"where": "max_retries"}) from exc
+            if max_retries < 0:
+                raise ApiError("'max_retries' must be >= 0",
+                               detail={"where": "max_retries"})
+        try:
+            faults = [ProcessFaultSpec.from_dict(f)
+                      for f in (d.get("faults") or [])]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ApiError(f"bad fault spec: {exc}",
+                           detail={"where": "faults"}) from exc
+        return cls(op=op, sources=sources, options=options,
+                   id=d.get("id"), deadline=deadline,
+                   max_retries=max_retries, faults=faults,
+                   trace=bool(d.get("trace", False)))
+
+    def to_wire(self) -> dict:
+        """The request as the wire dict ``from_dict`` round-trips."""
+        out: dict = {"op": self.op,
+                     "sources": [[n, t] for n, t in self.sources]}
+        if self.id is not None:
+            out["id"] = self.id
+        opts = self.options.to_dict()
+        if opts:
+            out["options"] = opts
+        if self.deadline is not None:
+            out["deadline"] = self.deadline
+        if self.max_retries is not None:
+            out["max_retries"] = self.max_retries
+        if self.faults:
+            out["faults"] = [f.to_dict() for f in self.faults]
+        if self.trace:
+            out["trace"] = True
+        return out
+
+    def ladder(self) -> tuple[str, ...]:
+        return LADDER[self.op]
+
+    def source_fingerprint(self) -> str:
+        """Content hash of the sources — the per-workload half of the
+        service's circuit-breaker key."""
+        return fingerprint("req-sources", tuple(self.sources))
+
+
+@dataclass
+class CompileReply:
+    """One typed reply, local or from the daemon."""
+
+    op: str
+    status: str                        # ok|degraded|busy|error
+    id: str | int | None = None
+    tier: str | None = None
+    payload: dict = field(default_factory=dict)
+    diagnostics: list[dict] = field(default_factory=list)
+    attempts: int = 0
+    respawns: int = 0
+    elapsed_s: float | None = None
+    error: dict | None = None
+    retry_after: float | None = None
+    trace_id: str | None = None
+    #: stitched span dicts, present when the request asked for a trace
+    spans: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == STATUS_DEGRADED
+
+    @classmethod
+    def from_wire(cls, d: dict) -> "CompileReply":
+        if not isinstance(d, dict):
+            raise ApiError("reply must be a JSON object")
+        return cls(
+            op=str(d.get("op", "(unknown)")),
+            status=str(d.get("status", STATUS_ERROR)),
+            id=d.get("id"),
+            tier=d.get("tier"),
+            payload=dict(d.get("payload") or {}),
+            diagnostics=list(d.get("diagnostics") or []),
+            attempts=int(d.get("attempts", 0)),
+            respawns=int(d.get("respawns", 0)),
+            elapsed_s=d.get("elapsed_s"),
+            error=d.get("error"),
+            retry_after=d.get("retry_after"),
+            trace_id=d.get("trace_id"),
+            spans=list(d.get("spans") or []))
+
+    def to_wire(self) -> dict:
+        out: dict = {"id": self.id, "op": self.op,
+                     "status": self.status,
+                     "diagnostics": self.diagnostics,
+                     "attempts": self.attempts,
+                     "respawns": self.respawns}
+        if self.tier is not None:
+            out["tier"] = self.tier
+        if self.payload:
+            out["payload"] = self.payload
+        if self.elapsed_s is not None:
+            out["elapsed_s"] = round(self.elapsed_s, 4)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.retry_after is not None:
+            out["retry_after"] = self.retry_after
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.spans:
+            out["spans"] = self.spans
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Tier execution — shared by Session.execute and the service workers
+# ---------------------------------------------------------------------------
+
+def _type_rows(result: CompilationResult) -> dict:
+    """Per-type legality/plan rows (the ``repro analyze`` table)."""
+    rows = {}
+    for name in sorted(result.legality.types):
+        info = result.legality.types[name]
+        decision = result.decision_for(name)
+        rows[name] = {
+            "status": "OK" if info.is_legal()
+            else ",".join(sorted(info.invalid_reasons)),
+            "attrs": list(info.attributes()),
+            "plan": decision.action if decision is not None else "none",
+            "notes": list(decision.notes) if decision is not None else [],
+        }
+    return rows
+
+
+def _legality_payload(sources: list[tuple[str, str]]
+                      ) -> tuple[dict, list]:
+    """The ``legality`` ladder tier: parse + per-unit legality merge
+    only — no weights, profiles, heuristics, or transformation.  The
+    cheapest still-useful answer the service can give."""
+    from .analysis.legality import (
+        fallback_unit_legality, merge_unit_legality,
+        summarize_unit_legality,
+    )
+    diags = DiagnosticEngine()
+    program = Program.from_sources(sources, recover=True)
+    for err in program.frontend_errors:
+        diags.error("parse", err.message, unit=err.unit,
+                    line=err.line or None)
+    summaries = []
+    for unit in program.units:
+        try:
+            summaries.append(summarize_unit_legality(unit))
+        except Exception as exc:
+            diags.warning(
+                f"legality[{unit.name}]",
+                f"unit summary failed ({type(exc).__name__}: {exc}); "
+                f"conservative fallback substituted",
+                unit=unit.name, code=CODE_CONTAINED)
+            summaries.append(fallback_unit_legality(unit.name))
+    legality = merge_unit_legality(program, summaries)
+    rows = {
+        name: {"status": "OK" if info.is_legal()
+               else ",".join(sorted(info.invalid_reasons)),
+               "attrs": list(info.attributes())}
+        for name, info in sorted(legality.types.items())
+    }
+    payload = {"table1": list(legality.counts()), "types": rows}
+    return payload, [d.to_dict() for d in diags]
+
+
+def execute_tier(op: str, tier: str, sources: list[tuple[str, str]],
+                 options: CompileOptions, *,
+                 cache_dir: str | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None
+                 ) -> tuple[dict, list]:
+    """Run one compile operation at one ladder tier.
+
+    Returns ``(payload, diagnostics)``; raises on failure — transports
+    turn exceptions into their own structured error forms.  This is
+    the single payload builder: the service workers and
+    :meth:`Session.execute` both call it, so a request answered
+    locally and one answered by the daemon agree byte-for-byte.
+    """
+    if tier == "legality":
+        return _legality_payload(sources)
+
+    copts = options.compiler_options(tier, cache_dir)
+    result = Compiler(copts, tracer=tracer,
+                      metrics=metrics).compile_sources(sources)
+    payload: dict = {
+        "table1": list(result.table1_row()),
+        "types": _type_rows(result),
+        "timings": {k: round(v, 4) for k, v in result.timings.items()},
+    }
+
+    if op == "advise":
+        from .advisor import advisor_report
+        payload["report"] = advisor_report(result)
+
+    if tier == "full":
+        from .transform.unparse import program_sources
+        payload["transformed_types"] = [
+            {"type_name": d.type_name, "action": d.action,
+             "cold_fields": list(d.cold_fields),
+             "dead_fields": list(d.dead_fields)}
+            for d in result.transformed_types()]
+        payload["rolled_back"] = list(result.rolled_back)
+        if op == "transform":
+            payload["transformed_sources"] = [
+                [name, text]
+                for name, text in program_sources(result.transformed)]
+        elif op == "compare":
+            from .runtime import run_program
+            cycle_limit = int(options.cycle_limit)
+            before = run_program(result.program,
+                                 cycle_limit=cycle_limit)
+            after = run_program(result.transformed,
+                                cycle_limit=cycle_limit)
+            mismatch = before.stdout != after.stdout
+            if mismatch:
+                result.diagnostics.error(
+                    phase="compare", code=CODE_MISMATCH,
+                    message="transformation changed program output")
+            payload["compare"] = {
+                "before_cycles": before.cycles,
+                "after_cycles": after.cycles,
+                "gain_pct": round(
+                    100.0 * (before.cycles / after.cycles - 1.0), 2)
+                if after.cycles else None,
+                "output": before.stdout,
+                "mismatch": mismatch,
+            }
+    return payload, [d.to_dict() for d in result.diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# Session
+# ---------------------------------------------------------------------------
+
+class Session:
+    """An in-process compiler handle: options + observability.
+
+    The replacement for the deprecated module-level ``compile_*``
+    helpers::
+
+        from repro.api import Session
+        result = Session().compile_source(text)
+
+        from repro.obs import Tracer
+        tracer = Tracer()
+        result = Session(tracer=tracer).compile_sources(sources)
+        # tracer.finished() now holds the compile -> phase -> pass tree
+
+    ``execute`` runs a full :class:`CompileRequest` through the same
+    payload builder the service workers use.
+    """
+
+    def __init__(self, options: CompilerOptions | None = None, *,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 cache_dir: str | None = None):
+        self.options = options or CompilerOptions()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.cache_dir = cache_dir if cache_dir is not None \
+            else self.options.cache_dir
+
+    def _compiler(self) -> Compiler:
+        return Compiler(self.options, tracer=self.tracer,
+                        metrics=self.metrics)
+
+    def compile(self, program: Program) -> CompilationResult:
+        """Compile an already-parsed :class:`Program`."""
+        return self._compiler().compile(program)
+
+    def compile_source(self, source: str) -> CompilationResult:
+        """Compile one MiniC source text."""
+        return self._compiler().compile(Program.from_source(source))
+
+    def compile_sources(self, sources: list[tuple[str, str]]
+                        ) -> CompilationResult:
+        """Compile ``[(unit_name, text), ...]`` through the parallel
+        front end and (when configured) the summary cache."""
+        return self._compiler().compile_sources(sources)
+
+    def execute(self, request: CompileRequest, *,
+                tier: str | None = None) -> CompileReply:
+        """Serve a typed request in-process, at its best ladder tier
+        (or an explicit ``tier``) — no daemon involved."""
+        tier = tier or request.ladder()[0]
+        payload, diagnostics = execute_tier(
+            request.op, tier, request.sources, request.options,
+            cache_dir=self.cache_dir, tracer=self.tracer,
+            metrics=self.metrics)
+        spans = [s.to_dict() for s in self.tracer.finished()] \
+            if self.tracer.enabled else []
+        return CompileReply(
+            op=request.op, status=STATUS_OK, id=request.id, tier=tier,
+            payload=payload, diagnostics=diagnostics, attempts=1,
+            trace_id=self.tracer.trace_id or None
+            if self.tracer.enabled else None,
+            spans=spans)

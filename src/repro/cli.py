@@ -33,12 +33,18 @@ import sys
 from pathlib import Path
 from typing import NamedTuple
 
-from .advisor import advisor_report, classify_report, program_vcg
+from .advisor import (
+    AdvisorOptions, advisor_report, classify_report, program_vcg,
+)
+from .api import (
+    ApiError, CompileOptions, CompileReply, CompileRequest, Session,
+)
 from .core import (
-    CODE_MISMATCH, CompilationResult, Compiler, CompilerOptions,
+    CODE_MISMATCH, CompilationResult, CompilerOptions,
     FatalCompilerError,
 )
 from .frontend import Program
+from .obs import Tracer, write_trace
 from .profit import collect_feedback
 from .runtime import run_program
 from .transform import HeuristicParams, program_sources
@@ -84,11 +90,20 @@ def _load_program(paths: list[str]) -> Program:
     return program
 
 
-def _compile(paths: list[str],
-             options: CompilerOptions) -> CompilationResult:
+def _compile(paths: list[str], options: CompilerOptions,
+             trace_out: str | None = None) -> CompilationResult:
     """Read, parse (in parallel when ``--jobs`` asks for it, through the
-    summary cache when ``--cache-dir`` names one) and compile."""
-    result = Compiler(options).compile_sources(_read_sources(paths))
+    summary cache when ``--cache-dir`` names one) and compile via a
+    :class:`repro.api.Session`.  With ``trace_out``, the compile runs
+    under a tracer and the span tree is written there (Chrome
+    ``trace_event`` JSON, or JSONL for a ``.jsonl`` path)."""
+    tracer = Tracer() if trace_out else None
+    session = Session(options, tracer=tracer)
+    result = session.compile_sources(_read_sources(paths))
+    if trace_out:
+        path = write_trace(trace_out, tracer.finished())
+        print(f"repro: trace {tracer.trace_id} written to {path} "
+              f"(open in Perfetto / chrome://tracing)", file=sys.stderr)
     _reject_frontend_errors(result.program)
     return result
 
@@ -147,7 +162,7 @@ def _first_divergence(before: str, after: str) -> str:
 def cmd_analyze(args) -> int:
     options = _options(args).options
     options.transform = False
-    result = _compile(args.files, options)
+    result = _compile(args.files, options, args.trace_out)
 
     types, legal, relaxed = result.table1_row()
     print(f"record types: {types}  legal: {legal}  "
@@ -169,8 +184,10 @@ def cmd_analyze(args) -> int:
 def cmd_advise(args) -> int:
     options, feedback = _options(args)
     options.transform = False
-    result = _compile(args.files, options)
-    print(advisor_report(result, feedback=feedback))
+    result = _compile(args.files, options, args.trace_out)
+    show_costs = args.costs or bool(args.trace_out)
+    print(advisor_report(result, feedback=feedback,
+                         options=AdvisorOptions(phase_costs=show_costs)))
     print("scenario advice (section 3.3):")
     for name, profile in result.profiles.items():
         if profile.type_hotness() > 0.0:
@@ -193,7 +210,7 @@ def cmd_advise(args) -> int:
 
 def cmd_transform(args) -> int:
     options = _options(args).options
-    result = _compile(args.files, options)
+    result = _compile(args.files, options, args.trace_out)
     transformed = result.transformed_types()
     print(f"transformed {len(transformed)} type(s): "
           f"{', '.join(d.type_name for d in transformed) or '-'}",
@@ -227,7 +244,7 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     options = _options(args).options
-    result = _compile(args.files, options)
+    result = _compile(args.files, options, args.trace_out)
     before = run_program(result.program, cycle_limit=args.cycle_limit)
     after = run_program(result.transformed,
                         cycle_limit=args.cycle_limit)
@@ -345,71 +362,89 @@ def _render_client_payload(args, resp: dict) -> None:
               f"{'; '.join(row.get('notes', []))}")
 
 
+def _client_request(args) -> CompileRequest:
+    """Build the typed request the ``client`` subcommand sends.
+
+    The flags lower into the same :class:`repro.api.CompileRequest`
+    schema the service validates against — there is no second,
+    hand-rolled wire dict to drift out of sync."""
+    from .core.faults import ProcessFaultSpec
+    options = CompileOptions(
+        scheme=args.scheme or "ISPBO",
+        relax=bool(args.relax),
+        ts=args.ts,
+        peel_mode=args.peel_mode,
+        verify=not args.no_verify,
+        cache=not args.no_cache)
+    try:
+        faults = [ProcessFaultSpec.from_dict(_parse_fault_flag(s))
+                  for s in args.inject_fault]
+    except (KeyError, ValueError) as exc:
+        raise CliError(f"bad --inject-fault: {exc}",
+                       EXIT_USAGE) from exc
+    try:
+        return CompileRequest(
+            op=args.client_op,
+            sources=_read_sources(args.files),
+            options=options,
+            deadline=args.deadline,
+            max_retries=args.max_retries,
+            faults=faults,
+            trace=bool(args.trace_out))
+    except ApiError as exc:
+        raise CliError(str(exc), EXIT_USAGE) from exc
+
+
 def cmd_client(args) -> int:
     from .core.diagnostics import Diagnostic, DiagnosticEngine
     from .service import ProtocolError, single_request
-    options: dict = {}
-    if getattr(args, "scheme", None):
-        options["scheme"] = args.scheme
-    if getattr(args, "relax", False):
-        options["relax"] = True
-    if getattr(args, "ts", None) is not None:
-        options["ts"] = args.ts
-    if getattr(args, "peel_mode", None):
-        options["peel_mode"] = args.peel_mode
-    if getattr(args, "no_verify", False):
-        options["verify"] = False
-    if getattr(args, "no_cache", False):
-        options["cache"] = False
-    payload = {
-        "op": args.client_op,
-        "sources": [[n, t] for n, t in _read_sources(args.files)],
-        "options": options,
-    }
-    if args.deadline is not None:
-        payload["deadline"] = args.deadline
-    if args.max_retries is not None:
-        payload["max_retries"] = args.max_retries
-    if args.inject_fault:
-        payload["faults"] = [_parse_fault_flag(s)
-                             for s in args.inject_fault]
+    request = _client_request(args)
     try:
-        resp = single_request(args.socket, payload,
+        resp = single_request(args.socket, request.to_wire(),
                               timeout=args.timeout)
     except (OSError, ConnectionError, ProtocolError) as exc:
         raise CliError(
             f"cannot reach daemon at '{args.socket}': {exc}",
             EXIT_USAGE) from exc
+    reply = CompileReply.from_wire(resp)
 
     engine = DiagnosticEngine()
-    for d in resp.get("diagnostics", []):
+    for d in reply.diagnostics:
         try:
             engine.emit(Diagnostic.from_dict(d))
         except (KeyError, ValueError):
             pass
-    status = resp.get("status")
-    if status == "busy":
-        print(f"repro: busy: {resp.get('error', {}).get('message', '')}"
-              f" (retry after {resp.get('retry_after', 0.5)}s)",
+    if reply.status == "busy":
+        print(f"repro: busy: {(reply.error or {}).get('message', '')}"
+              f" (retry after {reply.retry_after or 0.5}s)",
               file=sys.stderr)
         return EXIT_COMPILE
-    if status == "error":
+    if reply.status == "error":
         print(f"repro: error: "
-              f"{resp.get('error', {}).get('message', 'request failed')}",
+              f"{(reply.error or {}).get('message', 'request failed')}",
               file=sys.stderr)
         rendered = engine.render("warning")
         if rendered:
             print(rendered, file=sys.stderr)
         return EXIT_COMPILE
     _render_client_payload(args, resp)
-    if status == "degraded":
-        print(f"repro: degraded: served tier {resp.get('tier')!r} "
-              f"(attempts={resp.get('attempts')}, "
-              f"respawns={resp.get('respawns')})", file=sys.stderr)
+    if args.trace_out:
+        if reply.spans:
+            path = write_trace(args.trace_out, reply.spans)
+            print(f"repro: trace {reply.trace_id} written to {path} "
+                  f"(open in Perfetto / chrome://tracing)",
+                  file=sys.stderr)
+        else:
+            print("repro: warning: daemon returned no spans; "
+                  "no trace written", file=sys.stderr)
+    if reply.degraded:
+        print(f"repro: degraded: served tier {reply.tier!r} "
+              f"(attempts={reply.attempts}, "
+              f"respawns={reply.respawns})", file=sys.stderr)
     rendered = engine.render("warning")
     if rendered:
         print(rendered, file=sys.stderr)
-    if status != "ok" or engine.has_errors:
+    if not reply.ok or engine.has_errors:
         return EXIT_COMPILE
     return EXIT_OK
 
@@ -452,6 +487,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "unchanged units are not re-analyzed")
             p.add_argument("--no-cache", action="store_true",
                            help="ignore --cache-dir for this run")
+            p.add_argument("--trace-out", default=None, metavar="FILE",
+                           help="trace the compile and write the span "
+                                "tree to FILE (Chrome trace_event "
+                                "JSON; JSONL when FILE ends in "
+                                ".jsonl)")
 
     p = sub.add_parser("analyze", help="legality + planned transforms")
     add_common(p)
@@ -464,6 +504,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mt", action="store_true",
                    help="add multi-threaded layout advice "
                         "(read/write grouping, false sharing)")
+    p.add_argument("--costs", action="store_true",
+                   help="append the per-phase compile-cost footer "
+                        "(implied by --trace-out)")
     p.set_defaults(fn=cmd_advise)
 
     p = sub.add_parser("transform",
@@ -566,6 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="STAGE:MODE[:TIMES[:SECONDS]]",
                    help="arm a worker-process fault for resilience "
                         "drills (modes: kill, hang, slow-start, oom)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="ask the daemon for a stitched distributed "
+                        "trace of this request and write it to FILE "
+                        "(Chrome trace_event JSON; JSONL for .jsonl)")
     p.set_defaults(fn=cmd_client)
 
     return parser

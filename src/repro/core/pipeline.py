@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable
@@ -58,6 +60,11 @@ from ..transform.heuristics import (
     HeuristicParams, TransformDecision, apply_decisions,
     decide_transforms,
 )
+from ..obs import (
+    CAT_COMPILE, CAT_FE_UNIT, CAT_PHASE, MetricsPassObserver,
+    MetricsRegistry, NULL_TRACER, PASS_EVENTS, PassEvent, PassProfiler,
+    Tracer, TracingPassObserver,
+)
 from .diagnostics import (
     CODE_BUDGET, CODE_CACHE, CODE_CONTAINED, CODE_CORRUPT, CODE_PARSE,
     CODE_ROLLBACK, CODE_VERIFY, DiagnosticEngine, FatalCompilerError,
@@ -72,12 +79,13 @@ SCHEMES = ("SPBO", "ISPBO", "ISPBO.NO", "ISPBO.W", "PBO", "PPBO")
 #: legality pseudo-reason marking a type demoted by fault containment
 FAULT_REASON = "FAULT"
 
-#: optional hook called with each pass name as the guard enters it.
-#: Service workers install one to publish their current pass into
-#: shared memory (for crash reports naming the last pass) and to give
-#: process-level fault injection its stage boundaries.  Called *before*
-#: the containment boundary on purpose: a process fault firing here
-#: (SIGKILL, simulated OOM) must not be containable in-process.
+#: DEPRECATED single-callable pass hook, kept so out-of-tree callers
+#: keep working one release: subscribe to
+#: :data:`repro.obs.PASS_EVENTS` instead.  When set, it is still
+#: called with each pass name at pass entry, *before* the containment
+#: boundary (a process fault firing there — SIGKILL, simulated OOM —
+#: must not be containable in-process).  The observer registry gets
+#: the same pre-containment placement for its ``enter`` events.
 PASS_OBSERVER: Callable[[str], None] | None = None
 
 
@@ -169,6 +177,11 @@ class CompilationResult:
     rolled_back: list[str] = field(default_factory=list)
     #: how the front end ran (compile_sources only; None otherwise)
     fe_report: FEReport | None = None
+    #: per-pass profile (wall ms, peak-RSS growth, diagnostics emitted);
+    #: populated only when the compile ran with tracing enabled
+    pass_profile: dict[str, dict] = field(default_factory=dict)
+    #: trace id of the compile's span tree (None when tracing was off)
+    trace_id: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -222,18 +235,31 @@ class PhaseGuard:
 
     def run(self, name: str, fn: Callable[[], Any],
             fallback: Callable[[], Any]) -> Any:
-        observer = PASS_OBSERVER
+        observer = PASS_OBSERVER      # deprecated hook, still honored
         if observer is not None:
             observer(name)
+        events = PASS_EVENTS
+        if events:                    # pre-containment, like the hook
+            events.publish(PassEvent(name, "enter",
+                                     diags=len(self.diags)))
         t0 = time.perf_counter()
         try:
             FAULTS.fire(name)        # injection point (raise / stall)
             result = fn()
         except Exception as exc:     # containment boundary
-            self.timings[name] = time.perf_counter() - t0
+            elapsed = time.perf_counter() - t0
+            self.timings[name] = elapsed
+            if events:                # before _contain: strict re-raises
+                events.publish(PassEvent(
+                    name, "fail", elapsed=elapsed,
+                    error=f"{type(exc).__name__}: {exc}",
+                    diags=len(self.diags)))
             return self._contain(name, exc, fallback)
         elapsed = time.perf_counter() - t0
         self.timings[name] = elapsed
+        if events:
+            events.publish(PassEvent(name, "exit", elapsed=elapsed,
+                                     diags=len(self.diags)))
         if self.budget is not None and elapsed > self.budget:
             # the pass finished but blew its budget: its result is
             # suspect (a stalled analysis may have been wedged), so the
@@ -264,12 +290,58 @@ class PhaseGuard:
 
 
 class Compiler:
-    """Drives one FE → IPA → BE compilation."""
+    """Drives one FE → IPA → BE compilation.
 
-    def __init__(self, options: CompilerOptions | None = None):
+    ``tracer`` and ``metrics`` are the observability hooks: a
+    :class:`~repro.obs.Tracer` collects a ``compile`` → phase → pass
+    span tree, and a :class:`~repro.obs.MetricsRegistry` receives
+    ``pass.wall_ms`` / ``fe.cache.*`` series.  Both default to off;
+    with neither set, the only observability cost is one falsy check
+    per guarded pass.
+    """
+
+    def __init__(self, options: CompilerOptions | None = None, *,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None):
         self.options = options or CompilerOptions()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+
+    @contextmanager
+    def _observing(self):
+        """Subscribe this compile's observers (tracing spans, metrics,
+        per-pass profiling) for the duration of one compilation;
+        yields the profiler, or None on the zero-overhead path."""
+        subs: list = []
+        profiler = None
+        if self.tracer.enabled:
+            profiler = PassProfiler()
+            subs += [TracingPassObserver(self.tracer), profiler]
+        if self.metrics is not None:
+            subs.append(MetricsPassObserver(self.metrics))
+        if not subs:
+            yield None
+            return
+        with PASS_EVENTS.subscribed(*subs):
+            yield profiler
+
+    def _finalize_obs(self, result: CompilationResult,
+                      profiler) -> CompilationResult:
+        if profiler is not None:
+            result.pass_profile = profiler.profile
+        if self.tracer.enabled:
+            result.trace_id = self.tracer.trace_id
+        return result
 
     def compile(self, program: Program) -> CompilationResult:
+        with self._observing() as profiler:
+            with self.tracer.span("compile", category=CAT_COMPILE) as s:
+                s.set(scheme=self.options.scheme,
+                      units=len(program.units))
+                result = self._compile_program(program)
+            return self._finalize_obs(result, profiler)
+
+    def _compile_program(self, program: Program) -> CompilationResult:
         opts = self.options
         timings: dict[str, float] = {}
         pass_timings: dict[str, float] = {}
@@ -282,8 +354,9 @@ class Compiler:
 
         # ---- FE: per-unit analysis ----
         t0 = time.perf_counter()
-        cfgs, nests, legality, usage = self._fe_analyses(
-            program, guard, diags, pass_timings)
+        with self.tracer.span("fe", category=CAT_PHASE):
+            cfgs, nests, legality, usage = self._fe_analyses(
+                program, guard, diags, pass_timings)
         timings["fe"] = time.perf_counter() - t0
 
         return self._ipa_be(program, cfgs, nests, legality, usage,
@@ -305,6 +378,14 @@ class Compiler:
         The cache is bypassed while fault injection is armed so
         injected faults always exercise the real passes.
         """
+        with self._observing() as profiler:
+            with self.tracer.span("compile", category=CAT_COMPILE) as s:
+                s.set(scheme=self.options.scheme, units=len(sources))
+                result = self._compile_sources(sources)
+            return self._finalize_obs(result, profiler)
+
+    def _compile_sources(self, sources: list[tuple[str, str]]
+                         ) -> CompilationResult:
         opts = self.options
         timings: dict[str, float] = {}
         pass_timings: dict[str, float] = {}
@@ -320,50 +401,90 @@ class Compiler:
 
         # ---- FE: whole-result cache probe ----
         t0 = time.perf_counter()
-        if cache is not None:
-            fe_key = cache.key_for("fe", opts_fp, tuple(sources))
-            artifacts = self._load_fe_artifacts(cache, fe_key)
-            if artifacts is not None:
-                program, cfgs, nests, legality, usage = artifacts
-                timings["fe"] = time.perf_counter() - t0
-                diags.note("fe", "front end restored from summary "
-                           "cache", code=CODE_CACHE)
+        fe_span = self.tracer.start("fe", category=CAT_PHASE)
+        try:
+            if cache is not None:
+                fe_key = cache.key_for("fe", opts_fp, tuple(sources))
+                artifacts = self._load_fe_artifacts(cache, fe_key)
+                if artifacts is not None:
+                    program, cfgs, nests, legality, usage = artifacts
+                    timings["fe"] = time.perf_counter() - t0
+                    diags.note("fe", "front end restored from summary "
+                               "cache", code=CODE_CACHE)
+                    self._cache_diags(cache, diags)
+                    self._cache_metrics(cache)
+                    fe_span.set(restored_from_cache=True)
+                    self.tracer.finish(fe_span)
+                    fe_span = None
+                    return self._ipa_be(program, cfgs, nests, legality,
+                                        usage, timings, pass_timings,
+                                        diags, guard)
+
+            # ---- FE: parse (parallel + per-TU parse cache) ----
+            n_units = max(len(sources), 1)
+            unit_budget = opts.phase_budget / n_units \
+                if opts.phase_budget is not None else None
+            with self.tracer.span("fe.parse", category=CAT_PHASE) as ps:
+                parse_t0 = time.perf_counter()
+                program, fe_report = assemble_program(
+                    sources, jobs=opts.jobs, cache=cache,
+                    cache_salt=opts_fp, recover=True,
+                    unit_budget=unit_budget)
+                ps.set(mode=fe_report.mode, jobs=fe_report.jobs,
+                       parse_cache_hits=fe_report.parse_cache_hits)
+            self._fe_unit_spans(fe_report, parse_t0, ps.span_id)
+            self._fe_report_diags(fe_report, diags, unit_budget)
+            self._parse_diags(program, diags)
+
+            # ---- FE: analyses (per-TU summaries + summary cache) ----
+            unit_sources = dict(sources) if cache is not None else None
+            cfgs, nests, legality, usage = self._fe_analyses(
+                program, guard, diags, pass_timings, cache=cache,
+                unit_sources=unit_sources, opts_fp=opts_fp)
+            timings["fe"] = time.perf_counter() - t0
+
+            if cache is not None and not program.frontend_errors \
+                    and not diags.contained():
+                # only clean front ends are cached: a contained fault
+                # or a budget overrun must be recomputed (and
+                # re-reported), not replayed silently from disk
+                cache.store("fe", fe_key,
+                            (program, cfgs, nests, legality, usage))
+            if cache is not None:
                 self._cache_diags(cache, diags)
-                return self._ipa_be(program, cfgs, nests, legality,
-                                    usage, timings, pass_timings,
-                                    diags, guard)
-
-        # ---- FE: parse (parallel + per-TU parse cache) ----
-        n_units = max(len(sources), 1)
-        unit_budget = opts.phase_budget / n_units \
-            if opts.phase_budget is not None else None
-        program, fe_report = assemble_program(
-            sources, jobs=opts.jobs, cache=cache, cache_salt=opts_fp,
-            recover=True, unit_budget=unit_budget)
-        self._fe_report_diags(fe_report, diags, unit_budget)
-        self._parse_diags(program, diags)
-
-        # ---- FE: analyses (per-TU summaries + summary cache) ----
-        unit_sources = dict(sources) if cache is not None else None
-        cfgs, nests, legality, usage = self._fe_analyses(
-            program, guard, diags, pass_timings, cache=cache,
-            unit_sources=unit_sources, opts_fp=opts_fp)
-        timings["fe"] = time.perf_counter() - t0
-
-        if cache is not None and not program.frontend_errors \
-                and not diags.contained():
-            # only clean front ends are cached: a contained fault or a
-            # budget overrun must be recomputed (and re-reported), not
-            # replayed silently from disk
-            cache.store("fe", fe_key,
-                        (program, cfgs, nests, legality, usage))
-        if cache is not None:
-            self._cache_diags(cache, diags)
+                self._cache_metrics(cache)
+        finally:
+            if fe_span is not None:
+                self.tracer.finish(fe_span)
 
         result = self._ipa_be(program, cfgs, nests, legality, usage,
                               timings, pass_timings, diags, guard)
         result.fe_report = fe_report
         return result
+
+    def _fe_unit_spans(self, report: FEReport, parse_t0: float,
+                       parent_id: str | None = None) -> None:
+        """Retro-record one span per translation unit's parse.
+
+        Per-TU parses may have run inside pool subprocesses, where no
+        tracer exists; only their durations come back (in
+        ``FEReport.unit_elapsed``), so the spans are laid out from the
+        parse phase's start on per-unit virtual tracks."""
+        if not self.tracer.enabled:
+            return
+        for i, (name, elapsed) in enumerate(
+                sorted(report.unit_elapsed.items())):
+            self.tracer.add_finished(
+                f"parse[{name}]", parse_t0, parse_t0 + elapsed,
+                category=CAT_FE_UNIT, parent_id=parent_id,
+                tid=1_000_000 + i,
+                attrs={"unit": name,
+                       "overrun": name in report.budget_overruns})
+
+    def _cache_metrics(self, cache: SummaryCache) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("fe.cache.hit").inc(cache.hits)
+            self.metrics.counter("fe.cache.miss").inc(cache.misses)
 
     # -- FE internals ------------------------------------------------------
 
@@ -541,52 +662,59 @@ class Compiler:
 
         # ---- IPA: aggregation, weights, heuristics ----
         t0 = time.perf_counter()
-        callgraph = guard.run(
-            "callgraph", lambda: build_call_graph(cfgs, program),
-            lambda: CallGraph(cfgs={}))
-        escape = guard.run(
-            "escape", lambda: analyze_escapes(program, legality),
-            lambda: self._fallback_escape(legality))
-        if opts.relax_legality:
-            self._relax(program, legality, guard, diags)
-        weights = guard.run(
-            "weights", lambda: self._weights(cfgs, callgraph, nests),
-            lambda: ProgramWeights(scheme=opts.scheme))
-        profiles = guard.run(
-            "profiles",
-            lambda: compute_profiles(program, cfgs, weights, nests),
-            dict)
-        profiles = self._validate_profiles(profiles, diags)
-        decisions = guard.run(
-            "heuristics",
-            lambda: decide_transforms(program, legality, usage,
-                                      profiles, weights.scheme,
-                                      opts.params),
-            list)
-        decisions = self._validate_decisions(program, decisions, diags)
+        with self.tracer.span("ipa", category=CAT_PHASE) as ipa_span:
+            callgraph = guard.run(
+                "callgraph", lambda: build_call_graph(cfgs, program),
+                lambda: CallGraph(cfgs={}))
+            escape = guard.run(
+                "escape", lambda: analyze_escapes(program, legality),
+                lambda: self._fallback_escape(legality))
+            if opts.relax_legality:
+                self._relax(program, legality, guard, diags)
+            weights = guard.run(
+                "weights", lambda: self._weights(cfgs, callgraph, nests),
+                lambda: ProgramWeights(scheme=opts.scheme))
+            profiles = guard.run(
+                "profiles",
+                lambda: compute_profiles(program, cfgs, weights, nests),
+                dict)
+            profiles = self._validate_profiles(profiles, diags)
+            decisions = guard.run(
+                "heuristics",
+                lambda: decide_transforms(program, legality, usage,
+                                          profiles, weights.scheme,
+                                          opts.params),
+                list)
+            decisions = self._validate_decisions(program, decisions,
+                                                 diags)
+            ipa_span.set(decisions=len(decisions))
         timings["ipa"] = time.perf_counter() - t0
 
         # ---- BE: transformation + differential verification ----
         t0 = time.perf_counter()
         transformed = program
         rolled_back: list[str] = []
-        if opts.transform:
-            transformed = guard.run(
-                "apply",
-                lambda: self._contained_apply(program, decisions,
-                                              diags),
-                lambda: self._demote_all_decisions(
-                    program, decisions, "transform application failed"))
-            if opts.verify_transforms:
+        with self.tracer.span("be", category=CAT_PHASE) as be_span:
+            if opts.transform:
                 transformed = guard.run(
-                    "verify",
-                    lambda: self._verify_transforms(
-                        program, decisions, transformed, diags,
-                        rolled_back),
+                    "apply",
+                    lambda: self._contained_apply(program, decisions,
+                                                  diags),
                     lambda: self._demote_all_decisions(
                         program, decisions,
-                        "verification machinery failed; transforms "
-                        "withheld"))
+                        "transform application failed"))
+                if opts.verify_transforms:
+                    transformed = guard.run(
+                        "verify",
+                        lambda: self._verify_transforms(
+                            program, decisions, transformed, diags,
+                            rolled_back),
+                        lambda: self._demote_all_decisions(
+                            program, decisions,
+                            "verification machinery failed; transforms "
+                            "withheld"))
+            be_span.set(transform=opts.transform,
+                        rolled_back=len(rolled_back))
         timings["be"] = time.perf_counter() - t0
 
         return CompilationResult(
@@ -925,23 +1053,42 @@ class Compiler:
         return current
 
 
+def _deprecated(old: str) -> None:
+    warnings.warn(
+        f"repro.core.pipeline.{old}() is deprecated; use "
+        f"repro.api.Session (see the migration table in DESIGN.md)",
+        DeprecationWarning, stacklevel=3)
+
+
 def compile_program(program: Program,
                     options: CompilerOptions | None = None
                     ) -> CompilationResult:
-    """One-call convenience wrapper around :class:`Compiler`."""
+    """One-call convenience wrapper around :class:`Compiler`.
+
+    .. deprecated:: use :class:`repro.api.Session` instead.
+    """
+    _deprecated("compile_program")
     return Compiler(options).compile(program)
 
 
 def compile_source(source: str,
                    options: CompilerOptions | None = None
                    ) -> CompilationResult:
-    """Compile MiniC source text directly."""
-    return compile_program(Program.from_source(source), options)
+    """Compile MiniC source text directly.
+
+    .. deprecated:: use :class:`repro.api.Session` instead.
+    """
+    _deprecated("compile_source")
+    return Compiler(options).compile(Program.from_source(source))
 
 
 def compile_sources(sources: list[tuple[str, str]],
                     options: CompilerOptions | None = None
                     ) -> CompilationResult:
     """Compile ``[(unit_name, source_text), ...]`` through the parallel
-    front end, honouring ``options.jobs`` and ``options.cache_dir``."""
+    front end, honouring ``options.jobs`` and ``options.cache_dir``.
+
+    .. deprecated:: use :class:`repro.api.Session` instead.
+    """
+    _deprecated("compile_sources")
     return Compiler(options).compile_sources(sources)

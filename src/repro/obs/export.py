@@ -1,0 +1,153 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and flat JSONL.
+
+The Chrome format (the "Trace Event Format" consumed by
+``about:tracing`` and Perfetto's legacy importer) renders each span as
+a complete event (``"ph": "X"``) with microsecond timestamps, and each
+span event as an instant (``"ph": "i"``).  Span parentage survives as
+``args.span_id`` / ``args.parent_id``; visual nesting comes from
+timestamp containment per ``(pid, tid)`` track, which holds by
+construction for spans recorded on one thread.
+
+The JSONL form is one flat JSON object per span — the format the bench
+harness and tests consume, where re-deriving structure from ids beats
+scrolling a viewer.
+
+:func:`validate_chrome_trace` is the schema check the obs-smoke CI job
+runs: it returns a list of problems (empty = valid) instead of
+raising, so smoke scripts can print every violation at once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .trace import Span
+
+#: required keys of a complete ("X") Chrome trace event
+_CHROME_REQUIRED = ("name", "ph", "ts", "pid", "tid")
+
+
+def _as_dicts(spans: Iterable[Span | dict]) -> list[dict]:
+    return [s.to_dict() if isinstance(s, Span) else dict(s)
+            for s in spans]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+def chrome_trace(spans: Iterable[Span | dict]) -> dict:
+    """Spans -> a Chrome ``trace_event`` JSON object."""
+    events: list[dict] = []
+    for s in _as_dicts(spans):
+        start = float(s.get("start", 0.0))
+        end = s.get("end")
+        dur_us = max(0.0, (float(end) - start) * 1e6) \
+            if end is not None else 0.0
+        args = {"span_id": s.get("span_id"),
+                "parent_id": s.get("parent_id"),
+                "trace_id": s.get("trace_id"),
+                "status": s.get("status", "ok")}
+        args.update(s.get("attrs") or {})
+        events.append({
+            "name": s.get("name", ""),
+            "cat": s.get("category") or "span",
+            "ph": "X",
+            "ts": start * 1e6,
+            "dur": dur_us,
+            "pid": int(s.get("pid", 0)),
+            "tid": int(s.get("tid", 0)),
+            "args": args,
+        })
+        for t, name, attrs in (s.get("events") or []):
+            events.append({
+                "name": name, "cat": "event", "ph": "i", "s": "t",
+                "ts": float(t) * 1e6,
+                "pid": int(s.get("pid", 0)),
+                "tid": int(s.get("tid", 0)),
+                "args": dict(attrs),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path,
+                       spans: Iterable[Span | dict]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(spans), indent=1) + "\n")
+    return path
+
+
+def validate_chrome_trace(obj: dict) -> list[str]:
+    """Problems with ``obj`` as a Chrome trace (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return ["top level is not a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event[{i}] is not an object")
+            continue
+        for key in _CHROME_REQUIRED:
+            if key not in ev:
+                problems.append(f"event[{i}] missing {key!r}")
+        ph = ev.get("ph")
+        if ph not in ("X", "B", "E", "i", "I", "M"):
+            problems.append(f"event[{i}] has unknown phase {ph!r}")
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)) \
+                    or ev["dur"] < 0:
+                problems.append(
+                    f"event[{i}] ('X') needs a non-negative 'dur'")
+        if not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"event[{i}] 'ts' is not a number")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Flat JSONL
+# ---------------------------------------------------------------------------
+
+def jsonl_lines(spans: Iterable[Span | dict]) -> list[str]:
+    """One compact JSON object per span, ready to write or parse."""
+    lines = []
+    for s in _as_dicts(spans):
+        row = {
+            "trace_id": s.get("trace_id"),
+            "span_id": s.get("span_id"),
+            "parent_id": s.get("parent_id"),
+            "name": s.get("name"),
+            "category": s.get("category"),
+            "start": s.get("start"),
+            "dur_ms": round(
+                (float(s["end"]) - float(s.get("start", 0.0))) * 1e3, 4)
+            if s.get("end") is not None else None,
+            "status": s.get("status", "ok"),
+            "attrs": s.get("attrs") or {},
+        }
+        lines.append(json.dumps(row, separators=(",", ":"),
+                                sort_keys=True))
+    return lines
+
+
+def write_jsonl(path: str | Path,
+                spans: Iterable[Span | dict]) -> Path:
+    path = Path(path)
+    path.write_text("\n".join(jsonl_lines(spans)) + "\n")
+    return path
+
+
+def write_trace(path: str | Path,
+                spans: Iterable[Span | dict]) -> Path:
+    """Write ``spans`` to ``path``, picking the format from the
+    extension: ``.jsonl`` -> flat JSONL, anything else -> Chrome
+    ``trace_event`` JSON."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return write_jsonl(path, spans)
+    return write_chrome_trace(path, spans)

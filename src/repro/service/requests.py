@@ -28,45 +28,49 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from ..api import (
+    ApiError, COMPILE_OPS, CompileRequest, LADDER, STATUS_BUSY,
+    STATUS_DEGRADED, STATUS_ERROR, STATUS_OK, TIERS,
+)
 from ..core.faults import ProcessFaultSpec
 from ..core.summarycache import fingerprint
 
-#: compile operations (ladder-governed) and control operations
-COMPILE_OPS = ("analyze", "advise", "transform", "compare")
-CONTROL_OPS = ("ping", "stats", "shutdown")
+#: control operations (daemon-level; no sources, no ladder)
+CONTROL_OPS = ("ping", "stats", "trace", "shutdown")
 OPS = COMPILE_OPS + CONTROL_OPS
 
-#: response statuses
-STATUS_OK = "ok"
-STATUS_DEGRADED = "degraded"
-STATUS_BUSY = "busy"
-STATUS_ERROR = "error"
+#: wire fields a control request may carry
+_CONTROL_FIELDS = ("op", "id", "trace_id")
 
-#: the graceful-degradation ladder per operation, best tier first.
-#: ``full`` applies (and verifies) the transformations; ``advisory``
-#: runs the complete analysis but applies nothing; ``legality`` is the
-#: minimal parse + legality report.  A request that exhausts its ladder
-#: gets a structured ``error`` response — never a dropped connection.
-LADDER: dict[str, tuple[str, ...]] = {
-    "transform": ("full", "advisory", "legality"),
-    "compare": ("full", "advisory", "legality"),
-    "advise": ("advisory", "legality"),
-    "analyze": ("advisory", "legality"),
-}
-
-#: every ladder tier, best first (plus the terminal error pseudo-tier)
-TIERS = ("full", "advisory", "legality", "error")
+__all__ = [
+    "COMPILE_OPS", "CONTROL_OPS", "OPS", "LADDER", "TIERS",
+    "STATUS_OK", "STATUS_DEGRADED", "STATUS_BUSY", "STATUS_ERROR",
+    "ProtocolError", "Request", "encode", "decode", "response",
+    "busy_response", "error_response",
+]
 
 
 class ProtocolError(ValueError):
     """A request that cannot be understood (malformed JSON, unknown op,
-    bad field types).  Always answered with a structured error
-    response, never a dropped connection."""
+    unknown or bad fields).  Always answered with a structured error
+    response, never a dropped connection.  ``detail`` carries the
+    machine-readable part (e.g. the unknown field names)."""
+
+    def __init__(self, message: str, *, detail: dict | None = None):
+        super().__init__(message)
+        self.detail = detail or {}
 
 
 @dataclass
 class Request:
-    """One parsed compile/control request."""
+    """One parsed compile/control request.
+
+    Compile-request validation is *derived from the public API
+    schema*: :meth:`from_dict` delegates to
+    :meth:`repro.api.CompileRequest.from_dict`, so the wire protocol
+    and the in-process API can never drift apart.  Unknown fields —
+    at the top level or inside ``options`` — are rejected with a
+    structured diagnostic."""
 
     op: str
     id: str | int | None = None
@@ -75,6 +79,10 @@ class Request:
     deadline: float | None = None      # per-attempt wall clock, seconds
     max_retries: int | None = None     # retries at the requested tier
     faults: list[ProcessFaultSpec] = field(default_factory=list)
+    #: request a stitched distributed trace of this request
+    trace: bool = False
+    #: fetch filter for the ``trace`` control op
+    trace_id: str | None = None
 
     @classmethod
     def from_dict(cls, d: dict) -> "Request":
@@ -83,43 +91,30 @@ class Request:
         op = d.get("op")
         if op not in OPS:
             raise ProtocolError(
-                f"unknown op {op!r}; expected one of {', '.join(OPS)}")
-        sources: list[tuple[str, str]] = []
-        if op in COMPILE_OPS:
-            raw = d.get("sources")
-            if not isinstance(raw, list) or not raw:
+                f"unknown op {op!r}; expected one of {', '.join(OPS)}",
+                detail={"op": op, "known_ops": list(OPS)})
+        if op in CONTROL_OPS:
+            unknown = sorted(set(d) - set(_CONTROL_FIELDS))
+            if unknown:
                 raise ProtocolError(
-                    f"op {op!r} requires a non-empty 'sources' list of "
-                    f"[unit_name, text] pairs")
-            for entry in raw:
-                if (not isinstance(entry, (list, tuple))
-                        or len(entry) != 2
-                        or not all(isinstance(x, str) for x in entry)):
-                    raise ProtocolError(
-                        "each source must be a [unit_name, text] pair "
-                        "of strings")
-                sources.append((entry[0], entry[1]))
-        options = d.get("options") or {}
-        if not isinstance(options, dict):
-            raise ProtocolError("'options' must be an object")
-        deadline = d.get("deadline")
-        if deadline is not None:
-            deadline = float(deadline)
-            if deadline <= 0:
-                raise ProtocolError("'deadline' must be positive")
-        max_retries = d.get("max_retries")
-        if max_retries is not None:
-            max_retries = int(max_retries)
-            if max_retries < 0:
-                raise ProtocolError("'max_retries' must be >= 0")
+                    f"unknown request field(s): {', '.join(unknown)}",
+                    detail={"unknown_fields": unknown,
+                            "known_fields": sorted(_CONTROL_FIELDS),
+                            "where": "request"})
+            trace_id = d.get("trace_id")
+            if trace_id is not None and not isinstance(trace_id, str):
+                raise ProtocolError("'trace_id' must be a string",
+                                    detail={"where": "trace_id"})
+            return cls(op=op, id=d.get("id"), trace_id=trace_id)
         try:
-            faults = [ProcessFaultSpec.from_dict(f)
-                      for f in (d.get("faults") or [])]
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ProtocolError(f"bad fault spec: {exc}") from exc
-        return cls(op=op, id=d.get("id"), sources=sources,
-                   options=options, deadline=deadline,
-                   max_retries=max_retries, faults=faults)
+            creq = CompileRequest.from_dict(d)
+        except ApiError as exc:
+            raise ProtocolError(str(exc), detail=exc.detail) from exc
+        return cls(op=creq.op, id=creq.id, sources=creq.sources,
+                   options=creq.options.to_dict(),
+                   deadline=creq.deadline,
+                   max_retries=creq.max_retries, faults=creq.faults,
+                   trace=creq.trace)
 
     def source_fingerprint(self) -> str:
         """Content hash of the sources — the per-workload half of the

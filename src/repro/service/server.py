@@ -133,13 +133,15 @@ class CompileServer:
         try:
             raw = decode(line)
         except ProtocolError as exc:
-            return error_response(None, "(unknown)", str(exc))
+            return error_response(None, "(unknown)", str(exc),
+                                  detail=exc.detail or None)
         req_id = raw.get("id") if isinstance(raw, dict) else None
         op = raw.get("op") if isinstance(raw, dict) else None
         try:
             req = Request.from_dict(raw)
         except ProtocolError as exc:
-            return error_response(req_id, op or "(unknown)", str(exc))
+            return error_response(req_id, op or "(unknown)", str(exc),
+                                  detail=exc.detail or None)
         try:
             return self._dispatch(req)
         except Exception as exc:      # the daemon must never die here
@@ -156,6 +158,16 @@ class CompileServer:
         if req.op == "stats":
             return {"id": req.id, "op": "stats", "status": "ok",
                     "stats": self.stats()}
+        if req.op == "trace":
+            stored = self.supervisor.get_trace(req.trace_id)
+            if stored is None:
+                what = f"trace {req.trace_id!r}" if req.trace_id \
+                    else "no traces recorded yet"
+                return error_response(
+                    req.id, "trace", f"unknown trace: {what}")
+            trace_id, spans = stored
+            return {"id": req.id, "op": "trace", "status": "ok",
+                    "trace_id": trace_id, "spans": spans}
         assert req.op in COMPILE_OPS
         if not self._slots.acquire(blocking=False):
             with self._lock:

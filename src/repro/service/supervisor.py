@@ -34,17 +34,23 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from collections import OrderedDict
+
 from ..core.diagnostics import (
     CODE_BREAKER, CODE_DEADLINE, CODE_DEGRADED, CODE_HANG, CODE_WORKER,
     Diagnostic, DiagnosticEngine,
 )
 from ..core.summarycache import fingerprint
+from ..obs import CAT_SERVICE, MetricsRegistry, Tracer
 from .breaker import CircuitBreaker
 from .requests import (
     Request, STATUS_DEGRADED, STATUS_OK, busy_response, error_response,
     response,
 )
 from .worker import STAGE_BYTES, get_stage, worker_main
+
+#: stitched traces kept in memory for the ``trace`` control op
+TRACE_STORE_MAX = 64
 
 
 @dataclass
@@ -147,6 +153,12 @@ class Supervisor:
             "crashes": 0, "deadline_kills": 0, "hang_kills": 0,
             "breaker_skips": 0,
         }
+        #: structured metrics alongside the flat counters — the
+        #: ``stats`` op reports both
+        self.metrics = MetricsRegistry()
+        self._trace_lock = threading.Lock()
+        #: trace_id -> stitched span dicts, newest last (bounded)
+        self._traces: OrderedDict[str, list[dict]] = OrderedDict()
         if cfg.crash_dir is None:
             if cfg.cache_dir is not None:
                 cfg.crash_dir = str(Path(cfg.cache_dir) / "crashes")
@@ -263,8 +275,30 @@ class Supervisor:
                 return                # shutting down: no replacement
         with self.stats_lock:
             self.stats_counters["respawns"] += 1
+        self.metrics.counter("service.respawns").inc()
         replacement = self._spawn(w.index)
         self._release(replacement)
+
+    # -- stitched traces ---------------------------------------------------
+
+    def _store_trace(self, trace_id: str, spans: list[dict]) -> None:
+        with self._trace_lock:
+            self._traces[trace_id] = spans
+            self._traces.move_to_end(trace_id)
+            while len(self._traces) > TRACE_STORE_MAX:
+                self._traces.popitem(last=False)
+
+    def get_trace(self, trace_id: str | None = None
+                  ) -> tuple[str, list[dict]] | None:
+        """A stored stitched trace: by id, or the most recent one."""
+        with self._trace_lock:
+            if trace_id is not None:
+                spans = self._traces.get(trace_id)
+                return (trace_id, spans) if spans is not None else None
+            if not self._traces:
+                return None
+            tid = next(reversed(self._traces))
+            return tid, self._traces[tid]
 
     # -- pool checkout -----------------------------------------------------
 
@@ -321,29 +355,56 @@ class Supervisor:
     # -- one execution attempt ---------------------------------------------
 
     def _execute(self, req: Request, tier: str, attempt: int,
-                 deadline: float) -> _Outcome:
+                 deadline: float,
+                 tracer: Tracer | None = None) -> _Outcome:
+        span = None
+        if tracer is not None:
+            span = tracer.start("attempt", category=CAT_SERVICE)
+            span.set(tier=tier, attempt=attempt)
+
+        def done(outcome: _Outcome,
+                 worker_spans: list[dict] | None = None) -> _Outcome:
+            if span is not None:
+                span.set(result=outcome.kind)
+                if not outcome.ok:
+                    span.status = "error"
+                    span.set(detail=outcome.detail,
+                             last_pass=outcome.last_stage)
+                if worker_spans:
+                    # re-parent the worker's root spans under this
+                    # attempt; ids were already pid-prefixed worker-side
+                    tracer.adopt(worker_spans, parent_id=span.span_id)
+                tracer.finish(span)
+            return outcome
+
         cfg = self.config
         w = self._acquire(timeout=deadline)
         if w is None:
-            return _Outcome("busy", detail="no worker available")
+            return done(_Outcome("busy", detail="no worker available"))
         # a worker can die while idle (external kill); replace silently
         if not w.proc.is_alive():
             self._replace(w)
             w = self._acquire(timeout=deadline)
             if w is None:
-                return _Outcome("busy", detail="no worker available")
+                return done(
+                    _Outcome("busy", detail="no worker available"))
+        if span is not None:
+            span.set(worker=w.index, worker_pid=w.proc.pid)
 
         job = {"id": req.id, "op": req.op, "tier": tier,
                "sources": [[n, t] for n, t in req.sources],
                "options": req.options, "attempt": attempt,
                "faults": [f.to_dict() for f in req.faults]}
+        if tracer is not None:
+            job["trace"] = {"trace_id": tracer.trace_id}
         try:
             w.conn.send(job)
         except (OSError, ValueError) as exc:
             last = w.last_stage
             self._replace(w)
-            return _Outcome("crash", detail=f"dispatch failed: {exc}",
-                            last_stage=last)
+            return done(_Outcome("crash",
+                                 detail=f"dispatch failed: {exc}",
+                                 last_stage=last))
 
         start = time.monotonic()
         while True:
@@ -359,6 +420,8 @@ class Supervisor:
                 last = w.last_stage
                 with self.stats_lock:
                     self.stats_counters["deadline_kills"] += 1
+                self.metrics.counter("service.kills",
+                                     reason="deadline").inc()
                 self._crash_report(
                     op=req.op, tier=tier, request_id=req.id,
                     attempt=attempt, units=[n for n, _ in req.sources],
@@ -366,14 +429,16 @@ class Supervisor:
                     detail=f"attempt exceeded its {deadline:.2f}s "
                            f"deadline", exitcode=None)
                 self._replace(w)
-                return _Outcome("deadline", last_stage=last,
-                                detail=f"{deadline:.2f}s deadline "
-                                       f"expired in pass {last!r}")
+                return done(_Outcome("deadline", last_stage=last,
+                                     detail=f"{deadline:.2f}s deadline "
+                                            f"expired in pass {last!r}"))
             hb = w.heartbeat.value
             if hb > 0.0 and now - hb > cfg.hang_timeout:
                 last = w.last_stage
                 with self.stats_lock:
                     self.stats_counters["hang_kills"] += 1
+                self.metrics.counter("service.kills",
+                                     reason="hang").inc()
                 self._crash_report(
                     op=req.op, tier=tier, request_id=req.id,
                     attempt=attempt, units=[n for n, _ in req.sources],
@@ -381,10 +446,10 @@ class Supervisor:
                     detail=f"heartbeat stale for "
                            f"{now - hb:.2f}s", exitcode=None)
                 self._replace(w)
-                return _Outcome(
+                return done(_Outcome(
                     "hang", last_stage=last,
                     detail=f"heartbeat lost for {now - hb:.2f}s in "
-                           f"pass {last!r}")
+                           f"pass {last!r}"))
             if not w.proc.is_alive():
                 try:
                     if w.conn.poll(0.0):
@@ -399,6 +464,7 @@ class Supervisor:
             exitcode = w.proc.exitcode
             with self.stats_lock:
                 self.stats_counters["crashes"] += 1
+            self.metrics.counter("service.crashes").inc()
             self._crash_report(
                 op=req.op, tier=tier, request_id=req.id,
                 attempt=attempt, units=[n for n, _ in req.sources],
@@ -406,41 +472,72 @@ class Supervisor:
                 detail=f"worker exited with {exitcode}",
                 exitcode=exitcode)
             self._replace(w)
-            return _Outcome("crash", last_stage=last,
-                            detail=f"worker died (exit {exitcode}) in "
-                                   f"pass {last!r}")
+            return done(_Outcome(
+                "crash", last_stage=last,
+                detail=f"worker died (exit {exitcode}) in "
+                       f"pass {last!r}"))
 
         kind = msg.get("kind")
         if kind == "result":
             w.jobs_done += 1
             self._release(w)
-            return _Outcome("ok", payload=msg.get("payload"),
-                            diagnostics=msg.get("diagnostics"))
+            return done(_Outcome("ok", payload=msg.get("payload"),
+                                 diagnostics=msg.get("diagnostics")),
+                        msg.get("spans"))
         if kind == "fatal":           # worker reported OOM and is dying
             last = msg.get("stage") or w.last_stage
             w.proc.join(timeout=2.0)
             with self.stats_lock:
                 self.stats_counters["crashes"] += 1
+            self.metrics.counter("service.crashes").inc()
             self._crash_report(
                 op=req.op, tier=tier, request_id=req.id,
                 attempt=attempt, units=[n for n, _ in req.sources],
                 last_stage=last, reason="fatal",
                 detail=msg.get("error", ""), exitcode=w.proc.exitcode)
             self._replace(w)
-            return _Outcome("fatal", last_stage=last,
-                            detail=msg.get("error", "worker fatal"))
+            return done(_Outcome("fatal", last_stage=last,
+                                 detail=msg.get("error",
+                                                "worker fatal")))
         # kind == "error": the job failed but the worker is healthy
         self._release(w)
-        return _Outcome("error", last_stage=msg.get("stage", ""),
-                        detail=msg.get("error", "request failed"))
+        return done(_Outcome("error", last_stage=msg.get("stage", ""),
+                             detail=msg.get("error", "request failed")),
+                    msg.get("spans"))
 
     # -- the ladder --------------------------------------------------------
 
     def submit(self, req: Request) -> dict:
-        """Serve one request by walking its degradation ladder."""
+        """Serve one request by walking its degradation ladder.
+
+        When the request asked for a trace (``"trace": true``), the
+        whole walk runs under a ``request`` span with one ``attempt``
+        child span per execution attempt; worker-side spans come back
+        with each attempt's result and are stitched underneath it.
+        The stitched trace is attached to the response (``trace_id`` +
+        ``spans``) and kept in a bounded store for the ``trace``
+        control op."""
+        if not req.trace:
+            return self._submit(req, None)
+        tracer = Tracer(id_prefix="s.")
+        with tracer.span("request", category=CAT_SERVICE) as rs:
+            rs.set(op=req.op, request_id=req.id,
+                   units=[n for n, _ in req.sources])
+            resp = self._submit(req, tracer)
+            rs.set(status=resp.get("status"), tier=resp.get("tier"))
+            if resp.get("status") not in (STATUS_OK, STATUS_DEGRADED):
+                rs.status = "error"
+        spans = [s.to_dict() for s in tracer.finished()]
+        self._store_trace(tracer.trace_id, spans)
+        resp["trace_id"] = tracer.trace_id
+        resp["spans"] = spans
+        return resp
+
+    def _submit(self, req: Request, tracer: Tracer | None) -> dict:
         cfg = self.config
         with self.stats_lock:
             self.stats_counters["requests"] += 1
+        self.metrics.counter("service.requests", op=req.op).inc()
         t_start = time.monotonic()
         deadline = req.deadline if req.deadline is not None \
             else cfg.deadline
@@ -458,6 +555,8 @@ class Supervisor:
             if not self.breaker.allow(key):
                 with self.stats_lock:
                     self.stats_counters["breaker_skips"] += 1
+                self.metrics.counter("breaker.open",
+                                     tier=tier).inc()
                 engine.warning(
                     "service",
                     f"circuit breaker open for tier {tier!r} of this "
@@ -472,10 +571,14 @@ class Supervisor:
                 attempts += 1
                 with self.stats_lock:
                     self.stats_counters["attempts"] += 1
-                outcome = self._execute(req, tier, attempts, deadline)
+                if attempts > 1:
+                    self.metrics.counter("service.retries").inc()
+                outcome = self._execute(req, tier, attempts, deadline,
+                                        tracer)
                 if outcome.kind == "busy":
                     with self.stats_lock:
                         self.stats_counters["busy"] += 1
+                    self.metrics.counter("service.busy").inc()
                     return busy_response(req.id, req.op)
                 if outcome.ok:
                     self.breaker.record_success(key)
@@ -493,6 +596,7 @@ class Supervisor:
 
         with self.stats_lock:
             self.stats_counters["errors"] += 1
+        self.metrics.counter("service.errors", op=req.op).inc()
         return error_response(
             req.id, req.op,
             "every degradation-ladder tier failed for this request",
@@ -539,6 +643,11 @@ class Supervisor:
             key = "served_degraded" if degraded else "served_ok"
             self.stats_counters[key] += 1
             respawns = self.stats_counters["respawns"] - respawns_before
+        self.metrics.counter("service.served", op=req.op,
+                             status=status).inc()
+        self.metrics.histogram("service.request_wall_ms",
+                               op=req.op).observe(
+            (time.monotonic() - t_start) * 1e3)
         return response(
             req.id, req.op, status, tier=tier, payload=outcome.payload,
             diagnostics=[d.to_dict() for d in engine],
@@ -558,5 +667,9 @@ class Supervisor:
             "spawns": self._spawn_count,
             "crash_dir": str(self.config.crash_dir),
         })
+        with self._trace_lock:
+            traces = list(self._traces)
         return {"supervisor": counters,
-                "breaker": self.breaker.snapshot()}
+                "breaker": self.breaker.snapshot(),
+                "metrics": self.metrics.snapshot(),
+                "traces": traces}

@@ -6,12 +6,16 @@ supervisor sends over a pipe.  The worker
 - runs a daemon *heartbeat thread* stamping a shared
   ``multiprocessing.Value`` with the monotonic clock every
   ``heartbeat_interval`` seconds — the supervisor's hang detector;
-- publishes its *current pass* into a shared character array (via the
-  pipeline's ``PASS_OBSERVER`` hook) so a crash report can name the
-  last pass a dead worker was in;
+- publishes its *current pass* into a shared character array (via a
+  subscriber on the pipeline's pass-event registry) so a crash report
+  can name the last pass a dead worker was in;
 - arms per-request *process-level faults*
   (:class:`~repro.core.faults.ProcessFaultSpec`) before executing, so
   kill/hang/OOM recovery paths are provable from tests;
+- when the job carries a trace context, runs the pipeline under a
+  :class:`~repro.obs.Tracer` bound to the request's trace id and ships
+  the collected spans back with the result, for the supervisor to
+  stitch into one distributed trace;
 - answers every job with exactly one message: ``result`` (payload +
   serialized diagnostics), ``error`` (the job failed but the worker is
   healthy), or ``fatal`` (the worker is dying — simulated or real OOM —
@@ -20,6 +24,10 @@ supervisor sends over a pipe.  The worker
 The worker holds no state a crash can lose: parse artifacts and
 analysis summaries live in the on-disk content-addressed summary cache
 shared by the whole pool, so a respawned worker is warm immediately.
+
+Payload building is delegated to :func:`repro.api.execute_tier` — the
+same code path :meth:`repro.api.Session.execute` runs in-process, so
+daemon answers and local answers agree.
 """
 
 from __future__ import annotations
@@ -29,17 +37,11 @@ import threading
 import time
 import traceback
 
-from ..analysis.legality import (
-    fallback_unit_legality, merge_unit_legality, summarize_unit_legality,
-)
-from ..core import pipeline as pipeline_mod
-from ..core.diagnostics import CODE_CONTAINED, CODE_MISMATCH, \
-    DiagnosticEngine
+from ..api import CompileOptions, execute_tier
+from ..api import _type_rows  # noqa: F401  (re-exported; tests use it)
 from ..core.faults import PROC_FAULTS, ProcessFault, ProcessFaultSpec
-from ..core.pipeline import Compiler, CompilerOptions
-from ..frontend.program import Program
-from ..transform.heuristics import HeuristicParams
-from ..transform.unparse import program_sources
+from ..core.pipeline import CompilerOptions, PASS_EVENTS
+from ..obs import CAT_SERVICE, Tracer
 
 #: bytes reserved for the shared current-pass name
 STAGE_BYTES = 96
@@ -64,130 +66,38 @@ def get_stage(state) -> str:
 
 def build_options(odict: dict, tier: str,
                   cache_dir: str | None) -> CompilerOptions:
-    """Compiler options for one job at one ladder tier."""
-    params = HeuristicParams()
-    if odict.get("ts") is not None:
-        params.ts_static = float(odict["ts"])
-        params.ts_profile = float(odict["ts"])
-    if odict.get("peel_mode"):
-        params.peel_mode = odict["peel_mode"]
-    full = tier == "full"
-    if not odict.get("cache", True):
-        cache_dir = None
-    return CompilerOptions(
-        scheme=odict.get("scheme", "ISPBO"),
-        params=params,
-        relax_legality=bool(odict.get("relax", False)),
-        transform=full,
-        verify_transforms=full and bool(odict.get("verify", True)),
-        jobs=int(odict.get("jobs", 1)),
-        cache_dir=cache_dir)
+    """Compiler options for one job at one ladder tier.
+
+    Thin shim over the API schema — kept so existing callers and
+    tests have one name for "wire options dict -> core options"."""
+    return CompileOptions.from_dict(odict).compiler_options(
+        tier, cache_dir)
 
 
-def _type_rows(result) -> dict:
-    """Per-type legality/plan rows (the ``repro analyze`` table)."""
-    rows = {}
-    for name in sorted(result.legality.types):
-        info = result.legality.types[name]
-        decision = result.decision_for(name)
-        rows[name] = {
-            "status": "OK" if info.is_legal()
-            else ",".join(sorted(info.invalid_reasons)),
-            "attrs": list(info.attributes()),
-            "plan": decision.action if decision is not None else "none",
-            "notes": list(decision.notes) if decision is not None else [],
-        }
-    return rows
-
-
-def _legality_payload(sources: list[tuple[str, str]]) -> tuple[dict, list]:
-    """The ``legality`` ladder tier: parse + per-unit legality merge
-    only — no weights, profiles, heuristics, or transformation.  The
-    cheapest still-useful answer the service can give."""
-    diags = DiagnosticEngine()
-    program = Program.from_sources(sources, recover=True)
-    for err in program.frontend_errors:
-        diags.error("parse", err.message, unit=err.unit,
-                    line=err.line or None)
-    summaries = []
-    for unit in program.units:
-        try:
-            summaries.append(summarize_unit_legality(unit))
-        except Exception as exc:
-            diags.warning(
-                f"legality[{unit.name}]",
-                f"unit summary failed ({type(exc).__name__}: {exc}); "
-                f"conservative fallback substituted",
-                unit=unit.name, code=CODE_CONTAINED)
-            summaries.append(fallback_unit_legality(unit.name))
-    legality = merge_unit_legality(program, summaries)
-    rows = {
-        name: {"status": "OK" if info.is_legal()
-               else ",".join(sorted(info.invalid_reasons)),
-               "attrs": list(info.attributes())}
-        for name, info in sorted(legality.types.items())
-    }
-    payload = {"table1": list(legality.counts()), "types": rows}
-    return payload, [d.to_dict() for d in diags]
-
-
-def execute_job(job: dict, cache_dir: str | None) -> tuple[dict, list]:
+def execute_job(job: dict, cache_dir: str | None,
+                tracer: Tracer | None = None) -> tuple[dict, list]:
     """Run one job at its assigned tier; returns (payload, diagnostics).
 
     Raises on failure — the caller turns exceptions into ``error``
     messages (or ``fatal`` for :class:`ProcessFault`/``MemoryError``).
     """
-    op: str = job["op"]
-    tier: str = job["tier"]
-    sources = [(n, t) for n, t in job["sources"]]
-    if tier == "legality":
-        return _legality_payload(sources)
+    options = CompileOptions.from_dict(job.get("options") or {})
+    return execute_tier(
+        job["op"], job["tier"], [(n, t) for n, t in job["sources"]],
+        options, cache_dir=cache_dir, tracer=tracer)
 
-    options = build_options(job.get("options") or {}, tier, cache_dir)
-    result = Compiler(options).compile_sources(sources)
-    payload: dict = {
-        "table1": list(result.table1_row()),
-        "types": _type_rows(result),
-        "timings": {k: round(v, 4) for k, v in result.timings.items()},
-    }
 
-    if op == "advise":
-        from ..advisor import advisor_report
-        payload["report"] = advisor_report(result)
+def _job_tracer(job: dict) -> Tracer | None:
+    """A tracer bound to the request's trace context, or None.
 
-    if tier == "full":
-        payload["transformed_types"] = [
-            {"type_name": d.type_name, "action": d.action,
-             "cold_fields": list(d.cold_fields),
-             "dead_fields": list(d.dead_fields)}
-            for d in result.transformed_types()]
-        payload["rolled_back"] = list(result.rolled_back)
-        if op == "transform":
-            payload["transformed_sources"] = [
-                [name, text]
-                for name, text in program_sources(result.transformed)]
-        elif op == "compare":
-            from ..runtime import run_program
-            cycle_limit = int(job.get("options", {}).get(
-                "cycle_limit", 2_000_000_000))
-            before = run_program(result.program, cycle_limit=cycle_limit)
-            after = run_program(result.transformed,
-                                cycle_limit=cycle_limit)
-            mismatch = before.stdout != after.stdout
-            if mismatch:
-                result.diagnostics.error(
-                    phase="compare", code=CODE_MISMATCH,
-                    message="transformation changed program output")
-            payload["compare"] = {
-                "before_cycles": before.cycles,
-                "after_cycles": after.cycles,
-                "gain_pct": round(
-                    100.0 * (before.cycles / after.cycles - 1.0), 2)
-                if after.cycles else None,
-                "output": before.stdout,
-                "mismatch": mismatch,
-            }
-    return payload, [d.to_dict() for d in result.diagnostics]
+    Span ids are prefixed with this worker's pid so ids from different
+    workers (or a killed-and-respawned worker on a retry) can never
+    collide once the supervisor stitches them into one trace."""
+    ctx = job.get("trace")
+    if not ctx:
+        return None
+    return Tracer(trace_id=ctx.get("trace_id") or None,
+                  id_prefix=f"w{os.getpid()}.")
 
 
 # ---------------------------------------------------------------------------
@@ -217,41 +127,74 @@ def worker_main(conn, heartbeat, state, cache_dir: str | None,
         set_stage(state, pass_name)
         PROC_FAULTS.fire(pass_name)
 
-    pipeline_mod.PASS_OBSERVER = observe
+    def on_pass_event(ev) -> None:
+        # stage publishing + fault firing happen at pass entry, before
+        # the containment boundary — a ProcessFault raised here is a
+        # BaseException and escapes the registry's swallow, exactly
+        # like the old PASS_OBSERVER hook
+        if ev.kind == "enter":
+            observe(ev.name)
+
+    # subscribe (not assign): the old ``PASS_OBSERVER = observe`` swap
+    # could leak this worker's observer into later pipeline users if an
+    # exit path skipped the reset; the registry subscription below is
+    # unwound on *every* exit path by the finally
+    PASS_EVENTS.subscribe(on_pass_event)
     set_stage(state, "idle")
 
-    while True:
-        try:
-            job = conn.recv()
-        except (EOFError, OSError):
-            break                     # supervisor is gone
-        if job is None:
-            break                     # orderly shutdown
-        set_stage(state, "request")
-        PROC_FAULTS.arm(
-            [ProcessFaultSpec.from_dict(d)
-             for d in job.get("faults", [])],
-            attempt=int(job.get("attempt", 1)))
-        try:
-            PROC_FAULTS.fire("request")
-            observe("parse")          # stages before the first guard
-            payload, diagnostics = execute_job(job, cache_dir)
-            conn.send({"kind": "result", "id": job.get("id"),
-                       "payload": payload, "diagnostics": diagnostics})
-        except (ProcessFault, MemoryError) as exc:
-            # an OOM (simulated or real) is not survivable in-process:
-            # report what we can, then die like the OOM killer hit us
+    try:
+        while True:
             try:
-                conn.send({"kind": "fatal", "id": job.get("id"),
-                           "error": f"{type(exc).__name__}: {exc}",
-                           "stage": get_stage(state)})
-            finally:
-                os._exit(FATAL_EXIT)
-        except Exception as exc:      # job failed; worker is healthy
-            conn.send({"kind": "error", "id": job.get("id"),
+                job = conn.recv()
+            except (EOFError, OSError):
+                break                 # supervisor is gone
+            if job is None:
+                break                 # orderly shutdown
+            set_stage(state, "request")
+            PROC_FAULTS.arm(
+                [ProcessFaultSpec.from_dict(d)
+                 for d in job.get("faults", [])],
+                attempt=int(job.get("attempt", 1)))
+            tracer = _job_tracer(job)
+            try:
+                PROC_FAULTS.fire("request")
+                observe("parse")      # stages before the first guard
+                if tracer is not None:
+                    with tracer.span("job", category=CAT_SERVICE) as js:
+                        js.set(op=job.get("op"), tier=job.get("tier"),
+                               attempt=int(job.get("attempt", 1)),
+                               worker_pid=os.getpid())
+                        payload, diagnostics = execute_job(
+                            job, cache_dir, tracer)
+                else:
+                    payload, diagnostics = execute_job(job, cache_dir)
+                msg = {"kind": "result", "id": job.get("id"),
+                       "payload": payload, "diagnostics": diagnostics}
+                if tracer is not None:
+                    msg["spans"] = [s.to_dict()
+                                    for s in tracer.finished()]
+                conn.send(msg)
+            except (ProcessFault, MemoryError) as exc:
+                # an OOM (simulated or real) is not survivable
+                # in-process: report what we can, then die like the
+                # OOM killer hit us
+                try:
+                    conn.send({"kind": "fatal", "id": job.get("id"),
+                               "error": f"{type(exc).__name__}: {exc}",
+                               "stage": get_stage(state)})
+                finally:
+                    os._exit(FATAL_EXIT)
+            except Exception as exc:  # job failed; worker is healthy
+                msg = {"kind": "error", "id": job.get("id"),
                        "error": f"{type(exc).__name__}: {exc}",
                        "stage": get_stage(state),
-                       "traceback": traceback.format_exc(limit=8)})
-        finally:
-            PROC_FAULTS.disarm()
-            set_stage(state, "idle")
+                       "traceback": traceback.format_exc(limit=8)}
+                if tracer is not None:
+                    msg["spans"] = [s.to_dict()
+                                    for s in tracer.finished()]
+                conn.send(msg)
+            finally:
+                PROC_FAULTS.disarm()
+                set_stage(state, "idle")
+    finally:
+        PASS_EVENTS.unsubscribe(on_pass_event)
