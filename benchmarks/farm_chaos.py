@@ -1,0 +1,326 @@
+#!/usr/bin/env python
+"""Chaos drill for the resilient compile farm.
+
+Starts a real farm — N ``repro serve`` daemon subprocesses behind a
+router, all sharing one cache service — then attacks it mid-batch and
+asserts the farm contract: **zero failed requests**.
+
+Drills, in order:
+
+1. **Kill failover**: SIGKILL the shard that is serving a workload
+   while a batch of that workload is in flight.  Every request must
+   still come back ``ok`` (the router fails the in-flight attempts
+   over to the surviving shards) and the router must report at least
+   one failover.
+2. **Gray failure**: SIGSTOP a serving shard so it accepts
+   connections but never answers.  The router's hedge must race a
+   duplicate on another shard and win without waiting out the full
+   shard timeout.
+3. **Hot restart**: drain-restart every shard, one at a time, while a
+   mixed batch runs.  Draining daemons refuse new work with
+   ``reason: "draining"`` busy responses, which the router treats as
+   failover — not failure — so the rolling restart completes with
+   zero failed requests.
+4. **Cache corruption**: flip bytes in every on-disk cache entry, then
+   re-run a warm workload.  The cache service must quarantine the
+   corrupt entries and serve misses; the compile recomputes and still
+   ends ``ok``.
+
+Every step runs under its own wall-clock budget so a wedged farm fails
+the job quickly.  Exit status: 0 on success, 1 on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.service import Farm, single_request, wait_ready  # noqa: E402
+
+SOURCE_TMPL = """
+struct rec { long key; long val; long rare; double dead; };
+struct rec *tab;
+int main() {
+    int i; long s = %(salt)d;
+    tab = (struct rec*) malloc(200 * sizeof(struct rec));
+    for (i = 0; i < 200; i++) { tab[i].key = i; tab[i].val = %(salt)d;
+        tab[i].rare = -i; tab[i].dead = 0.5; }
+    for (i = 0; i < 200; i++) s += tab[i].key + tab[i].val;
+    printf("s=%%ld\\n", s);
+    return 0;
+}
+"""
+
+
+def workload(salt: int) -> list:
+    return [[f"w{salt}.c", SOURCE_TMPL % {"salt": salt}]]
+
+
+class StepTimer:
+    """Per-step wall-clock guard: exceeding it fails the drill."""
+
+    def __init__(self, name: str, limit_s: float):
+        self.name = name
+        self.limit_s = limit_s
+        self.t0 = time.monotonic()
+
+    def check(self) -> None:
+        elapsed = time.monotonic() - self.t0
+        if elapsed > self.limit_s:
+            raise TimeoutError(
+                f"step {self.name!r} exceeded its {self.limit_s:.0f}s "
+                f"budget ({elapsed:.1f}s elapsed)")
+
+    def done(self) -> None:
+        self.check()
+        print(f"  step {self.name!r}: "
+              f"{time.monotonic() - self.t0:.1f}s", flush=True)
+
+
+def fire_batch(router_sock: str, requests: list[dict],
+               timeout: float) -> tuple[dict, dict]:
+    """Fire requests concurrently; (responses, dropped) by request id."""
+    responses: dict = {}
+    dropped: dict = {}
+
+    def one(req: dict) -> None:
+        try:
+            responses[req["id"]] = single_request(
+                router_sock, req, timeout=timeout)
+        except Exception as exc:
+            dropped[req["id"]] = f"{type(exc).__name__}: {exc}"
+
+    threads = [threading.Thread(target=one, args=(r,))
+               for r in requests]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+    return responses, dropped
+
+
+def gate_batch(name: str, responses: dict, dropped: dict,
+               expected: int) -> bool:
+    """The farm contract: every request answered, every answer ok."""
+    ok = True
+    for req_id, msg in sorted(dropped.items()):
+        ok = False
+        print(f"FAIL [{name}]: request {req_id} dropped: {msg}",
+              file=sys.stderr)
+    if len(responses) + len(dropped) != expected:
+        ok = False
+        print(f"FAIL [{name}]: "
+              f"{expected - len(responses) - len(dropped)} request(s) "
+              f"never completed", file=sys.stderr)
+    failed = {i: r.get("status") for i, r in sorted(responses.items())
+              if r.get("status") != "ok"}
+    for req_id, status in failed.items():
+        ok = False
+        print(f"FAIL [{name}]: request {req_id} ended "
+              f"status={status!r}: "
+              f"{responses[req_id].get('error')}", file=sys.stderr)
+    routes = [r.get("route", {}) for r in responses.values()]
+    shards = sorted({r.get("shard") for r in routes if r.get("shard")})
+    print(f"  [{name}] {len(responses)}/{expected} ok, "
+          f"served by {shards}, "
+          f"failovers={sum(r.get('failovers', 0) for r in routes)}, "
+          f"hedged={sum(1 for r in routes if r.get('hedged'))}",
+          flush=True)
+    return ok
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--daemons", type=int, default=3)
+    ap.add_argument("--requests", type=int, default=8,
+                    help="concurrent requests per drill batch")
+    ap.add_argument("--pool-size", type=int, default=1)
+    ap.add_argument("--cache-budget", default="64M")
+    ap.add_argument("--step-timeout", type=float, default=120.0,
+                    help="wall-clock budget per drill step, seconds")
+    args = ap.parse_args(argv)
+
+    run_dir = tempfile.mkdtemp(prefix="repro-chaos-", dir="/tmp")
+    print(f"farm chaos: {args.daemons} daemons, "
+          f"{args.requests} requests per batch, run dir {run_dir}",
+          flush=True)
+    farm = Farm(run_dir, daemons=args.daemons,
+                pool_size=args.pool_size,
+                cache_budget=args.cache_budget)
+    router = farm.router_socket
+    ok = True
+    try:
+        step = StepTimer("startup", args.step_timeout)
+        farm.start(ready_timeout=args.step_timeout)
+        step.done()
+
+        # warm one workload and learn which shard serves it
+        step = StepTimer("warmup", args.step_timeout)
+        warm = single_request(router, {
+            "id": "warm", "op": "analyze", "sources": workload(0)},
+            timeout=args.step_timeout)
+        if warm.get("status") != "ok":
+            print(f"FAIL: warmup not ok: {warm.get('status')}",
+                  file=sys.stderr)
+            return 1
+        victim = warm["route"]["shard"]
+        print(f"  workload 0 is served by shard {victim!r}",
+              flush=True)
+        step.done()
+
+        # -- drill 1: SIGKILL the serving shard mid-batch ----------------
+        # The kill lands *between* two half-batches, not on a timer: a
+        # warm cache can answer the whole batch before a timer fires,
+        # and then no failover would be needed at all.  The second
+        # half still rendezvous-routes to the dead shard, so every one
+        # of those requests must fail over.
+        step = StepTimer("kill-failover", args.step_timeout)
+        half = max(1, args.requests // 2)
+        reqs = [{"id": i, "op": "analyze", "sources": workload(0)}
+                for i in range(args.requests)]
+        responses, dropped = fire_batch(router, reqs[:half],
+                                        args.step_timeout)
+        ok &= gate_batch("kill-failover/before", responses, dropped,
+                         half)
+        farm.kill_proc(victim, sig=signal.SIGKILL)
+        responses, dropped = fire_batch(router, reqs[half:],
+                                        args.step_timeout)
+        ok &= gate_batch("kill-failover", responses, dropped,
+                         len(reqs) - half)
+        stats = single_request(router, {"op": "stats"},
+                               timeout=30)["stats"]
+        if stats["router"]["failovers"] < 1:
+            ok = False
+            print("FAIL [kill-failover]: router reports no failovers "
+                  "after its serving shard was killed",
+                  file=sys.stderr)
+        farm.restart_proc(victim, ready_timeout=args.step_timeout)
+        step.done()
+
+        # -- drill 2: gray failure (stopped, not dead) -------------------
+        step = StepTimer("gray-failure", args.step_timeout)
+        probe = single_request(router, {
+            "id": "gray", "op": "analyze", "sources": workload(1)},
+            timeout=args.step_timeout)
+        gray = probe["route"]["shard"]
+        pid = farm.procs[gray].proc.pid
+        os.kill(pid, signal.SIGSTOP)
+        try:
+            t0 = time.monotonic()
+            resp = single_request(router, {
+                "id": "hedge", "op": "analyze",
+                "sources": workload(1)}, timeout=args.step_timeout)
+            elapsed = time.monotonic() - t0
+        finally:
+            os.kill(pid, signal.SIGCONT)
+        if resp.get("status") != "ok":
+            ok = False
+            print(f"FAIL [gray-failure]: request against a stopped "
+                  f"shard ended {resp.get('status')!r}",
+                  file=sys.stderr)
+        if not resp.get("route", {}).get("hedged"):
+            ok = False
+            print("FAIL [gray-failure]: response was not hedged "
+                  f"(route={resp.get('route')})", file=sys.stderr)
+        print(f"  [gray-failure] hedged around stopped shard "
+              f"{gray!r} in {elapsed:.1f}s "
+              f"(winner {resp.get('route', {}).get('shard')!r})",
+              flush=True)
+        step.done()
+
+        # -- drill 3: rolling drain-restart under load -------------------
+        step = StepTimer("hot-restart", args.step_timeout * 2)
+        reqs = [{"id": 100 + i, "op": "analyze",
+                 "sources": workload(i % 4)}
+                for i in range(args.requests)]
+        batch: dict = {}
+
+        def run_batch() -> None:
+            batch["result"] = fire_batch(router, reqs,
+                                         args.step_timeout * 2)
+
+        runner = threading.Thread(target=run_batch)
+        runner.start()
+        time.sleep(0.3)
+        farm.rolling_restart(ready_timeout=args.step_timeout)
+        runner.join(timeout=args.step_timeout * 2)
+        responses, dropped = batch.get("result", ({}, {}))
+        ok &= gate_batch("hot-restart", responses, dropped, len(reqs))
+        restarts = {n: p.restarts for n, p in farm.procs.items()
+                    if n != "cache"}
+        if any(r < 1 for r in restarts.values()):
+            ok = False
+            print(f"FAIL [hot-restart]: not every shard was "
+                  f"restarted: {restarts}", file=sys.stderr)
+        step.done()
+
+        # -- drill 4: corrupt the shared cache on disk -------------------
+        step = StepTimer("cache-corruption", args.step_timeout)
+        entries = [p for p in Path(farm.cache_dir).rglob("*.pkl")
+                   if "quarantine" not in p.parts]
+        for p in entries:
+            raw = bytearray(p.read_bytes())
+            raw[-1] ^= 0xFF
+            p.write_bytes(bytes(raw))
+        print(f"  corrupted {len(entries)} cache entr(ies) on disk",
+              flush=True)
+        resp = single_request(router, {
+            "id": "post-corrupt", "op": "analyze",
+            "sources": workload(0)}, timeout=args.step_timeout)
+        if resp.get("status") != "ok":
+            ok = False
+            print(f"FAIL [cache-corruption]: compile against a "
+                  f"corrupt cache ended {resp.get('status')!r}",
+                  file=sys.stderr)
+        stats = single_request(router, {"op": "stats"},
+                               timeout=30)["stats"]
+        cache_stats = (stats.get("cache") or {}).get("cache", {})
+        if entries and not cache_stats.get("corrupt"):
+            ok = False
+            print(f"FAIL [cache-corruption]: cache service counted "
+                  f"no corruption: {cache_stats}", file=sys.stderr)
+        print(f"  [cache-corruption] service stats: "
+              f"hits={cache_stats.get('hits')} "
+              f"misses={cache_stats.get('misses')} "
+              f"corrupt={cache_stats.get('corrupt')} "
+              f"evictions={cache_stats.get('evictions')}", flush=True)
+        step.done()
+
+        # -- post-chaos health -------------------------------------------
+        # Recovery is eventual, not instant: a shard ejected during
+        # the drills is readmitted by the probe loop on its jittered
+        # backoff schedule, so poll until the farm is back to full
+        # strength (or the step budget says it never got there).
+        step = StepTimer("post-health", args.step_timeout)
+        deadline = time.monotonic() + args.step_timeout
+        while True:
+            ping = single_request(router, {"op": "ping"}, timeout=30)
+            if ping.get("pong") and ping.get("shards") == args.daemons:
+                break
+            if time.monotonic() >= deadline:
+                ok = False
+                print(f"FAIL: farm unhealthy after chaos: {ping}",
+                      file=sys.stderr)
+                break
+            time.sleep(0.2)
+        counters = stats["router"]
+        print(f"  router counters: {counters}", flush=True)
+        step.done()
+
+        print("farm chaos: " + ("OK" if ok else "FAILED"), flush=True)
+        return 0 if ok else 1
+    finally:
+        farm.stop()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

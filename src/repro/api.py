@@ -306,6 +306,9 @@ class CompileReply:
     trace_id: str | None = None
     #: stitched span dicts, present when the request asked for a trace
     spans: list[dict] = field(default_factory=list)
+    #: routing record, present when a farm router served the request:
+    #: ``{"shard": ..., "attempts": ..., "failovers": ..., "hedged": ...}``
+    route: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -332,7 +335,8 @@ class CompileReply:
             error=d.get("error"),
             retry_after=d.get("retry_after"),
             trace_id=d.get("trace_id"),
-            spans=list(d.get("spans") or []))
+            spans=list(d.get("spans") or []),
+            route=d.get("route"))
 
     def to_wire(self) -> dict:
         out: dict = {"id": self.id, "op": self.op,
@@ -354,6 +358,8 @@ class CompileReply:
             out["trace_id"] = self.trace_id
         if self.spans:
             out["spans"] = self.spans
+        if self.route is not None:
+            out["route"] = self.route
         return out
 
 

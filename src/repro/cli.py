@@ -297,6 +297,7 @@ def cmd_serve(args) -> int:
         pool_size=args.pool_size, deadline=args.deadline,
         max_retries=args.max_retries, hang_timeout=args.hang_timeout,
         cache_dir=args.cache_dir, crash_dir=args.crash_dir,
+        crash_max=args.crash_max,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown)
     server = CompileServer(args.socket, Supervisor(config),
@@ -310,11 +311,13 @@ def cmd_serve(args) -> int:
           f"(pool={args.pool_size}, deadline={args.deadline:.0f}s, "
           f"max-retries={args.max_retries}, "
           f"queue-max={args.queue_max})", file=sys.stderr, flush=True)
-    # SIGTERM must run the same orderly shutdown as Ctrl-C, or the
-    # worker subprocesses outlive the daemon as orphans
+    # SIGTERM begins a graceful drain: stop accepting, finish every
+    # in-flight request, then exit — so a rolling hot-restart fails
+    # zero requests.  A supervisor that needs the process gone *now*
+    # escalates to SIGKILL after the grace period.
     import signal
     signal.signal(signal.SIGTERM,
-                  lambda *_: server.request_shutdown())
+                  lambda *_: server.begin_drain(args.drain_grace))
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -322,6 +325,168 @@ def cmd_serve(args) -> int:
     finally:
         server.shutdown()
     return EXIT_OK
+
+
+def cmd_drain(args) -> int:
+    """Ask a daemon (shard, router, or cache service) to drain."""
+    from .service import ProtocolError, single_request
+    try:
+        resp = single_request(args.socket, {"op": "drain"},
+                              timeout=args.timeout, reconnects=0)
+    except (OSError, ConnectionError, ProtocolError) as exc:
+        raise CliError(
+            f"cannot reach daemon at '{args.socket}': {exc}",
+            EXIT_USAGE) from exc
+    if resp.get("status") != "ok":
+        raise CliError(f"drain refused: "
+                       f"{(resp.get('error') or {}).get('message')}",
+                       EXIT_COMPILE)
+    print(f"repro: draining {args.socket} "
+          f"(in-flight={resp.get('in_flight', 0)})", file=sys.stderr)
+    if args.wait:
+        import socket as socketlib
+        import time
+        deadline = time.monotonic() + args.wait
+        while time.monotonic() < deadline:
+            try:
+                probe = socketlib.socket(socketlib.AF_UNIX,
+                                         socketlib.SOCK_STREAM)
+                probe.settimeout(1.0)
+                probe.connect(args.socket)
+                probe.close()
+            except OSError:
+                print("repro: drained; daemon exited",
+                      file=sys.stderr)
+                return EXIT_OK
+            time.sleep(0.1)
+        raise CliError(
+            f"daemon still serving after {args.wait:.0f}s drain wait",
+            EXIT_COMPILE)
+    return EXIT_OK
+
+
+def cmd_farm(args) -> int:
+    """Run the whole resilient farm: cache service, N shard daemons,
+    and the front-tier router, in the foreground."""
+    from .service.router import ClusterConfig, Farm, Router, \
+        RouterServer
+    if not args.config and not args.dir:
+        raise CliError("farm needs --dir (to spawn a farm) or "
+                       "--config (to route external shards)")
+    if args.config and not args.socket:
+        raise CliError("--config mode needs an explicit --socket "
+                       "for the router")
+    if args.config:
+        cluster = ClusterConfig.from_file(args.config)
+        router_server = RouterServer(args.socket, Router(cluster))
+        try:
+            router_server.start()
+        except OSError as exc:
+            raise CliError(f"cannot bind {args.socket!r}: {exc}",
+                           EXIT_USAGE) from exc
+        print(f"repro: routing {len(cluster.shards)} external "
+              f"shard(s) on {args.socket}", file=sys.stderr,
+              flush=True)
+        import signal
+        signal.signal(signal.SIGTERM,
+                      lambda *_: router_server.begin_drain(
+                          args.drain_grace))
+        try:
+            router_server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            router_server.shutdown()
+        return EXIT_OK
+
+    farm = Farm(args.dir, daemons=args.daemons,
+                pool_size=args.pool_size,
+                cache_budget=args.cache_budget)
+    farm.router_socket = args.socket or farm.router_socket
+    try:
+        farm.start()
+    except (OSError, RuntimeError) as exc:
+        farm.stop()
+        raise CliError(f"farm failed to start: {exc}",
+                       EXIT_USAGE) from exc
+    print(f"repro: farm up — router {farm.router_socket}, "
+          f"{args.daemons} daemon(s), cache {farm.cache_socket}",
+          file=sys.stderr, flush=True)
+    import signal
+    stopping = []
+    signal.signal(signal.SIGTERM, lambda *_: (
+        stopping.append(True),
+        farm.router_server.request_shutdown()))
+    try:
+        farm.router_server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        farm.stop()
+    return EXIT_OK
+
+
+def cmd_cache_serve(args) -> int:
+    from .service.cacheservice import parse_budget, serve_cache
+    try:
+        server = serve_cache(args.socket, args.dir,
+                             budget=args.cache_budget)
+    except ValueError as exc:
+        raise CliError(str(exc), EXIT_USAGE) from exc
+    try:
+        server.start()
+    except OSError as exc:
+        raise CliError(f"cannot bind {args.socket!r}: {exc}",
+                       EXIT_USAGE) from exc
+    budget = parse_budget(args.cache_budget)
+    print(f"repro: cache service on {args.socket} (dir={args.dir}, "
+          f"budget={budget if budget else 'unbounded'})",
+          file=sys.stderr, flush=True)
+    import signal
+    signal.signal(signal.SIGTERM,
+                  lambda *_: server.begin_drain(args.drain_grace))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return EXIT_OK
+
+
+def cmd_cache_fsck(args) -> int:
+    """Scan a cache directory: verify every entry, quarantine (or just
+    report) corruption, print category/size/age stats."""
+    from .core import fsck_cache
+    root = Path(args.dir)
+    if not root.is_dir():
+        raise CliError(f"no cache directory at '{args.dir}'",
+                       EXIT_USAGE)
+    report = fsck_cache(root, quarantine=not args.no_quarantine)
+    if args.json:
+        import json
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"cache {report.root}: {report.scanned} entries, "
+              f"{report.total_bytes:,} bytes, "
+              f"{report.corrupt} corrupt, "
+              f"{report.stray_tmp} stray temp file(s)")
+        for name, cat in sorted(report.categories.items()):
+            age = ""
+            if cat.oldest_s is not None:
+                age = (f"  age {cat.newest_s:,.0f}s–"
+                       f"{cat.oldest_s:,.0f}s")
+            flags = []
+            if cat.corrupt:
+                flags.append(f"{cat.corrupt} corrupt")
+            if cat.legacy:
+                flags.append(f"{cat.legacy} legacy")
+            note = f"  ({', '.join(flags)})" if flags else ""
+            print(f"  {name:10s} {cat.entries:6d} entries "
+                  f"{cat.bytes:12,d} bytes{age}{note}")
+        for q in report.quarantined:
+            print(f"  quarantined: {q}")
+    return EXIT_COMPILE if report.corrupt else EXIT_OK
 
 
 def _render_client_payload(args, resp: dict) -> None:
@@ -441,6 +606,12 @@ def cmd_client(args) -> int:
         print(f"repro: degraded: served tier {reply.tier!r} "
               f"(attempts={reply.attempts}, "
               f"respawns={reply.respawns})", file=sys.stderr)
+    route = reply.route or {}
+    if route.get("failovers") or route.get("hedged"):
+        print(f"repro: routed via shard {route.get('shard')!r} "
+              f"(failovers={route.get('failovers', 0)}"
+              f"{', hedged' if route.get('hedged') else ''})",
+              file=sys.stderr)
     rendered = engine.render("warning")
     if rendered:
         print(rendered, file=sys.stderr)
@@ -572,7 +743,84 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="S",
                    help="seconds an open breaker waits before a "
                         "half-open probe (default 30)")
+    p.add_argument("--crash-max", type=int, default=200, metavar="N",
+                   help="crash reports kept before oldest-first "
+                        "rotation (default 200)")
+    p.add_argument("--drain-grace", type=float, default=30.0,
+                   metavar="S",
+                   help="max seconds a SIGTERM drain waits for "
+                        "in-flight requests before exiting anyway "
+                        "(default 30)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "drain",
+        help="gracefully drain a running daemon: stop accepting, "
+             "finish in-flight requests, exit")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="Unix socket of the daemon to drain")
+    p.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                   help="wire timeout for the drain request")
+    p.add_argument("--wait", type=float, default=None, metavar="S",
+                   help="block up to S seconds until the daemon has "
+                        "exited")
+    p.set_defaults(fn=cmd_drain)
+
+    p = sub.add_parser(
+        "farm",
+        help="run the resilient compile farm: shared cache service, "
+             "N shard daemons, and the sharding/failover router")
+    p.add_argument("--dir", default=None, metavar="DIR",
+                   help="farm run directory (sockets, cache, logs); "
+                        "required unless --config routes external "
+                        "shards")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="router socket (default: <dir>/router.sock)")
+    p.add_argument("--daemons", type=int, default=3, metavar="N",
+                   help="shard daemons to spawn (default 3)")
+    p.add_argument("--pool-size", type=int, default=1, metavar="K",
+                   help="workers per shard daemon (default 1)")
+    p.add_argument("--cache-budget", default=None, metavar="BYTES",
+                   help="cache service size cap, e.g. 64M (default: "
+                        "unbounded)")
+    p.add_argument("--config", default=None, metavar="FILE",
+                   help="cluster config JSON naming externally "
+                        "managed shard sockets and capacity weights "
+                        "(route only; spawn nothing)")
+    p.add_argument("--drain-grace", type=float, default=30.0,
+                   metavar="S", help="SIGTERM drain grace")
+    p.set_defaults(fn=cmd_farm)
+
+    p = sub.add_parser("cache",
+                       help="summary-cache service and maintenance")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    cp = cache_sub.add_parser(
+        "serve",
+        help="serve one on-disk summary cache to a whole farm over a "
+             "socket (LRU eviction under --cache-budget)")
+    cp.add_argument("--socket", required=True, metavar="PATH")
+    cp.add_argument("--dir", required=True, metavar="DIR",
+                    help="cache directory to serve")
+    cp.add_argument("--cache-budget", default=None, metavar="BYTES",
+                    help="evict least-recently-used entries beyond "
+                         "this size, e.g. 512K, 64M (default: "
+                         "unbounded)")
+    cp.add_argument("--drain-grace", type=float, default=30.0,
+                    metavar="S", help="SIGTERM drain grace")
+    cp.set_defaults(fn=cmd_cache_serve)
+
+    cp = cache_sub.add_parser(
+        "fsck",
+        help="verify every cache entry's checksum, quarantine "
+             "corruption, print category/size/age stats")
+    cp.add_argument("dir", metavar="DIR", help="cache directory")
+    cp.add_argument("--no-quarantine", action="store_true",
+                    help="report corrupt entries but leave them in "
+                         "place")
+    cp.add_argument("--json", action="store_true",
+                    help="machine-readable report")
+    cp.set_defaults(fn=cmd_cache_fsck)
 
     p = sub.add_parser(
         "client",

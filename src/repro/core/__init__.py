@@ -11,6 +11,8 @@ from .faults import (
     inject_fault,
     PROC_FAULTS, PROCESS_FAULT_MODES, ProcessFault, ProcessFaultRegistry,
     ProcessFaultSpec,
+    CACHE_FAULTS, CACHE_FAULT_MODES, CacheFaultRegistry, CacheFaultSpec,
+    inject_cache_fault,
 )
 from .fe import FEReport, UnifyError, assemble_program
 from .pipeline import (
@@ -18,7 +20,10 @@ from .pipeline import (
     compile_program, compile_source, compile_sources, FAULT_REASON,
     SCHEMES,
 )
-from .summarycache import CacheEvent, SummaryCache, fingerprint
+from .summarycache import (
+    CacheEvent, FsckReport, SummaryCache, fingerprint, fsck_cache,
+    open_cache,
+)
 
 __all__ = [
     "Compiler", "CompilerOptions", "CompilationResult", "PhaseGuard",
@@ -34,6 +39,9 @@ __all__ = [
     "INJECTABLE_PASSES", "inject_fault",
     "PROC_FAULTS", "PROCESS_FAULT_MODES", "ProcessFault",
     "ProcessFaultRegistry", "ProcessFaultSpec",
+    "CACHE_FAULTS", "CACHE_FAULT_MODES", "CacheFaultRegistry",
+    "CacheFaultSpec", "inject_cache_fault",
     "FEReport", "UnifyError", "assemble_program",
-    "CacheEvent", "SummaryCache", "fingerprint",
+    "CacheEvent", "FsckReport", "SummaryCache", "fingerprint",
+    "fsck_cache", "open_cache",
 ]

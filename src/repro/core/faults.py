@@ -321,3 +321,97 @@ class ProcessFaultRegistry:
 
 #: the per-process registry service workers arm from request payloads
 PROC_FAULTS = ProcessFaultRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Cache I/O faults: disk-full and friends at the summary-cache boundary
+# ---------------------------------------------------------------------------
+#
+# The pass-level FAULTS registry deliberately *bypasses* the summary
+# cache while armed (injected faults must exercise the real passes),
+# so it cannot drill the cache's own failure modes.  This registry
+# fires inside :meth:`repro.core.summarycache.SummaryCache.store_blob`
+# / ``load_blob`` instead: an armed fault makes cache I/O fail the way
+# a full disk (ENOSPC) or a flaky mount (EIO) would, and the tests
+# assert the write is contained as a ``cache`` diagnostic while
+# compilation completes uncached.
+
+#: cache I/O fault modes: the errno raised at the store/load boundary
+CACHE_FAULT_MODES = ("enospc", "eio")
+
+_CACHE_FAULT_ERRNO = {"enospc": 28, "eio": 5}      # ENOSPC, EIO
+
+
+@dataclass
+class CacheFaultSpec:
+    """One armed cache I/O fault.
+
+    ``op`` selects which cache operations fail (``store``, ``load``,
+    or ``any``); ``category`` restricts the fault to one artifact
+    category (``parse`` / ``summary`` / ``fe``; empty = all); ``times``
+    bounds how many operations fail (<= 0 = unlimited)."""
+
+    mode: str = "enospc"
+    op: str = "store"                 # store | load | any
+    category: str = ""                # "" = every category
+    times: int = 0                    # fire on the first N ops; 0 = all
+
+    def __post_init__(self):
+        if self.mode not in CACHE_FAULT_MODES:
+            raise ValueError(
+                f"unknown cache fault mode {self.mode!r}; choose from "
+                f"{CACHE_FAULT_MODES}")
+        if self.op not in ("store", "load", "any"):
+            raise ValueError(f"unknown cache fault op {self.op!r}")
+
+
+class CacheFaultRegistry:
+    """Process-global registry the summary cache consults on every
+    store/load.  Costs one truthiness check when nothing is armed."""
+
+    def __init__(self):
+        self._spec: CacheFaultSpec | None = None
+        self.fired = 0
+
+    def __bool__(self) -> bool:
+        return self._spec is not None
+
+    def arm(self, spec: CacheFaultSpec) -> CacheFaultSpec:
+        self._spec = spec
+        self.fired = 0
+        return spec
+
+    def disarm(self) -> None:
+        self._spec = None
+
+    def fire(self, op: str, category: str) -> None:
+        """Raise the armed OSError if ``op``/``category`` match."""
+        spec = self._spec
+        if spec is None:
+            return
+        if spec.op not in (op, "any"):
+            return
+        if spec.category and spec.category != category:
+            return
+        if spec.times > 0 and self.fired >= spec.times:
+            return
+        self.fired += 1
+        err = _CACHE_FAULT_ERRNO[spec.mode]
+        raise OSError(err, os.strerror(err))
+
+
+#: the registry the summary cache consults
+CACHE_FAULTS = CacheFaultRegistry()
+
+
+@contextmanager
+def inject_cache_fault(mode: str = "enospc", op: str = "store",
+                       category: str = "", times: int = 0):
+    """Arm one cache I/O fault for the duration of a ``with`` block."""
+    spec = CACHE_FAULTS.arm(CacheFaultSpec(mode=mode, op=op,
+                                           category=category,
+                                           times=times))
+    try:
+        yield spec
+    finally:
+        CACHE_FAULTS.disarm()

@@ -71,7 +71,7 @@ from .diagnostics import (
 )
 from .faults import FAULTS, InjectedFault
 from .fe import FEReport, assemble_program
-from .summarycache import SummaryCache, fingerprint
+from .summarycache import SummaryCache, fingerprint, open_cache
 
 #: weight schemes the pipeline can drive transformations with
 SCHEMES = ("SPBO", "ISPBO", "ISPBO.NO", "ISPBO.W", "PBO", "PPBO")
@@ -123,9 +123,11 @@ class CompilerOptions:
     #: front-end parallelism: number of parse workers for
     #: :meth:`Compiler.compile_sources` (1 = in-process, no pool)
     jobs: int = 1
-    #: directory for the content-addressed summary cache (None = off);
-    #: holds per-TU parse artifacts, per-TU analysis summaries, and
-    #: whole-program FE results keyed by source + options fingerprints
+    #: content-addressed summary cache spec (None = off): a local
+    #: directory, or ``unix:PATH`` naming a shared cache-service
+    #: socket; holds per-TU parse artifacts, per-TU analysis
+    #: summaries, and whole-program FE results keyed by source +
+    #: options fingerprints
     cache_dir: str | Path | None = None
 
     def __post_init__(self):
@@ -396,7 +398,7 @@ class Compiler:
 
         cache: SummaryCache | None = None
         if opts.cache_dir is not None and not FAULTS:
-            cache = SummaryCache(Path(opts.cache_dir))
+            cache = open_cache(opts.cache_dir)
         opts_fp = opts.fingerprint()
 
         # ---- FE: whole-result cache probe ----

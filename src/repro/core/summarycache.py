@@ -20,6 +20,17 @@ Design rules:
 - **Stores are atomic.**  Artifacts are written to a temp file and
   renamed into place so a crashed writer can only leave garbage that
   reads as a miss, never a half-entry that reads as data.
+- **Entries are checksummed.**  Every stored entry is framed with a
+  magic tag and a SHA-256 digest of its payload; a read whose digest
+  does not match is *quarantined* (moved aside for post-mortem, up to
+  a bounded count) and reported as corruption, never returned as data.
+  Unframed entries written by older versions still read as legacy
+  blobs.
+
+The same directory format is served remotely by the shared cache
+service (:mod:`repro.service.cacheservice`); :func:`open_cache` picks
+the local store or the remote client from the ``cache_dir`` spec
+(``unix:PATH`` selects a cache-service socket).
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -35,6 +47,40 @@ from typing import Any
 #: bump when the pickled artifact layout changes; old entries become
 #: unreachable (different keys) instead of unreadable
 SCHEMA_VERSION = 1
+
+#: framing tag for checksummed entries: MAGIC + sha256(payload) + payload
+ENTRY_MAGIC = b"RSC1"
+_DIGEST_LEN = 32
+_HEADER_LEN = len(ENTRY_MAGIC) + _DIGEST_LEN
+
+#: directory (under the cache root) corrupt entries are moved into
+QUARANTINE_DIR = "quarantine"
+
+#: quarantined files kept for post-mortem; oldest beyond this are dropped
+QUARANTINE_MAX = 32
+
+
+def frame_blob(blob: bytes) -> bytes:
+    """Wrap a payload with the checksum frame ``store_blob`` writes."""
+    return ENTRY_MAGIC + hashlib.sha256(blob).digest() + blob
+
+
+def unframe_blob(raw: bytes) -> tuple[bytes | None, str]:
+    """Split a stored entry into its payload.
+
+    Returns ``(payload, kind)`` where ``kind`` is ``"ok"`` (verified
+    frame), ``"legacy"`` (pre-checksum entry, returned as-is), or
+    ``"corrupt"`` (framed but failing verification; payload is None).
+    """
+    if not raw.startswith(ENTRY_MAGIC):
+        return raw, "legacy"
+    if len(raw) < _HEADER_LEN:
+        return None, "corrupt"
+    digest = raw[len(ENTRY_MAGIC):_HEADER_LEN]
+    payload = raw[_HEADER_LEN:]
+    if hashlib.sha256(payload).digest() != digest:
+        return None, "corrupt"
+    return payload, "ok"
 
 
 @dataclass
@@ -102,14 +148,17 @@ class SummaryCache:
         return self.store_blob(category, key, blob)
 
     def store_blob(self, category: str, key: str, blob: bytes) -> bool:
-        """Persist an already-pickled artifact atomically."""
+        """Persist an already-pickled artifact atomically, framed with
+        its SHA-256 checksum."""
         path = self._path(category, key)
         try:
+            from .faults import CACHE_FAULTS
+            CACHE_FAULTS.fire("store", category)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as f:
-                    f.write(blob)
+                    f.write(frame_blob(blob))
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -153,7 +202,9 @@ class SummaryCache:
     def load_blob(self, category: str, key: str) -> bytes | None:
         path = self._path(category, key)
         try:
-            blob = path.read_bytes()
+            from .faults import CACHE_FAULTS
+            CACHE_FAULTS.fire("load", category)
+            raw = path.read_bytes()
         except FileNotFoundError:
             self.misses += 1
             self._event("miss", category, key)
@@ -163,9 +214,15 @@ class SummaryCache:
             self._event("io-error", category, key,
                         f"read failed: {type(exc).__name__}")
             return None
-        if not blob:
+        if not raw:
             self.misses += 1
             self._event("corrupt", category, key, "empty file")
+            self._discard(category, key)
+            return None
+        blob, kind = unframe_blob(raw)
+        if kind == "corrupt":
+            self.misses += 1
+            self._event("corrupt", category, key, "checksum mismatch")
             self._discard(category, key)
             return None
         return blob
@@ -173,12 +230,11 @@ class SummaryCache:
     # -- maintenance --------------------------------------------------------
 
     def _discard(self, category: str, key: str) -> None:
-        """Drop a bad entry so it is recomputed cleanly next time."""
+        """Quarantine a bad entry so it is recomputed cleanly next time
+        but stays inspectable (moved, not deleted; bounded count)."""
         self.misses += 1
-        try:
-            self._path(category, key).unlink()
-        except OSError:
-            pass
+        quarantine_entry(self.root, self._path(category, key),
+                         category, key)
 
     def corrupt_events(self) -> list[CacheEvent]:
         return [e for e in self.events if e.kind == "corrupt"]
@@ -193,3 +249,176 @@ class SummaryCache:
                detail: str = "") -> None:
         self.events.append(CacheEvent(kind=kind, category=category,
                                       key=key, detail=detail))
+
+
+# ---------------------------------------------------------------------------
+# Quarantine
+# ---------------------------------------------------------------------------
+
+def quarantine_entry(root: Path, path: Path, category: str,
+                     key: str) -> Path | None:
+    """Move a corrupt entry into ``<root>/quarantine`` (bounded).
+
+    Returns the quarantine path, or None if the entry could not be
+    moved (it is removed instead; quarantining must never raise)."""
+    qdir = Path(root) / QUARANTINE_DIR
+    dest = qdir / f"{category}-{key[:24]}.pkl"
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        os.replace(path, dest)
+    except OSError:
+        try:
+            Path(path).unlink()
+        except OSError:
+            pass
+        return None
+    try:
+        kept = sorted(qdir.glob("*.pkl"), key=lambda p: p.stat().st_mtime)
+        for stale in kept[:-QUARANTINE_MAX]:
+            stale.unlink()
+    except OSError:
+        pass
+    return dest
+
+
+# ---------------------------------------------------------------------------
+# fsck: offline integrity scan (the `repro cache fsck` engine)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FsckCategory:
+    """Integrity/size/age stats for one cache category directory."""
+
+    entries: int = 0
+    bytes: int = 0
+    corrupt: int = 0
+    legacy: int = 0
+    oldest_s: float | None = None     # age of the oldest entry, seconds
+    newest_s: float | None = None
+
+    def to_dict(self) -> dict:
+        return {"entries": self.entries, "bytes": self.bytes,
+                "corrupt": self.corrupt, "legacy": self.legacy,
+                "oldest_s": round(self.oldest_s, 1)
+                if self.oldest_s is not None else None,
+                "newest_s": round(self.newest_s, 1)
+                if self.newest_s is not None else None}
+
+
+@dataclass
+class FsckReport:
+    """Result of one :func:`fsck_cache` scan."""
+
+    root: str
+    categories: dict[str, FsckCategory] = field(default_factory=dict)
+    quarantined: list[str] = field(default_factory=list)
+    stray_tmp: int = 0
+
+    @property
+    def scanned(self) -> int:
+        return sum(c.entries for c in self.categories.values())
+
+    @property
+    def corrupt(self) -> int:
+        return sum(c.corrupt for c in self.categories.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(c.bytes for c in self.categories.values())
+
+    def to_dict(self) -> dict:
+        return {"root": self.root, "scanned": self.scanned,
+                "corrupt": self.corrupt, "bytes": self.total_bytes,
+                "stray_tmp": self.stray_tmp,
+                "quarantined": list(self.quarantined),
+                "categories": {name: c.to_dict() for name, c
+                               in sorted(self.categories.items())}}
+
+
+def verify_entry(raw: bytes) -> tuple[bool, str]:
+    """Is one stored entry intact?  Returns ``(ok, kind)`` where kind
+    is ``ok`` / ``legacy`` / ``corrupt``."""
+    if not raw:
+        return False, "corrupt"
+    payload, kind = unframe_blob(raw)
+    if kind == "corrupt":
+        return False, "corrupt"
+    try:
+        value = pickle.loads(payload)
+    except Exception:
+        return False, "corrupt"
+    if value is None:
+        return False, "corrupt"
+    return True, kind
+
+
+def fsck_cache(root: str | Path, *, quarantine: bool = True,
+               now: float | None = None) -> FsckReport:
+    """Scan a cache directory: verify every entry's checksum frame and
+    unpickled shape, quarantine (or just report) corrupt ones, and
+    collect per-category count/size/age stats.  Never raises on a bad
+    entry — a cache fsck must be safe to run against a live cache."""
+    root = Path(root)
+    now = time.time() if now is None else now
+    report = FsckReport(root=str(root))
+    if not root.is_dir():
+        return report
+    for cat_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+        if cat_dir.name == QUARANTINE_DIR:
+            continue
+        cat = report.categories.setdefault(cat_dir.name, FsckCategory())
+        for path in sorted(cat_dir.rglob("*")):
+            if not path.is_file():
+                continue
+            if path.suffix == ".tmp":
+                report.stray_tmp += 1
+                continue
+            if path.suffix != ".pkl":
+                continue              # crash reports, metadata, ...
+            try:
+                raw = path.read_bytes()
+                size = path.stat().st_size
+                age = max(0.0, now - path.stat().st_mtime)
+            except OSError:
+                continue              # raced with a writer/evictor
+            cat.entries += 1
+            cat.bytes += size
+            cat.oldest_s = age if cat.oldest_s is None \
+                else max(cat.oldest_s, age)
+            cat.newest_s = age if cat.newest_s is None \
+                else min(cat.newest_s, age)
+            ok, kind = verify_entry(raw)
+            if kind == "legacy" and ok:
+                cat.legacy += 1
+            if not ok:
+                cat.corrupt += 1
+                if quarantine:
+                    key = path.stem
+                    dest = quarantine_entry(root, path,
+                                            cat_dir.name, key)
+                    report.quarantined.append(
+                        str(dest) if dest is not None else str(path))
+    report.categories = {name: c for name, c
+                         in report.categories.items() if c.entries}
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Cache construction: local directory or remote cache service
+# ---------------------------------------------------------------------------
+
+def open_cache(spec: str | Path | None) -> "SummaryCache | None":
+    """The cache a ``cache_dir`` spec names.
+
+    ``None`` means no cache; ``unix:PATH`` connects a
+    :class:`repro.service.cacheservice.RemoteCache` client to a shared
+    cache-service socket; anything else is a local directory."""
+    if spec is None:
+        return None
+    text = str(spec)
+    if text.startswith("unix:"):
+        # imported lazily: the service layer depends on core, not the
+        # other way around, except through this single seam
+        from ..service.cacheservice import RemoteCache
+        return RemoteCache(text[len("unix:"):])
+    return SummaryCache(Path(spec))

@@ -1,32 +1,55 @@
-"""Supervised compile service: ``repro serve`` / ``repro client``.
+"""Supervised compile service and the resilient farm built on it.
 
-A long-lived daemon executing analyze/advise/transform/compare requests
-on a supervised pool of worker subprocesses, with per-request
-deadlines, heartbeat-based hang detection, retry with jittered
-backoff, per-(op, tier, workload) circuit breakers, persisted crash
-reports, and a graceful-degradation ladder that guarantees a
-structured response for every request.
+``repro serve`` runs one long-lived daemon executing analyze/advise/
+transform/compare requests on a supervised pool of worker
+subprocesses, with per-request deadlines, heartbeat-based hang
+detection, retry with jittered backoff, per-(op, tier, workload)
+circuit breakers, persisted crash reports, and a graceful-degradation
+ladder that guarantees a structured response for every request.
+
+``repro farm`` composes daemons into the resilient compile farm: a
+front-tier :class:`~repro.service.router.RouterServer` shards requests
+by workload fingerprint across N daemons, health-checks and ejects
+dead ones, fails over and hedges stuck requests, while a shared
+:class:`~repro.service.cacheservice.CacheServer` keeps every daemon
+warm on one content-addressed summary store.  Daemons drain
+gracefully (the ``drain`` op / SIGTERM), so the farm hot-restarts
+with zero failed requests.
 """
 
 from .breaker import (
     CircuitBreaker, STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN,
+)
+from .cacheservice import (
+    CACHE_OPS, CacheServer, CacheStore, RemoteCache, parse_budget,
+    serve_cache, wait_cache_ready,
 )
 from .requests import (
     COMPILE_OPS, CONTROL_OPS, LADDER, OPS, ProtocolError, Request,
     STATUS_BUSY, STATUS_DEGRADED, STATUS_ERROR, STATUS_OK, TIERS,
     busy_response, decode, encode, error_response, response,
 )
+from .router import (
+    ClusterConfig, Farm, FarmProc, Router, RouterServer, ShardSpec,
+    ShardState,
+)
 from .server import (
-    CompileServer, ServiceClient, single_request, wait_ready,
+    CompileServer, IDEMPOTENT_OPS, LineServer, ServiceClient,
+    single_request, wait_ready,
 )
 from .supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
     "CircuitBreaker", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN",
+    "CACHE_OPS", "CacheServer", "CacheStore", "RemoteCache",
+    "parse_budget", "serve_cache", "wait_cache_ready",
     "COMPILE_OPS", "CONTROL_OPS", "LADDER", "OPS", "ProtocolError",
     "Request", "STATUS_BUSY", "STATUS_DEGRADED", "STATUS_ERROR",
     "STATUS_OK", "TIERS",
     "busy_response", "decode", "encode", "error_response", "response",
-    "CompileServer", "ServiceClient", "single_request", "wait_ready",
+    "ClusterConfig", "Farm", "FarmProc", "Router", "RouterServer",
+    "ShardSpec", "ShardState",
+    "CompileServer", "IDEMPOTENT_OPS", "LineServer", "ServiceClient",
+    "single_request", "wait_ready",
     "Supervisor", "SupervisorConfig",
 ]

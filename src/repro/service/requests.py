@@ -9,7 +9,7 @@ A compile request names an operation (``analyze`` / ``advise`` /
 per-attempt ``deadline``, a ``max_retries`` budget, and (for tests and
 resilience drills) a list of process-level fault specs the worker arms
 before executing.  Control operations (``ping`` / ``stats`` /
-``shutdown``) take no sources.
+``drain`` / ``shutdown``) take no sources.
 
 Responses carry a ``status``:
 
@@ -36,7 +36,7 @@ from ..core.faults import ProcessFaultSpec
 from ..core.summarycache import fingerprint
 
 #: control operations (daemon-level; no sources, no ladder)
-CONTROL_OPS = ("ping", "stats", "trace", "shutdown")
+CONTROL_OPS = ("ping", "stats", "trace", "drain", "shutdown")
 OPS = COMPILE_OPS + CONTROL_OPS
 
 #: wire fields a control request may carry
@@ -175,10 +175,15 @@ def response(req_id, op: str, status: str, *, tier: str | None = None,
     return resp
 
 
-def busy_response(req_id, op: str, retry_after: float = 0.5) -> dict:
+def busy_response(req_id, op: str, retry_after: float = 0.5,
+                  message: str | None = None,
+                  reason: str | None = None) -> dict:
+    err = {"message": message or "server at capacity; request "
+                                 "shed by the bounded queue"}
+    if reason is not None:
+        err["reason"] = reason
     return response(req_id, op, STATUS_BUSY, retry_after=retry_after,
-                    error={"message": "server at capacity; request "
-                                      "shed by the bounded queue"})
+                    error=err)
 
 
 def error_response(req_id, op: str, message: str, *,

@@ -1,0 +1,757 @@
+"""Front-tier router: sharding, health checks, failover, hedging.
+
+The resilient compile farm is a :class:`RouterServer` in front of N
+supervised ``repro serve`` daemons (*shards*) that all share one cache
+service.  The router is the only socket clients need to know; behind
+it the farm can lose, hang, drain, and hot-restart daemons without a
+single failed request.
+
+**Sharding** is weighted rendezvous (highest-random-weight) hashing on
+the *workload fingerprint* — the content hash of the request's sources.
+The same translation units always prefer the same shard, so each
+shard's workers stay warm on their slice of the workload, while a
+shard's disappearance only redistributes its own slice.  Weights come
+from the cluster config: a shard with weight 2 attracts twice the
+keyspace of a shard with weight 1.
+
+**Health**: a background loop pings every shard.  ``fail_threshold``
+consecutive failures eject a shard; ejected shards are re-probed on a
+jittered backoff schedule and readmitted on the first successful ping.
+A shard whose ping answers ``draining: true`` is *suspended* — no new
+work, but it is not a failure; when its replacement process comes up
+the next ping readmits it.  Dispatch failures feed the same
+consecutive-failure counter, so a dead shard is ejected by traffic
+faster than the probe period.
+
+**Failover**: a connection error, a shed (``busy``) response, or a
+status-``error`` response from a shard sends the request to the next
+shard in rendezvous order.  Compile requests are idempotent, so
+resending is always safe.
+
+**Hedging**: a request stuck past the observed latency percentile
+(``hedge_percentile``, with a floor so cold starts don't stampede)
+gets a duplicate dispatched to the next-ranked shard; the first
+non-failure answer wins and the loser is abandoned.  This bounds tail
+latency when a shard is slow-but-not-dead (the classic gray failure).
+
+Every routed response gains a ``route`` block::
+
+    {"shard": "s0", "attempts": 2, "failovers": 1, "hedged": false}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.summarycache import fingerprint
+from .requests import COMPILE_OPS, ProtocolError, error_response
+from .server import LineServer, ServiceClient, single_request, wait_ready
+
+#: dispatch outcomes that trigger failover to the next-ranked shard
+_FAILOVER_STATUSES = ("busy", "error")
+
+
+# ---------------------------------------------------------------------------
+# Cluster config
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShardSpec:
+    """One compile daemon in the cluster config."""
+
+    name: str
+    socket: str
+    weight: float = 1.0
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "socket": self.socket,
+                "weight": self.weight}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ShardSpec":
+        if not isinstance(d, dict) or not d.get("name") \
+                or not d.get("socket"):
+            raise ValueError(
+                "each shard needs at least 'name' and 'socket'")
+        weight = float(d.get("weight", 1.0))
+        if weight <= 0:
+            raise ValueError(
+                f"shard {d['name']!r}: weight must be positive")
+        return cls(name=str(d["name"]), socket=str(d["socket"]),
+                   weight=weight)
+
+
+@dataclass
+class ClusterConfig:
+    """The farm's topology: shard sockets + the shared cache socket."""
+
+    shards: list[ShardSpec] = field(default_factory=list)
+    #: socket path of the shared cache service (None = per-daemon
+    #: local caches; the farm loses cross-daemon warmth but still runs)
+    cache_socket: str | None = None
+
+    def to_dict(self) -> dict:
+        return {"shards": [s.to_dict() for s in self.shards],
+                "cache_socket": self.cache_socket}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClusterConfig":
+        shards = [ShardSpec.from_dict(s) for s in d.get("shards", [])]
+        if not shards:
+            raise ValueError("cluster config names no shards")
+        names = [s.name for s in shards]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate shard names in cluster config")
+        return cls(shards=shards, cache_socket=d.get("cache_socket"))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ClusterConfig":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"cannot read cluster config {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Shard state
+# ---------------------------------------------------------------------------
+
+class ShardState:
+    """The router's live view of one shard."""
+
+    def __init__(self, spec: ShardSpec):
+        self.spec = spec
+        self.lock = threading.Lock()
+        self.healthy = True           # until proven otherwise
+        self.draining = False
+        self.consecutive_failures = 0
+        self.ejected_until = 0.0      # monotonic re-probe time
+        self.ejections = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.failed = 0
+        self.latencies: list[float] = []      # recent wall times, s
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def available(self) -> bool:
+        with self.lock:
+            return self.healthy and not self.draining
+
+    def note_success(self, elapsed: float) -> None:
+        with self.lock:
+            self.consecutive_failures = 0
+            self.healthy = True
+            self.completed += 1
+            self.latencies.append(elapsed)
+            if len(self.latencies) > 64:
+                del self.latencies[:-64]
+
+    def note_failure(self, threshold: int, now: float,
+                     backoff: float) -> bool:
+        """Count one failure; returns True if this ejected the shard."""
+        with self.lock:
+            self.consecutive_failures += 1
+            self.failed += 1
+            if self.healthy \
+                    and self.consecutive_failures >= threshold:
+                self.healthy = False
+                self.ejections += 1
+                self.ejected_until = now + backoff
+                return True
+            if not self.healthy:
+                self.ejected_until = now + backoff
+            return False
+
+    def readmit(self) -> None:
+        with self.lock:
+            self.healthy = True
+            self.draining = False
+            self.consecutive_failures = 0
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            lat = sorted(self.latencies)
+            return {
+                "socket": self.spec.socket,
+                "weight": self.spec.weight,
+                "healthy": self.healthy,
+                "draining": self.draining,
+                "consecutive_failures": self.consecutive_failures,
+                "ejections": self.ejections,
+                "dispatched": self.dispatched,
+                "completed": self.completed,
+                "failed": self.failed,
+                "latency_p50_ms": round(_pct(lat, 0.50) * 1e3, 1)
+                if lat else None,
+                "latency_p95_ms": round(_pct(lat, 0.95) * 1e3, 1)
+                if lat else None,
+            }
+
+
+def _pct(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              max(0, int(math.ceil(q * len(sorted_values))) - 1))
+    return sorted_values[idx]
+
+
+# ---------------------------------------------------------------------------
+# The router
+# ---------------------------------------------------------------------------
+
+class Router:
+    """Shard ranking, health tracking, and resilient dispatch."""
+
+    def __init__(self, cluster: ClusterConfig, *,
+                 fail_threshold: int = 3,
+                 probe_interval: float = 0.5,
+                 probe_backoff: float = 1.0,
+                 probe_backoff_cap: float = 10.0,
+                 probe_timeout: float = 2.0,
+                 shard_timeout: float = 120.0,
+                 hedge_percentile: float = 0.95,
+                 hedge_floor: float = 2.0,
+                 hedge_max: int = 1,
+                 jitter_seed: int | None = None):
+        self.cluster = cluster
+        self.shards = [ShardState(s) for s in cluster.shards]
+        self.fail_threshold = fail_threshold
+        self.probe_interval = probe_interval
+        self.probe_backoff = probe_backoff
+        self.probe_backoff_cap = probe_backoff_cap
+        self.probe_timeout = probe_timeout
+        self.shard_timeout = shard_timeout
+        self.hedge_percentile = hedge_percentile
+        self.hedge_floor = hedge_floor
+        self.hedge_max = hedge_max
+        import random
+        self._rng = random.Random(jitter_seed)
+        self._lock = threading.Lock()
+        self.counters = {
+            "requests": 0, "completed": 0, "failovers": 0,
+            "hedges": 0, "hedge_wins": 0, "no_healthy_shard": 0,
+            "exhausted": 0, "ejections": 0, "readmissions": 0,
+        }
+        self._stop = threading.Event()
+        self._health_thread: threading.Thread | None = None
+
+    # -- health loop --------------------------------------------------------
+
+    def start_health_loop(self) -> None:
+        if self._health_thread is None:
+            self._health_thread = threading.Thread(
+                target=self._health_loop, daemon=True,
+                name="router-health")
+            self._health_thread.start()
+
+    def stop_health_loop(self) -> None:
+        self._stop.set()
+
+    def _health_loop(self) -> None:
+        while not self._stop.wait(timeout=self.probe_interval):
+            for shard in self.shards:
+                self.probe(shard)
+
+    def probe(self, shard: ShardState) -> bool:
+        """Ping one shard and update its state.  Ejected shards are
+        only probed past their jittered re-probe time."""
+        now = time.monotonic()
+        with shard.lock:
+            if not shard.healthy and now < shard.ejected_until:
+                return False
+        try:
+            resp = single_request(
+                shard.spec.socket, {"op": "ping"},
+                timeout=self.probe_timeout, reconnects=0)
+            ok = bool(resp.get("pong"))
+            draining = bool(resp.get("draining"))
+        except (OSError, ConnectionError, ProtocolError):
+            ok, draining = False, False
+        if ok:
+            was_down = not shard.available()
+            if draining:
+                with shard.lock:
+                    # answering pings but refusing work: suspend
+                    # without counting a failure
+                    shard.draining = True
+                    shard.consecutive_failures = 0
+                return False
+            shard.readmit()
+            if was_down:
+                with self._lock:
+                    self.counters["readmissions"] += 1
+            return True
+        self._note_shard_failure(shard)
+        return False
+
+    def _note_shard_failure(self, shard: ShardState) -> None:
+        backoff = min(
+            self.probe_backoff_cap,
+            self.probe_backoff * (2 ** min(6, shard.ejections)))
+        backoff *= 0.5 + self._rng.random()       # jittered re-probe
+        if shard.note_failure(self.fail_threshold, time.monotonic(),
+                              backoff):
+            with self._lock:
+                self.counters["ejections"] += 1
+
+    # -- sharding -----------------------------------------------------------
+
+    @staticmethod
+    def workload_fingerprint(raw: dict) -> str:
+        """The sharding key: a content hash of the request's sources
+        (same units -> same shard -> warm summary state)."""
+        sources = raw.get("sources")
+        if isinstance(sources, list) and sources:
+            return fingerprint("route", *[tuple(s) for s in sources
+                                          if isinstance(s, (list,
+                                                            tuple))])
+        return fingerprint("route", raw.get("op"), raw.get("id"))
+
+    def rank(self, workload_fp: str,
+             include_unavailable: bool = False) -> list[ShardState]:
+        """Shards in weighted-rendezvous order for this workload.
+
+        Every shard hashes (shard name x workload) to a uniform draw
+        ``u``; its score is ``-weight / ln(u)`` — the classic weighted
+        highest-random-weight construction, so the win probability is
+        proportional to weight and removing a shard only reassigns the
+        workloads that shard was winning."""
+        scored = []
+        for shard in self.shards:
+            if not include_unavailable and not shard.available():
+                continue
+            digest = fingerprint(shard.spec.name, workload_fp)
+            u = (int(digest[:13], 16) + 1) / float(16 ** 13 + 2)
+            score = -shard.spec.weight / math.log(u)
+            scored.append((score, shard))
+        scored.sort(key=lambda pair: pair[0], reverse=True)
+        return [shard for _, shard in scored]
+
+    def hedge_after(self) -> float:
+        """Seconds a request may run before a hedge fires: the
+        ``hedge_percentile`` of recent latencies across all shards,
+        floored so an empty/cold farm doesn't hedge everything."""
+        lat: list[float] = []
+        for shard in self.shards:
+            with shard.lock:
+                lat.extend(shard.latencies)
+        if len(lat) < 8:
+            return self.hedge_floor
+        return max(self.hedge_floor, _pct(sorted(lat),
+                                          self.hedge_percentile))
+
+    # -- dispatch -----------------------------------------------------------
+
+    def dispatch(self, raw: dict) -> dict:
+        """Route one compile request; failover and hedge as needed.
+
+        Returns the winning shard's response with a ``route`` block
+        attached, or a structured error if every shard is gone."""
+        with self._lock:
+            self.counters["requests"] += 1
+        fp = self.workload_fingerprint(raw)
+        ranked = self.rank(fp)
+        if not ranked:
+            # last resort: try everything we know, even ejected
+            # shards — a stale ejection beats refusing the request
+            ranked = self.rank(fp, include_unavailable=True)
+        if not ranked:
+            with self._lock:
+                self.counters["no_healthy_shard"] += 1
+            return error_response(
+                raw.get("id"), raw.get("op") or "(unknown)",
+                "no shard available to serve this request",
+                detail={"shards": [s.name for s in self.shards]})
+
+        results: queue.Queue = queue.Queue()
+        launched = 0
+        failovers = 0
+        hedges = 0
+        pending = 0
+        last_failure: dict | None = None
+
+        def fire(shard: ShardState) -> None:
+            nonlocal launched, pending
+            with shard.lock:
+                shard.dispatched += 1
+            launched += 1
+            pending += 1
+            threading.Thread(
+                target=self._attempt, args=(shard, raw, results),
+                daemon=True,
+                name=f"route-{shard.name}").start()
+
+        fire(ranked[0])
+        hedge_after = self.hedge_after()
+        deadline = time.monotonic() + self.shard_timeout
+
+        while pending:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                break
+            wait = budget
+            if hedges < self.hedge_max and launched < len(ranked):
+                wait = min(wait, hedge_after)
+            try:
+                shard, resp, elapsed = results.get(timeout=wait)
+            except queue.Empty:
+                if hedges < self.hedge_max \
+                        and launched < len(ranked):
+                    # stuck past the latency percentile: hedge
+                    hedges += 1
+                    with self._lock:
+                        self.counters["hedges"] += 1
+                    fire(ranked[launched])
+                    continue
+                break
+            pending -= 1
+            if resp is not None \
+                    and resp.get("status") not in _FAILOVER_STATUSES:
+                shard.note_success(elapsed)
+                with self._lock:
+                    self.counters["completed"] += 1
+                    if hedges and launched > 1 \
+                            and shard is not ranked[0]:
+                        self.counters["hedge_wins"] += 1
+                resp["route"] = {
+                    "shard": shard.name, "attempts": launched,
+                    "failovers": failovers, "hedged": hedges > 0,
+                }
+                return resp
+            # failure: connection loss (resp None) or busy/error
+            if resp is None:
+                self._note_shard_failure(shard)
+            elif resp.get("status") == "busy" \
+                    and (resp.get("error") or {}).get("reason") \
+                    == "draining":
+                with shard.lock:
+                    shard.draining = True
+            last_failure = resp
+            if launched < len(ranked):
+                failovers += 1
+                with self._lock:
+                    self.counters["failovers"] += 1
+                fire(ranked[launched])
+
+        with self._lock:
+            self.counters["exhausted"] += 1
+        if last_failure is not None:
+            last_failure.setdefault("route", {
+                "shard": None, "attempts": launched,
+                "failovers": failovers, "hedged": hedges > 0})
+            return last_failure
+        return error_response(
+            raw.get("id"), raw.get("op") or "(unknown)",
+            f"request failed on all {launched} shard(s) tried",
+            detail={"attempts": launched, "failovers": failovers})
+
+    def _attempt(self, shard: ShardState, raw: dict,
+                 results: queue.Queue) -> None:
+        """One shard attempt; always reports back to the queue."""
+        t0 = time.monotonic()
+        try:
+            with ServiceClient(shard.spec.socket,
+                               timeout=self.shard_timeout,
+                               reconnects=1) as client:
+                resp = client.request(raw)
+        except (OSError, ConnectionError, ProtocolError):
+            results.put((shard, None, time.monotonic() - t0))
+            return
+        results.put((shard, resp, time.monotonic() - t0))
+
+    # -- stats --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            counters = dict(self.counters)
+        out = {
+            "router": counters,
+            "shards": {s.name: s.snapshot() for s in self.shards},
+        }
+        if self.cluster.cache_socket:
+            try:
+                resp = single_request(
+                    self.cluster.cache_socket, {"op": "cache.stats"},
+                    timeout=2.0, reconnects=0)
+                if resp.get("status") == "ok":
+                    out["cache"] = resp.get("stats")
+            except (OSError, ConnectionError, ProtocolError):
+                out["cache"] = None   # cache service unreachable
+        return out
+
+
+class RouterServer(LineServer):
+    """The farm's socket front door: same wire protocol, N shards."""
+
+    WORK_OPS = COMPILE_OPS
+
+    def __init__(self, socket_path: str, router: Router):
+        super().__init__(socket_path)
+        self.router = router
+
+    def _startup(self) -> None:
+        self.router.start_health_loop()
+
+    def _teardown(self) -> None:
+        self.router.stop_health_loop()
+
+    def handle_request(self, raw: dict) -> dict:
+        req_id = raw.get("id")
+        op = raw.get("op")
+        if op == "ping":
+            return {"id": req_id, "op": "ping", "status": "ok",
+                    "pong": True, "draining": self.draining,
+                    "role": "router",
+                    "shards": sum(1 for s in self.router.shards
+                                  if s.available())}
+        if op == "shutdown":
+            return {"id": req_id, "op": "shutdown", "status": "ok"}
+        if op == "drain":
+            status = self.begin_drain()
+            return {"id": req_id, "op": "drain", "status": "ok",
+                    **status}
+        if op == "stats":
+            return {"id": req_id, "op": "stats", "status": "ok",
+                    "stats": self.stats()}
+        if op == "trace":
+            return self._forward_trace(raw)
+        if op in COMPILE_OPS:
+            return self.router.dispatch(raw)
+        return error_response(
+            req_id, op or "(unknown)",
+            f"unknown op {op!r}", detail={"op": op})
+
+    def _forward_trace(self, raw: dict) -> dict:
+        """A trace lives on whichever shard served the request; ask
+        them all and return the first hit."""
+        for shard in self.router.shards:
+            try:
+                resp = single_request(
+                    shard.spec.socket, raw,
+                    timeout=self.router.probe_timeout, reconnects=0)
+            except (OSError, ConnectionError, ProtocolError):
+                continue
+            if resp.get("status") == "ok":
+                resp["route"] = {"shard": shard.name}
+                return resp
+        return error_response(
+            raw.get("id"), "trace",
+            "no shard holds the requested trace")
+
+    def stats(self) -> dict:
+        out = self.router.stats()
+        out["server"] = {
+            "role": "router",
+            "in_flight": self.in_flight,
+            "draining": self.draining,
+            "uptime_s": self.uptime_s(),
+            "socket": self.socket_path,
+        }
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Farm manager: spawn, drain-restart, and kill real daemon processes
+# ---------------------------------------------------------------------------
+
+class FarmProc:
+    """One managed subprocess (shard daemon or cache service)."""
+
+    def __init__(self, name: str, socket_path: str, argv: list[str]):
+        self.name = name
+        self.socket = socket_path
+        self.argv = argv
+        self.proc: subprocess.Popen | None = None
+        self.restarts = 0
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+
+class Farm:
+    """Spawns and supervises the farm's processes for ``repro farm``,
+    the chaos harness, and the tests.
+
+    The stop path is the graceful ladder the issue demands: ``drain``
+    over the wire (stop accepting, finish the queue, exit on its own),
+    then SIGTERM (the daemon's handler also drains), then SIGKILL —
+    each rung only if the previous one didn't end the process in
+    time."""
+
+    def __init__(self, run_dir: str | Path, *, daemons: int = 3,
+                 pool_size: int = 1, cache_budget: str | None = None,
+                 weights: list[float] | None = None,
+                 serve_args: list[str] | None = None,
+                 drain_grace: float = 5.0, term_grace: float = 2.0):
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.pool_size = pool_size
+        self.cache_budget = cache_budget
+        self.serve_args = list(serve_args or [])
+        self.drain_grace = drain_grace
+        self.term_grace = term_grace
+        self.cache_dir = self.run_dir / "cache"
+        self.cache_socket = str(self.run_dir / "cache.sock")
+        self.router_socket = str(self.run_dir / "router.sock")
+        weights = weights or [1.0] * daemons
+        if len(weights) != daemons:
+            raise ValueError("need one weight per daemon")
+        self.cluster = ClusterConfig(
+            shards=[ShardSpec(name=f"s{i}",
+                              socket=str(self.run_dir / f"s{i}.sock"),
+                              weight=weights[i])
+                    for i in range(daemons)],
+            cache_socket=self.cache_socket)
+        self.procs: dict[str, FarmProc] = {}
+        self.router_server: RouterServer | None = None
+
+    # -- process plumbing ---------------------------------------------------
+
+    def _spawn(self, fp: FarmProc) -> None:
+        log = open(self.run_dir / f"{fp.name}.log", "ab")
+        fp.proc = subprocess.Popen(
+            fp.argv, stdout=log, stderr=subprocess.STDOUT,
+            env={**os.environ,
+                 "PYTHONPATH": os.pathsep.join(
+                     p for p in [str(Path(__file__).resolve()
+                                     .parents[2]),
+                                 os.environ.get("PYTHONPATH", "")]
+                     if p)})
+        log.close()                   # the child holds its own copy
+
+    def _cache_argv(self) -> list[str]:
+        argv = [sys.executable, "-m", "repro", "cache", "serve",
+                "--socket", self.cache_socket,
+                "--dir", str(self.cache_dir)]
+        if self.cache_budget:
+            argv += ["--cache-budget", str(self.cache_budget)]
+        return argv
+
+    def _shard_argv(self, spec: ShardSpec) -> list[str]:
+        return [sys.executable, "-m", "repro", "serve",
+                "--socket", spec.socket,
+                "--cache-dir", f"unix:{self.cache_socket}",
+                "--crash-dir", str(self.run_dir / "crashes"),
+                "--pool-size", str(self.pool_size),
+                *self.serve_args]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, ready_timeout: float = 60.0) -> None:
+        cache = FarmProc("cache", self.cache_socket,
+                         self._cache_argv())
+        self.procs["cache"] = cache
+        self._spawn(cache)
+        shard_procs = []
+        for spec in self.cluster.shards:
+            fp = FarmProc(spec.name, spec.socket,
+                          self._shard_argv(spec))
+            self.procs[spec.name] = fp
+            self._spawn(fp)
+            shard_procs.append(fp)
+        for fp in [cache, *shard_procs]:
+            if not wait_ready(fp.socket, timeout=ready_timeout):
+                raise RuntimeError(
+                    f"farm process {fp.name!r} never became ready "
+                    f"(see {self.run_dir / (fp.name + '.log')})")
+        self.cluster.write(self.run_dir / "cluster.json")
+        self.router_server = RouterServer(self.router_socket,
+                                          Router(self.cluster))
+        self.router_server.start()
+
+    def stop(self) -> None:
+        if self.router_server is not None:
+            self.router_server.shutdown()
+            self.router_server = None
+        # shards first (they may still talk to the cache), cache last
+        order = [n for n in self.procs if n != "cache"] \
+            + (["cache"] if "cache" in self.procs else [])
+        for name in order:
+            self.stop_proc(name)
+
+    def stop_proc(self, name: str) -> None:
+        """drain -> SIGTERM -> SIGKILL, first rung that works wins."""
+        fp = self.procs.get(name)
+        if fp is None or fp.proc is None:
+            return
+        if fp.alive():
+            try:
+                single_request(fp.socket, {"op": "drain"},
+                               timeout=2.0, reconnects=0)
+            except (OSError, ConnectionError, ProtocolError):
+                pass
+            if not self._wait_exit(fp, self.drain_grace):
+                fp.proc.terminate()
+                if not self._wait_exit(fp, self.term_grace):
+                    fp.proc.kill()
+                    self._wait_exit(fp, 5.0)
+        try:
+            fp.proc.wait(timeout=1.0)
+        except subprocess.TimeoutExpired:
+            pass
+
+    @staticmethod
+    def _wait_exit(fp: FarmProc, grace: float) -> bool:
+        try:
+            fp.proc.wait(timeout=grace)
+            return True
+        except subprocess.TimeoutExpired:
+            return False
+
+    # -- chaos / rolling-restart hooks --------------------------------------
+
+    def kill_proc(self, name: str,
+                  sig: int = signal.SIGKILL) -> None:
+        """Ungraceful kill, for chaos drills."""
+        fp = self.procs[name]
+        if fp.alive():
+            fp.proc.send_signal(sig)
+            self._wait_exit(fp, 10.0)
+
+    def restart_proc(self, name: str,
+                     ready_timeout: float = 60.0) -> None:
+        """Respawn a (possibly dead) process on its original socket."""
+        fp = self.procs[name]
+        if fp.alive():
+            self.stop_proc(name)
+        fp.restarts += 1
+        self._spawn(fp)
+        if not wait_ready(fp.socket, timeout=ready_timeout):
+            raise RuntimeError(
+                f"farm process {name!r} did not come back")
+
+    def rolling_restart(self, ready_timeout: float = 60.0) -> None:
+        """Hot-restart every shard, one at a time: drain it (the
+        router suspends it), wait for the old process to exit, spawn
+        the replacement, and only move on once it serves pings again.
+        With >=2 shards the farm never has zero capacity."""
+        for spec in self.cluster.shards:
+            self.stop_proc(spec.name)
+            self.restart_proc(spec.name,
+                              ready_timeout=ready_timeout)
+
+
+__all__ = [
+    "ClusterConfig", "Farm", "FarmProc", "Router", "RouterServer",
+    "ShardSpec", "ShardState",
+]

@@ -1,14 +1,29 @@
-"""The ``repro serve`` daemon: socket front door for the supervisor.
+"""Socket front doors and the service client.
 
-Listens on a local Unix stream socket and speaks the newline-delimited
-JSON protocol of :mod:`repro.service.requests`.  One thread per
-connection; a connection may carry any number of sequential requests.
+:class:`LineServer` is the shared transport shell: a local Unix stream
+socket, one thread per connection, newline-delimited JSON requests in,
+exactly one structured response line out per request — plus the
+**graceful drain** lifecycle every daemon in the farm shares.  Three
+servers build on it:
 
-Backpressure: at most ``pool_size + queue_max`` compile requests may be
-in flight (executing or waiting for a worker).  Beyond that the server
-*sheds load*: the request is answered immediately with a ``busy``
-response and a ``retry_after`` hint instead of queueing unboundedly —
-the 429 of this protocol.
+- :class:`CompileServer` (this module) — the ``repro serve`` daemon
+  fronting a :class:`~repro.service.supervisor.Supervisor`;
+- :class:`~repro.service.router.RouterServer` — the farm's front tier;
+- :class:`~repro.service.cacheservice.CacheServer` — the shared
+  summary-cache service.
+
+Drain semantics (the ``drain`` control op, and what ``SIGTERM`` runs):
+the server stops *accepting* work ops — they are answered with a
+``busy`` response marked ``"reason": "draining"`` so a router fails
+them over instead of queueing — finishes every in-flight request, then
+exits on its own.  A drained daemon can therefore be hot-restarted
+with zero failed requests.
+
+Backpressure (compile server): at most ``pool_size + queue_max``
+compile requests may be in flight.  Beyond that the server *sheds
+load*: the request is answered immediately with a ``busy`` response and
+a ``retry_after`` hint instead of queueing unboundedly — the 429 of
+this protocol.
 
 The invariant the tests enforce: **every request line receives exactly
 one structured response line**.  Malformed JSON, unknown ops, internal
@@ -19,6 +34,8 @@ the connection without an answer.
 
 from __future__ import annotations
 
+import os
+import random
 import socket
 import threading
 import time
@@ -31,40 +48,51 @@ from .requests import (
 from .supervisor import Supervisor
 
 
-class CompileServer:
-    """Accept loop + per-connection request handling."""
+class LineServer:
+    """Accept loop, line framing, and the drain lifecycle.
 
-    def __init__(self, socket_path: str, supervisor: Supervisor,
-                 queue_max: int = 8):
+    Subclasses implement :meth:`handle_request` (one raw request dict
+    -> one response dict) and set :attr:`WORK_OPS` to the ops that
+    count as in-flight *work* — control ops are always served, even
+    while draining, so health checks and stats stay answerable."""
+
+    #: ops refused while draining and awaited before a drained exit
+    WORK_OPS: tuple[str, ...] = ()
+
+    def __init__(self, socket_path: str):
         self.socket_path = str(socket_path)
-        self.supervisor = supervisor
-        self.queue_max = queue_max
-        #: bounds in-flight compile requests: pool + bounded queue
-        self._slots = threading.BoundedSemaphore(
-            supervisor.config.pool_size + queue_max)
+        self._owner_pid = os.getpid()
         self._listener: socket.socket | None = None
         self._stop = threading.Event()
         self._accept_thread: threading.Thread | None = None
         self._started_at = time.monotonic()
         self._lock = threading.Lock()
-        self._served = 0
-        self._shed = 0
+        self._in_flight = 0
+        self._draining = threading.Event()
+        self._drain_thread: threading.Thread | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
+    def _startup(self) -> None:
+        """Subclass hook run before the socket binds."""
+
+    def _teardown(self) -> None:
+        """Subclass hook run during shutdown, before the socket dies."""
+
     def start(self) -> None:
-        """Bind, start the pool, and accept in a background thread."""
+        """Bind and accept in a background thread."""
         path = Path(self.socket_path)
         if path.exists():
             path.unlink()
-        self.supervisor.start()
+        self._startup()
         self._listener = socket.socket(socket.AF_UNIX,
                                        socket.SOCK_STREAM)
         self._listener.bind(self.socket_path)
         self._listener.listen(16)
         self._started_at = time.monotonic()
         self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True, name="repro-accept")
+            target=self._accept_loop, daemon=True,
+            name=f"{type(self).__name__}-accept")
         self._accept_thread.start()
 
     def serve_forever(self) -> None:
@@ -79,22 +107,84 @@ class CompileServer:
 
     def request_shutdown(self) -> None:
         """Signal-handler-safe: ask ``serve_forever`` to exit and run
-        the orderly ``shutdown`` (reaping every worker subprocess)."""
+        the orderly ``shutdown``.  The listener closes here so new
+        connections are refused immediately — already-open ones are
+        still answered until the full ``shutdown`` runs."""
         self._stop.set()
+        self._close_listener()
+
+    def _close_listener(self) -> None:
+        listener = self._listener
+        if listener is None:
+            return
+        # forked workers inherit this object (and the daemon's signal
+        # handlers); shutdown() on the inherited fd would kill the
+        # *shared* listening socket out from under the parent
+        if os.getpid() != self._owner_pid:
+            return
+        # a bare close() does NOT wake a thread blocked in accept();
+        # shutdown() does, and makes new connects fail immediately
+        try:
+            listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            listener.close()
+        except OSError:
+            pass
 
     def shutdown(self) -> None:
         self._stop.set()
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-            self._listener = None
-        self.supervisor.stop()
+        self._close_listener()
+        self._listener = None
+        self._teardown()
         try:
             Path(self.socket_path).unlink()
         except OSError:
             pass
+
+    # -- drain -------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def begin_drain(self, grace: float | None = None) -> dict:
+        """Stop accepting work, finish the in-flight queue, then exit.
+
+        Idempotent.  ``grace`` bounds the wait for in-flight work;
+        past it the server exits anyway (the supervisor still reaps
+        its workers on shutdown).  Returns the drain status dict the
+        ``drain`` control op reports."""
+        if not self._draining.is_set():
+            self._draining.set()
+            self._drain_thread = threading.Thread(
+                target=self._drain_then_exit, args=(grace,),
+                daemon=True, name=f"{type(self).__name__}-drain")
+            self._drain_thread.start()
+        return {"draining": True, "in_flight": self.in_flight}
+
+    def _drain_then_exit(self, grace: float | None) -> None:
+        deadline = None if grace is None \
+            else time.monotonic() + grace
+        while self.in_flight > 0:
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            time.sleep(0.02)
+        self.request_shutdown()
+
+    def _work_begin(self) -> None:
+        with self._lock:
+            self._in_flight += 1
+
+    def _work_end(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
 
     # -- accept / per-connection loop --------------------------------------
 
@@ -106,7 +196,7 @@ class CompileServer:
                 return                # listener closed: shutting down
             threading.Thread(target=self._handle_connection,
                              args=(conn,), daemon=True,
-                             name="repro-conn").start()
+                             name=f"{type(self).__name__}-conn").start()
 
     def _handle_connection(self, conn: socket.socket) -> None:
         try:
@@ -119,7 +209,8 @@ class CompileServer:
                     conn.sendall(encode(resp))
                 except OSError:
                     return            # client went away
-                if resp.get("op") == "shutdown":
+                if resp.get("op") == "shutdown" \
+                        and resp.get("status") == "ok":
                     self._stop.set()
                     return
         finally:
@@ -135,6 +226,59 @@ class CompileServer:
         except ProtocolError as exc:
             return error_response(None, "(unknown)", str(exc),
                                   detail=exc.detail or None)
+        req_id = raw.get("id")
+        op = raw.get("op")
+        if op in self.WORK_OPS:
+            if self.draining:
+                return busy_response(
+                    req_id, op,
+                    message="server draining; request not accepted",
+                    reason="draining")
+            self._work_begin()
+            try:
+                return self._handle_raw(raw, req_id, op)
+            finally:
+                self._work_end()
+        return self._handle_raw(raw, req_id, op)
+
+    def _handle_raw(self, raw: dict, req_id, op) -> dict:
+        try:
+            return self.handle_request(raw)
+        except Exception as exc:      # the daemon must never die here
+            return error_response(
+                req_id, op or "(unknown)",
+                f"internal error: {type(exc).__name__}: {exc}")
+
+    def handle_request(self, raw: dict) -> dict:
+        raise NotImplementedError
+
+    def uptime_s(self) -> float:
+        return round(time.monotonic() - self._started_at, 2)
+
+
+class CompileServer(LineServer):
+    """The ``repro serve`` front door for one supervisor."""
+
+    WORK_OPS = COMPILE_OPS
+
+    def __init__(self, socket_path: str, supervisor: Supervisor,
+                 queue_max: int = 8):
+        super().__init__(socket_path)
+        self.supervisor = supervisor
+        self.queue_max = queue_max
+        #: bounds in-flight compile requests: pool + bounded queue
+        self._slots = threading.BoundedSemaphore(
+            supervisor.config.pool_size + queue_max)
+        self._served = 0
+        self._shed = 0
+
+    def _startup(self) -> None:
+        self.supervisor.start()
+
+    def _teardown(self) -> None:
+        self.supervisor.stop()
+
+    def handle_request(self, raw: dict) -> dict:
         req_id = raw.get("id") if isinstance(raw, dict) else None
         op = raw.get("op") if isinstance(raw, dict) else None
         try:
@@ -142,19 +286,18 @@ class CompileServer:
         except ProtocolError as exc:
             return error_response(req_id, op or "(unknown)", str(exc),
                                   detail=exc.detail or None)
-        try:
-            return self._dispatch(req)
-        except Exception as exc:      # the daemon must never die here
-            return error_response(
-                req.id, req.op,
-                f"internal error: {type(exc).__name__}: {exc}")
+        return self._dispatch(req)
 
     def _dispatch(self, req: Request) -> dict:
         if req.op == "ping":
             return {"id": req.id, "op": "ping", "status": "ok",
-                    "pong": True}
+                    "pong": True, "draining": self.draining}
         if req.op == "shutdown":
             return {"id": req.id, "op": "shutdown", "status": "ok"}
+        if req.op == "drain":
+            status = self.begin_drain()
+            return {"id": req.id, "op": "drain", "status": "ok",
+                    **status}
         if req.op == "stats":
             return {"id": req.id, "op": "stats", "status": "ok",
                     "stats": self.stats()}
@@ -189,6 +332,8 @@ class CompileServer:
                 "served": self._served,
                 "shed": self._shed,
                 "queue_max": self.queue_max,
+                "in_flight": self._in_flight,
+                "draining": self.draining,
                 "uptime_s": round(
                     time.monotonic() - self._started_at, 2),
                 "socket": self.socket_path,
@@ -202,12 +347,37 @@ class CompileServer:
 # Client side
 # ---------------------------------------------------------------------------
 
-class ServiceClient:
-    """Line-oriented client for one connection to the daemon."""
+#: ops safe to resend after a reconnect: compile ops are pure
+#: functions of the request, cache ops are content-addressed, and
+#: ping/stats/trace/drain are reads or idempotent state transitions.
+#: ``shutdown`` is deliberately excluded — resending it could kill a
+#: *restarted* daemon the first send never reached.
+IDEMPOTENT_OPS = frozenset(COMPILE_OPS) | {
+    "ping", "stats", "trace", "drain",
+    "cache.get", "cache.put", "cache.drop", "cache.stats",
+}
 
-    def __init__(self, socket_path: str, timeout: float | None = None):
+
+class ServiceClient:
+    """Line-oriented client for one connection to a daemon.
+
+    A daemon restarting underneath the client is invisible for
+    idempotent ops: on connection loss (including a send or read that
+    dies mid-request) the client reconnects with jittered exponential
+    backoff, up to ``reconnects`` times, and resends the request.
+    Non-idempotent ops fail fast instead — a resend could act twice.
+    """
+
+    def __init__(self, socket_path: str, timeout: float | None = None,
+                 reconnects: int = 3, backoff_base: float = 0.05,
+                 backoff_cap: float = 1.0,
+                 jitter_seed: int | None = None):
         self.socket_path = str(socket_path)
         self.timeout = timeout
+        self.reconnects = reconnects
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(jitter_seed)
         self._sock: socket.socket | None = None
         self._reader = None
 
@@ -240,8 +410,29 @@ class ServiceClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def _backoff(self, attempt: int) -> float:
+        raw = min(self.backoff_cap,
+                  self.backoff_base * (2 ** attempt))
+        return raw * (0.5 + self._rng.random() * 0.5)
+
     def request(self, payload: dict) -> dict:
-        """Send one request object; block for its response."""
+        """Send one request object; block for its response.
+
+        Reconnects and resends (bounded, jittered backoff) when the
+        connection dies under an idempotent op."""
+        retries = self.reconnects \
+            if payload.get("op") in IDEMPOTENT_OPS else 0
+        for attempt in range(retries + 1):
+            try:
+                return self._request_once(payload)
+            except (OSError, ConnectionError):
+                self.close()          # stale socket: force a reconnect
+                if attempt >= retries:
+                    raise
+                time.sleep(self._backoff(attempt))
+        raise ConnectionError("unreachable")      # pragma: no cover
+
+    def _request_once(self, payload: dict) -> dict:
         if self._sock is None:
             self.connect()
         self._sock.sendall(encode(payload))
@@ -253,9 +444,11 @@ class ServiceClient:
 
 
 def single_request(socket_path: str, payload: dict,
-                   timeout: float | None = None) -> dict:
+                   timeout: float | None = None,
+                   reconnects: int = 3) -> dict:
     """One-shot convenience: connect, send, receive, close."""
-    with ServiceClient(socket_path, timeout=timeout) as client:
+    with ServiceClient(socket_path, timeout=timeout,
+                       reconnects=reconnects) as client:
         return client.request(payload)
 
 
@@ -266,7 +459,7 @@ def wait_ready(socket_path: str, timeout: float = 10.0,
     while time.monotonic() < deadline:
         try:
             resp = single_request(socket_path, {"op": "ping"},
-                                  timeout=interval * 10)
+                                  timeout=interval * 10, reconnects=0)
             if resp.get("pong"):
                 return True
         except (OSError, ConnectionError, ProtocolError):

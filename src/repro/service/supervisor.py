@@ -75,8 +75,11 @@ class SupervisorConfig:
     #: shared content-addressed summary cache (None = no cache)
     cache_dir: str | None = None
     #: where crash reports are persisted (default: <cache_dir>/crashes,
-    #: or a temp directory when there is no cache)
+    #: or a temp directory when there is no cache or the cache is a
+    #: remote ``unix:`` service)
     crash_dir: str | None = None
+    #: cap on retained crash reports; oldest are rotated out beyond it
+    crash_max: int = 200
     breaker_threshold: int = 3
     breaker_cooldown: float = 30.0
     #: multiprocessing start method ("fork" keeps respawn cheap on
@@ -151,7 +154,7 @@ class Supervisor:
             "requests": 0, "served_ok": 0, "served_degraded": 0,
             "errors": 0, "busy": 0, "attempts": 0, "respawns": 0,
             "crashes": 0, "deadline_kills": 0, "hang_kills": 0,
-            "breaker_skips": 0,
+            "breaker_skips": 0, "crash_reports_dropped": 0,
         }
         #: structured metrics alongside the flat counters — the
         #: ``stats`` op reports both
@@ -160,7 +163,8 @@ class Supervisor:
         #: trace_id -> stitched span dicts, newest last (bounded)
         self._traces: OrderedDict[str, list[dict]] = OrderedDict()
         if cfg.crash_dir is None:
-            if cfg.cache_dir is not None:
+            if cfg.cache_dir is not None \
+                    and not str(cfg.cache_dir).startswith("unix:"):
                 cfg.crash_dir = str(Path(cfg.cache_dir) / "crashes")
             else:
                 import tempfile
@@ -220,7 +224,7 @@ class Supervisor:
             proc = self._ctx.Process(
                 target=worker_main,
                 args=(child_conn, heartbeat, state, cfg.cache_dir,
-                      cfg.heartbeat_interval, boot_faults),
+                      cfg.heartbeat_interval, boot_faults, os.getpid()),
                 daemon=True, name=f"repro-worker-{index}")
             proc.start()
             child_conn.close()
@@ -350,7 +354,39 @@ class Supervisor:
             path.write_text(json.dumps(report, indent=2) + "\n")
         except OSError:
             pass                      # reporting must never fail a request
+        self._rotate_crash_reports()
         return path
+
+    def _rotate_crash_reports(self) -> None:
+        """Keep at most ``crash_max`` reports; drop oldest first.
+
+        A disk full of crash reports from a crash loop is its own
+        outage — the cap turns an unbounded leak into a ring buffer.
+        Every dropped report is counted (``crash_reports_dropped``),
+        so the fact of rotation is visible even after the evidence is
+        gone."""
+        crash_max = self.config.crash_max
+        if crash_max is None or crash_max <= 0:
+            return
+        try:
+            reports = sorted(
+                Path(self.config.crash_dir).glob("crash-*.json"),
+                key=lambda p: (p.stat().st_mtime, p.name))
+        except OSError:
+            return
+        excess = reports[:max(0, len(reports) - crash_max)]
+        dropped = 0
+        for stale in excess:
+            try:                      # racing writers: best effort
+                stale.unlink()
+                dropped += 1
+            except OSError:
+                pass
+        if dropped:
+            with self.stats_lock:
+                self.stats_counters["crash_reports_dropped"] += dropped
+            self.metrics.counter("service.crash_reports_dropped") \
+                .inc(dropped)
 
     # -- one execution attempt ---------------------------------------------
 

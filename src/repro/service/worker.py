@@ -33,6 +33,7 @@ daemon answers and local answers agree.
 from __future__ import annotations
 
 import os
+import signal
 import threading
 import time
 import traceback
@@ -106,8 +107,30 @@ def _job_tracer(job: dict) -> Tracer | None:
 
 def worker_main(conn, heartbeat, state, cache_dir: str | None,
                 heartbeat_interval: float,
-                boot_faults: list[dict]) -> None:
+                boot_faults: list[dict],
+                parent_pid: int | None = None) -> None:
     """Run the worker loop until the parent sends ``None`` or dies."""
+    # a forked worker inherits the daemon's SIGTERM handler (graceful
+    # drain); a worker must just die on SIGTERM so the supervisor's
+    # kill-and-respawn escalation stays prompt
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+    # a worker must not outlive its supervisor.  fork() makes every
+    # worker inherit the supervisor's ends of all worker pipes already
+    # open at fork time — including its own — so a SIGKILLed daemon
+    # never delivers EOF on ``conn``: the recv() below would block
+    # forever and the worker would leak as an orphan.  Watch parentage
+    # instead; reparenting (to init/subreaper) means the daemon died.
+    if parent_pid is None:
+        parent_pid = os.getppid()
+
+    def watch_parent() -> None:
+        while os.getppid() == parent_pid:
+            time.sleep(0.5)
+        os._exit(0)
+
+    threading.Thread(target=watch_parent, daemon=True,
+                     name="repro-parent-watch").start()
     PROC_FAULTS.arm([ProcessFaultSpec.from_dict(d) for d in boot_faults])
     set_stage(state, "start")
     PROC_FAULTS.fire("start")         # slow-start boot faults land here

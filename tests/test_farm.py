@@ -1,0 +1,755 @@
+"""The resilient compile farm: router, cache service, drain, chaos.
+
+Contracts under test:
+
+- **Sharding** is weighted rendezvous hashing on the workload
+  fingerprint: deterministic, weight-proportional, and minimally
+  disruptive (removing a shard only moves that shard's keys).
+- **Failover**: connection loss, shed (busy) responses, and
+  status-error responses all send the request to the next-ranked
+  shard; the response says so in its ``route`` block.
+- **Hedging**: a request stuck past the latency percentile gets a
+  duplicate on the next shard and the first answer wins.
+- **Health**: consecutive failures eject a shard; a recovered shard
+  is readmitted by the probe loop; a draining shard is suspended
+  without being treated as dead.
+- **Drain**: a draining daemon refuses new work (busy + reason
+  "draining"), finishes in-flight requests, then exits on its own.
+- **Cache service**: content-addressed get/put over the wire, LRU
+  eviction under a byte budget, corruption quarantined server-side
+  and surfaced as a miss, and an unreachable service degrading to
+  misses — never exceptions.
+"""
+
+import os
+import pickle
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import inject_cache_fault
+from repro.core.summarycache import SummaryCache
+from repro.service import (
+    COMPILE_OPS, CacheServer, CacheStore, ClusterConfig, LineServer,
+    RemoteCache, Router, RouterServer, ServiceClient, ShardSpec,
+    Supervisor, SupervisorConfig, busy_response, error_response,
+    parse_budget, response, single_request, wait_ready,
+)
+
+# AF_UNIX socket paths are limited to ~107 bytes; pytest tmp_path can
+# blow that, so sockets live under a short /tmp dir
+def _tmpdir():
+    return tempfile.mkdtemp(prefix="repro-farm-", dir="/tmp")
+
+
+class FakeShard(LineServer):
+    """A scriptable stand-in for a compile daemon."""
+
+    WORK_OPS = COMPILE_OPS
+
+    def __init__(self, socket_path, name, behavior="ok", delay=0.0):
+        super().__init__(socket_path)
+        self.name = name
+        self.behavior = behavior      # ok | busy | error
+        self.delay = delay
+        self.served = 0
+
+    def handle_request(self, raw):
+        req_id, op = raw.get("id"), raw.get("op")
+        if op == "ping":
+            return {"id": req_id, "op": "ping", "status": "ok",
+                    "pong": True, "draining": self.draining}
+        if op == "drain":
+            return {"id": req_id, "op": "drain", "status": "ok",
+                    **self.begin_drain()}
+        if op == "shutdown":
+            return {"id": req_id, "op": "shutdown", "status": "ok"}
+        if self.delay:
+            time.sleep(self.delay)
+        if self.behavior == "busy":
+            return busy_response(req_id, op)
+        if self.behavior == "error":
+            return error_response(req_id, op, "scripted failure")
+        self.served += 1
+        return response(req_id, op, "ok", tier="full",
+                        payload={"served_by": self.name})
+
+
+REQ = {"op": "analyze", "id": 7,
+       "sources": [["demo.c", "struct s { int a; };"]]}
+
+
+def make_cluster(tmp, n=2, weights=None):
+    weights = weights or [1.0] * n
+    return ClusterConfig(shards=[
+        ShardSpec(name=f"s{i}", socket=os.path.join(tmp, f"s{i}.sock"),
+                  weight=weights[i]) for i in range(n)])
+
+
+def start_shards(cluster, **kw):
+    shards = []
+    for spec in cluster.shards:
+        shard = FakeShard(spec.socket, spec.name, **kw)
+        shard.start()
+        shards.append(shard)
+    return shards
+
+
+# ---------------------------------------------------------------------------
+# cluster config
+# ---------------------------------------------------------------------------
+
+class TestClusterConfig:
+    def test_round_trips_through_file(self, tmp_path):
+        cfg = ClusterConfig(
+            shards=[ShardSpec("a", "/tmp/a.sock", 2.0),
+                    ShardSpec("b", "/tmp/b.sock")],
+            cache_socket="/tmp/c.sock")
+        path = tmp_path / "cluster.json"
+        cfg.write(path)
+        loaded = ClusterConfig.from_file(path)
+        assert loaded.to_dict() == cfg.to_dict()
+
+    @pytest.mark.parametrize("bad", [
+        {},                                          # no shards
+        {"shards": [{"name": "a"}]},                 # no socket
+        {"shards": [{"name": "a", "socket": "x", "weight": 0}]},
+        {"shards": [{"name": "a", "socket": "x"},
+                    {"name": "a", "socket": "y"}]},  # dup names
+    ])
+    def test_rejects_bad_configs(self, bad):
+        with pytest.raises(ValueError):
+            ClusterConfig.from_dict(bad)
+
+    def test_missing_file_is_a_value_error(self):
+        with pytest.raises(ValueError, match="cannot read"):
+            ClusterConfig.from_file("/nonexistent/cluster.json")
+
+
+# ---------------------------------------------------------------------------
+# rendezvous sharding
+# ---------------------------------------------------------------------------
+
+class TestSharding:
+    def test_ranking_is_deterministic(self):
+        router = Router(make_cluster(_tmpdir(), 3))
+        fp = Router.workload_fingerprint(REQ)
+        first = [s.name for s in router.rank(fp)]
+        assert first == [s.name for s in router.rank(fp)]
+        assert len(first) == 3
+
+    def test_same_sources_same_shard_different_sources_spread(self):
+        router = Router(make_cluster(_tmpdir(), 3))
+        winners = set()
+        for i in range(64):
+            req = {"op": "analyze",
+                   "sources": [[f"u{i}.c", f"struct s{i} {{int a;}};"]]}
+            fp = Router.workload_fingerprint(req)
+            winners.add(router.rank(fp)[0].name)
+        assert winners == {"s0", "s1", "s2"}   # all shards attract work
+
+    def test_removing_winner_only_moves_its_keys(self):
+        """The rendezvous property: dropping shard X reassigns only
+        workloads X was winning; everyone else's winner is stable."""
+        tmp = _tmpdir()
+        full = Router(make_cluster(tmp, 3))
+        fps = [Router.workload_fingerprint(
+            {"op": "analyze", "sources": [[f"u{i}.c", f"x{i}"]]})
+            for i in range(50)]
+        before = {fp: full.rank(fp)[0].name for fp in fps}
+        # drop s1 by marking it unhealthy
+        s1 = next(s for s in full.shards if s.name == "s1")
+        s1.healthy = False
+        after = {fp: full.rank(fp)[0].name for fp in fps}
+        for fp in fps:
+            if before[fp] != "s1":
+                assert after[fp] == before[fp]
+            else:
+                assert after[fp] != "s1"
+
+    def test_weights_bias_the_keyspace(self):
+        router = Router(make_cluster(_tmpdir(), 2, weights=[1.0, 3.0]))
+        wins = {"s0": 0, "s1": 0}
+        for i in range(400):
+            fp = Router.workload_fingerprint(
+                {"op": "analyze", "sources": [[f"u{i}.c", f"b{i}"]]})
+            wins[router.rank(fp)[0].name] += 1
+        share = wins["s1"] / 400
+        assert 0.6 < share < 0.9      # expect ~0.75 for weight 3:1
+
+
+# ---------------------------------------------------------------------------
+# dispatch: failover and hedging
+# ---------------------------------------------------------------------------
+
+class TestDispatch:
+    def test_routes_to_the_rendezvous_winner(self):
+        tmp = _tmpdir()
+        cluster = make_cluster(tmp, 2)
+        shards = start_shards(cluster)
+        try:
+            router = Router(cluster)
+            resp = router.dispatch(dict(REQ))
+            assert resp["status"] == "ok"
+            fp = Router.workload_fingerprint(REQ)
+            assert resp["route"]["shard"] == router.rank(fp)[0].name
+            assert resp["route"]["failovers"] == 0
+            assert resp["payload"]["served_by"] \
+                == resp["route"]["shard"]
+        finally:
+            for s in shards:
+                s.shutdown()
+
+    def test_fails_over_when_the_winner_is_dead(self):
+        tmp = _tmpdir()
+        cluster = make_cluster(tmp, 2)
+        shards = start_shards(cluster)
+        router = Router(cluster, fail_threshold=1)
+        fp = Router.workload_fingerprint(REQ)
+        winner = router.rank(fp)[0].name
+        try:
+            next(s for s in shards if s.name == winner).shutdown()
+            resp = router.dispatch(dict(REQ))
+            assert resp["status"] == "ok"
+            assert resp["route"]["shard"] != winner
+            assert resp["route"]["failovers"] == 1
+            assert router.counters["failovers"] == 1
+            # the traffic failure also ejected the dead shard
+            dead = next(s for s in router.shards
+                        if s.name == winner)
+            assert not dead.healthy
+        finally:
+            for s in shards:
+                s.shutdown()
+
+    @pytest.mark.parametrize("behavior", ["busy", "error"])
+    def test_fails_over_on_shed_and_error_responses(self, behavior):
+        tmp = _tmpdir()
+        cluster = make_cluster(tmp, 2)
+        router = Router(cluster)
+        fp = Router.workload_fingerprint(REQ)
+        winner = router.rank(fp)[0].name
+        shards = []
+        for spec in cluster.shards:
+            shard = FakeShard(
+                spec.socket, spec.name,
+                behavior=behavior if spec.name == winner else "ok")
+            shard.start()
+            shards.append(shard)
+        try:
+            resp = router.dispatch(dict(REQ))
+            assert resp["status"] == "ok"
+            assert resp["route"]["shard"] != winner
+            assert resp["route"]["failovers"] == 1
+        finally:
+            for s in shards:
+                s.shutdown()
+
+    def test_hedges_past_the_latency_floor_and_fast_shard_wins(self):
+        tmp = _tmpdir()
+        cluster = make_cluster(tmp, 2)
+        router = Router(cluster, hedge_floor=0.15, shard_timeout=30.0)
+        fp = Router.workload_fingerprint(REQ)
+        winner = router.rank(fp)[0].name
+        shards = []
+        for spec in cluster.shards:
+            shard = FakeShard(
+                spec.socket, spec.name,
+                delay=2.5 if spec.name == winner else 0.0)
+            shard.start()
+            shards.append(shard)
+        try:
+            t0 = time.monotonic()
+            resp = router.dispatch(dict(REQ))
+            elapsed = time.monotonic() - t0
+            assert resp["status"] == "ok"
+            assert resp["route"]["hedged"] is True
+            assert resp["route"]["shard"] != winner
+            assert elapsed < 2.0      # did not wait out the slow shard
+            assert router.counters["hedges"] == 1
+            assert router.counters["hedge_wins"] == 1
+        finally:
+            for s in shards:
+                s.shutdown()
+
+    def test_all_shards_down_is_a_structured_error(self):
+        router = Router(make_cluster(_tmpdir(), 2), fail_threshold=1)
+        resp = router.dispatch(dict(REQ))
+        assert resp["status"] == "error"
+        assert resp["id"] == REQ["id"]
+        assert "error" in resp
+
+    def test_draining_shard_is_suspended_not_failed(self):
+        tmp = _tmpdir()
+        cluster = make_cluster(tmp, 2)
+        shards = start_shards(cluster)
+        router = Router(cluster)
+        fp = Router.workload_fingerprint(REQ)
+        winner = router.rank(fp)[0].name
+        try:
+            # mark the winner draining without letting it exit (a real
+            # drain with zero in-flight work shuts down immediately)
+            next(s for s in shards
+                 if s.name == winner)._draining.set()
+            # probe sees draining: suspended, zero failures counted
+            state = next(s for s in router.shards
+                         if s.name == winner)
+            router.probe(state)
+            assert state.draining
+            assert state.consecutive_failures == 0
+            resp = router.dispatch(dict(REQ))
+            assert resp["status"] == "ok"
+            assert resp["route"]["shard"] != winner
+        finally:
+            for s in shards:
+                s.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# health: ejection and readmission
+# ---------------------------------------------------------------------------
+
+class TestHealth:
+    def test_consecutive_failures_eject_then_readmit(self):
+        tmp = _tmpdir()
+        cluster = make_cluster(tmp, 1)
+        router = Router(cluster, fail_threshold=3)
+        state = router.shards[0]
+        for _ in range(3):
+            state.ejected_until = 0.0     # probe immediately
+            router.probe(state)
+        assert not state.healthy
+        assert state.ejections == 1
+        assert router.counters["ejections"] == 1
+        # the shard comes back; the next due probe readmits it
+        shard = FakeShard(cluster.shards[0].socket, "s0")
+        shard.start()
+        try:
+            state.ejected_until = 0.0
+            assert router.probe(state)
+            assert state.healthy
+            assert router.counters["readmissions"] == 1
+        finally:
+            shard.shutdown()
+
+    def test_ejected_shard_not_probed_before_backoff(self):
+        router = Router(make_cluster(_tmpdir(), 1), fail_threshold=1)
+        state = router.shards[0]
+        router.probe(state)
+        assert not state.healthy
+        assert state.ejected_until > time.monotonic()
+        failures = state.failed
+        assert router.probe(state) is False
+        assert state.failed == failures   # skipped, not re-failed
+
+
+# ---------------------------------------------------------------------------
+# RouterServer: the farm's front door
+# ---------------------------------------------------------------------------
+
+class TestRouterServer:
+    def test_serves_compiles_stats_and_ping(self):
+        tmp = _tmpdir()
+        cluster = make_cluster(tmp, 2)
+        shards = start_shards(cluster)
+        server = RouterServer(os.path.join(tmp, "router.sock"),
+                              Router(cluster))
+        server.start()
+        try:
+            resp = single_request(server.socket_path, dict(REQ))
+            assert resp["status"] == "ok"
+            assert resp["route"]["shard"] in ("s0", "s1")
+            ping = single_request(server.socket_path, {"op": "ping"})
+            assert ping["role"] == "router"
+            assert ping["shards"] == 2
+            stats = single_request(server.socket_path,
+                                   {"op": "stats"})["stats"]
+            assert stats["router"]["requests"] == 1
+            assert set(stats["shards"]) == {"s0", "s1"}
+            assert stats["server"]["role"] == "router"
+        finally:
+            server.shutdown()
+            for s in shards:
+                s.shutdown()
+
+    def test_drain_refuses_new_work_then_exits(self):
+        tmp = _tmpdir()
+        cluster = make_cluster(tmp, 1)
+        shards = start_shards(cluster, delay=0.5)
+        server = RouterServer(os.path.join(tmp, "router.sock"),
+                              Router(cluster))
+        server.start()
+        try:
+            results = {}
+
+            def slow_request():
+                results["resp"] = single_request(
+                    server.socket_path, dict(REQ), timeout=30)
+
+            t = threading.Thread(target=slow_request)
+            t.start()
+            time.sleep(0.15)          # in flight now
+            drain = single_request(server.socket_path, {"op": "drain"})
+            assert drain["draining"] is True
+            assert drain["in_flight"] == 1
+            # new work on the draining server is shed with a reason
+            shed = single_request(server.socket_path, dict(REQ))
+            assert shed["status"] == "busy"
+            assert shed["error"]["reason"] == "draining"
+            # the in-flight request still completes
+            t.join(timeout=10)
+            assert results["resp"]["status"] == "ok"
+            # and the server exits once drained
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                try:
+                    single_request(server.socket_path, {"op": "ping"},
+                                   timeout=0.5, reconnects=0)
+                    time.sleep(0.05)
+                except (OSError, ConnectionError):
+                    break
+            else:
+                pytest.fail("drained router never exited")
+        finally:
+            server.shutdown()
+            for s in shards:
+                s.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# client reconnect
+# ---------------------------------------------------------------------------
+
+class TestClientReconnect:
+    def test_idempotent_request_survives_a_server_restart(self):
+        tmp = _tmpdir()
+        sock = os.path.join(tmp, "s.sock")
+        shard = FakeShard(sock, "a")
+        shard.start()
+        client = ServiceClient(sock, timeout=5.0, reconnects=3,
+                               jitter_seed=7)
+        try:
+            assert client.request({"op": "ping"})["pong"]
+            # restart the daemon under the connected client
+            shard.shutdown()
+            shard = FakeShard(sock, "a2")
+            shard.start()
+            resp = client.request(dict(REQ))
+            assert resp["status"] == "ok"      # reconnected + resent
+        finally:
+            client.close()
+            shard.shutdown()
+
+    def test_non_idempotent_ops_fail_fast(self):
+        # a server that hangs up without answering: every attempt is a
+        # connection, so the connection count is the resend count
+        tmp = _tmpdir()
+        sock_path = os.path.join(tmp, "s.sock")
+        srv = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        srv.bind(sock_path)
+        srv.listen(4)
+        hangups = []
+
+        def slam():
+            while True:
+                try:
+                    conn, _ = srv.accept()
+                except OSError:
+                    return
+                hangups.append(1)
+                conn.close()
+
+        threading.Thread(target=slam, daemon=True).start()
+        client = ServiceClient(sock_path, timeout=5.0, reconnects=3,
+                               backoff_base=0.01)
+        try:
+            with pytest.raises((OSError, ConnectionError)):
+                client.request({"op": "shutdown"})
+            assert len(hangups) == 1   # shutdown is never resent
+        finally:
+            client.close()
+            srv.close()
+
+    def test_reconnect_gives_up_after_the_budget(self):
+        client = ServiceClient("/tmp/repro-no-such.sock",
+                               reconnects=2, backoff_base=0.01)
+        t0 = time.monotonic()
+        with pytest.raises((OSError, ConnectionError)):
+            client.request({"op": "ping"})
+        assert time.monotonic() - t0 < 2.0    # bounded, not forever
+
+
+# ---------------------------------------------------------------------------
+# cache service
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def cache_service():
+    tmp = _tmpdir()
+    store = CacheStore(os.path.join(tmp, "cache"))
+    server = CacheServer(os.path.join(tmp, "c.sock"), store)
+    server.start()
+    yield server, store
+    server.shutdown()
+
+
+class TestCacheService:
+    def test_remote_get_put_round_trip(self, cache_service):
+        server, store = cache_service
+        rc = RemoteCache(server.socket_path)
+        key = SummaryCache.key_for("summary", "unit-a")
+        assert rc.load("summary", key) is None
+        assert rc.store("summary", key, {"x": 1})
+        assert rc.load("summary", key) == {"x": 1}
+        assert rc.hits == 1 and rc.misses == 1
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["puts"] == 1
+        rc.close()
+
+    def test_two_clients_share_one_store(self, cache_service):
+        server, _ = cache_service
+        a = RemoteCache(server.socket_path)
+        b = RemoteCache(server.socket_path)
+        key = SummaryCache.key_for("parse", "shared")
+        a.store("parse", key, {"warm": True})
+        assert b.load("parse", key) == {"warm": True}
+        a.close()
+        b.close()
+
+    def test_lru_eviction_under_budget(self):
+        tmp = _tmpdir()
+        store = CacheStore(os.path.join(tmp, "cache"),
+                           budget_bytes=parse_budget("4K"))
+        server = CacheServer(os.path.join(tmp, "c.sock"), store)
+        server.start()
+        try:
+            rc = RemoteCache(server.socket_path)
+            keys = [SummaryCache.key_for("parse", f"u{i}")
+                    for i in range(30)]
+            for i, key in enumerate(keys):
+                assert rc.store("parse", key, {"i": i, "pad": "x" * 200})
+            stats = store.stats()
+            assert stats["evictions"] > 0
+            assert stats["bytes"] <= 4000
+            # newest entries survive, oldest were evicted
+            assert rc.load("parse", keys[-1]) is not None
+            assert rc.load("parse", keys[0]) is None
+            rc.close()
+        finally:
+            server.shutdown()
+
+    def test_gets_refresh_recency(self):
+        tmp = _tmpdir()
+        store = CacheStore(os.path.join(tmp, "cache"), budget_bytes=3000)
+        server = CacheServer(os.path.join(tmp, "c.sock"), store)
+        server.start()
+        try:
+            rc = RemoteCache(server.socket_path)
+            hot = SummaryCache.key_for("parse", "hot")
+            rc.store("parse", hot, {"hot": True, "pad": "x" * 100})
+            for i in range(20):
+                rc.store("parse", SummaryCache.key_for("parse", f"u{i}"),
+                         {"i": i, "pad": "x" * 100})
+                rc.load("parse", hot)     # keep the hot key recent
+            assert store.stats()["evictions"] > 0
+            assert rc.load("parse", hot) is not None
+            rc.close()
+        finally:
+            server.shutdown()
+
+    def test_corruption_is_quarantined_and_served_as_miss(
+            self, cache_service):
+        server, store = cache_service
+        rc = RemoteCache(server.socket_path)
+        key = SummaryCache.key_for("summary", "doomed")
+        rc.store("summary", key, {"ok": True})
+        path = store.cache._path("summary", key)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-3] + b"\x00\x00\x00")   # flip payload
+        assert rc.load("summary", key) is None
+        assert [e for e in rc.events if e.kind == "corrupt"]
+        assert store.stats()["corrupt"] == 1
+        assert not path.exists()      # quarantined server-side
+        quarantine = store.cache.root / "quarantine"
+        assert list(quarantine.glob("*.pkl"))
+        rc.close()
+
+    def test_unreachable_service_degrades_to_misses(self):
+        rc = RemoteCache("/tmp/repro-no-cache.sock", timeout=0.5,
+                         reconnects=0)
+        key = SummaryCache.key_for("summary", "x")
+        assert rc.load("summary", key) is None
+        assert rc.store("summary", key, {"x": 1}) is False
+        kinds = {e.kind for e in rc.events}
+        assert kinds == {"io-error"}
+        rc.close()
+
+    def test_enospc_fault_contains_remote_stores(self, cache_service):
+        server, _ = cache_service
+        rc = RemoteCache(server.socket_path)
+        key = SummaryCache.key_for("summary", "full-disk")
+        with inject_cache_fault("enospc", op="store"):
+            assert rc.store("summary", key, {"x": 1}) is False
+        assert [e for e in rc.events if e.kind == "io-error"]
+        assert rc.store("summary", key, {"x": 1})   # disarmed: fine
+        rc.close()
+
+    @pytest.mark.parametrize("req", [
+        {"op": "cache.get", "category": "../evil", "key": "a" * 8},
+        {"op": "cache.get", "category": "parse", "key": "../../etc"},
+        {"op": "cache.get", "category": "quarantine", "key": "a" * 8},
+        {"op": "cache.put", "category": "parse", "key": "k" * 8,
+         "blob": "!!not-base64!!"},
+        {"op": "cache.nope"},
+    ])
+    def test_bad_requests_get_structured_errors(self, cache_service,
+                                                req):
+        server, _ = cache_service
+        resp = single_request(server.socket_path, req)
+        assert resp["status"] == "error"
+
+    def test_stats_op_reports_budget_and_counters(self, cache_service):
+        server, _ = cache_service
+        stats = single_request(server.socket_path,
+                               {"op": "cache.stats"})["stats"]
+        assert stats["server"]["role"] == "cache"
+        assert "hits" in stats["cache"]
+        assert "budget_bytes" in stats["cache"]
+
+    def test_index_rebuilds_from_disk_on_restart(self):
+        tmp = _tmpdir()
+        root = os.path.join(tmp, "cache")
+        store = CacheStore(root)
+        key = SummaryCache.key_for("parse", "persisted")
+        store.put("parse", key, pickle.dumps({"persisted": True}))
+        reopened = CacheStore(root)
+        assert reopened.stats()["entries"] == 1
+        assert reopened.stats()["bytes"] > 0
+
+
+class TestParseBudget:
+    @pytest.mark.parametrize("spec,expected", [
+        (None, None), (0, None), ("0", None), (65536, 65536),
+        ("65536", 65536), ("512K", 512_000), ("64M", 64_000_000),
+        ("2G", 2_000_000_000), ("1.5M", 1_500_000),
+    ])
+    def test_accepts(self, spec, expected):
+        assert parse_budget(spec) == expected
+
+    @pytest.mark.parametrize("bad", ["lots", "64Q", ""])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_budget(bad)
+
+
+# ---------------------------------------------------------------------------
+# crash-report rotation
+# ---------------------------------------------------------------------------
+
+class TestCrashRotation:
+    def test_reports_capped_oldest_first_with_counter(self, tmp_path):
+        sup = Supervisor(SupervisorConfig(
+            crash_dir=str(tmp_path / "crashes"), crash_max=5))
+        for i in range(12):
+            sup._crash_report(
+                op="analyze", tier="full", request_id=i, attempt=1,
+                units=["u.c"], last_stage="apply", reason="crash",
+                detail=f"synthetic {i}", exitcode=-9)
+        reports = sorted((tmp_path / "crashes").glob("crash-*.json"))
+        assert len(reports) == 5
+        # the survivors are the newest five (seq 0008..0012)
+        assert all(int(p.stem.rsplit("-", 1)[1]) >= 8 for p in reports)
+        assert sup.stats_counters["crash_reports_dropped"] == 7
+        assert sup.stats()["supervisor"]["crash_reports_dropped"] == 7
+
+    def test_unbounded_when_cap_disabled(self, tmp_path):
+        sup = Supervisor(SupervisorConfig(
+            crash_dir=str(tmp_path / "crashes"), crash_max=0))
+        for i in range(8):
+            sup._crash_report(
+                op="analyze", tier="full", request_id=i, attempt=1,
+                units=[], last_stage="apply", reason="crash",
+                detail="", exitcode=None)
+        assert len(list((tmp_path / "crashes").glob("*.json"))) == 8
+        assert sup.stats_counters["crash_reports_dropped"] == 0
+
+    def test_remote_cache_spec_does_not_nest_crash_dir(self):
+        sup = Supervisor(SupervisorConfig(
+            cache_dir="unix:/tmp/cache.sock"))
+        assert not str(sup.config.crash_dir).startswith("unix:")
+        assert os.path.isdir(sup.config.crash_dir)
+
+
+# ---------------------------------------------------------------------------
+# orphan reaping: workers must not outlive a SIGKILLed daemon
+# ---------------------------------------------------------------------------
+
+def _children_of(pid):
+    """Live (non-zombie) direct children of *pid*, via /proc."""
+    kids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat") as fh:
+                stat = fh.read()
+        except OSError:
+            continue
+        # comm may contain spaces — split after the closing paren
+        fields = stat.rsplit(")", 1)[1].split()
+        if fields[0] != "Z" and int(fields[1]) == pid:
+            kids.append(int(entry))
+    return kids
+
+
+def _alive(pid):
+    try:
+        with open(f"/proc/{pid}/stat") as fh:
+            stat = fh.read()
+    except OSError:
+        return False
+    return stat.rsplit(")", 1)[1].split()[0] != "Z"
+
+
+@pytest.mark.skipif(not os.path.isdir("/proc"),
+                    reason="needs /proc to observe the process tree")
+class TestWorkerOrphanReaping:
+    def test_workers_of_sigkilled_daemon_exit_on_their_own(self):
+        # Forked workers inherit the supervisor's pipe ends, so a
+        # SIGKILLed daemon never delivers EOF on the job pipe; the
+        # parent-liveness watchdog is what reaps them.  This is the
+        # chaos drill's kill step: without the watchdog every -9
+        # leaks one orphan per pool worker.
+        tmp = _tmpdir()
+        sock = os.path.join(tmp, "d.sock")
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock,
+             "--pool-size", "2",
+             "--crash-dir", os.path.join(tmp, "crashes")],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        try:
+            assert wait_ready(sock, timeout=60), "daemon not ready"
+            workers = _children_of(proc.pid)
+            assert len(workers) >= 2, "expected a spawned worker pool"
+        finally:
+            proc.kill()
+        proc.wait(timeout=10)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not any(_alive(pid) for pid in workers):
+                break
+            time.sleep(0.1)
+        leaked = [pid for pid in workers if _alive(pid)]
+        for pid in leaked:              # clean up before failing
+            os.kill(pid, 9)
+        assert not leaked, f"workers outlived SIGKILLed daemon: {leaked}"

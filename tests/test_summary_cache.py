@@ -14,7 +14,11 @@ import pytest
 
 from repro.core import (
     CODE_BUDGET, CODE_CACHE, Compiler, CompilerOptions, compile_sources,
-    inject_fault,
+    inject_cache_fault, inject_fault,
+)
+from repro.core.summarycache import (
+    ENTRY_MAGIC, QUARANTINE_DIR, QUARANTINE_MAX, SummaryCache,
+    frame_blob, fsck_cache, quarantine_entry, unframe_blob,
 )
 from repro.transform import program_sources
 
@@ -196,3 +200,150 @@ def test_contained_compiles_are_not_cached(cache_dir):
     # fault armed -> cache bypassed entirely: nothing was written
     assert not list(pathlib.Path(cache_dir).rglob("*.pkl")) \
         or not (pathlib.Path(cache_dir) / "fe").exists()
+
+
+# ---------------------------------------------------------------------------
+# disk faults: a full (or failing) disk is a diagnostic, not a failure
+# ---------------------------------------------------------------------------
+
+def test_enospc_on_store_compiles_uncached_with_note(cache_dir):
+    baseline = compile_sources(SOURCES, CompilerOptions())
+    with inject_cache_fault("enospc", op="store"):
+        result = compile_sources(SOURCES, opts(cache_dir))
+    # the compile itself is untouched by the full disk
+    assert not result.diagnostics.has_errors
+    assert fingerprint(result) == fingerprint(baseline)
+    # ...but the failed writes are surfaced as a cache diagnostic
+    io_notes = [d for d in cache_notes(result)
+                if "cache I/O problem" in d.message]
+    assert io_notes
+    # nothing landed on disk: the next compile is cold, not corrupt
+    cold = compile_sources(SOURCES, opts(cache_dir))
+    assert cold.fe_report is not None
+    assert fingerprint(cold) == fingerprint(baseline)
+
+
+def test_eio_on_load_is_a_miss_not_a_crash(cache_dir):
+    cold = compile_sources(SOURCES, opts(cache_dir))    # populate
+    with inject_cache_fault("eio", op="load"):
+        result = compile_sources(SOURCES, opts(cache_dir))
+    assert not result.diagnostics.has_errors
+    assert fingerprint(result) == fingerprint(cold)
+    assert any("cache I/O problem" in d.message
+               for d in cache_notes(result))
+    # the fault was transient: entries are intact, next compile warm
+    warm = compile_sources(SOURCES, opts(cache_dir))
+    assert any("restored from summary cache" in d.message
+               for d in cache_notes(warm))
+
+
+def test_transient_enospc_disarms_after_n_fires(cache_dir):
+    with inject_cache_fault("enospc", op="store", times=1):
+        result = compile_sources(SOURCES, opts(cache_dir))
+    assert not result.diagnostics.has_errors
+    # only the first store failed; later entries were written, so
+    # *some* cache state exists for the next compile
+    assert list(pathlib.Path(cache_dir).rglob("*.pkl"))
+
+
+# ---------------------------------------------------------------------------
+# checksum framing and quarantine
+# ---------------------------------------------------------------------------
+
+def test_entries_on_disk_are_checksum_framed(cache_dir):
+    compile_sources(SOURCES, opts(cache_dir))
+    paths = sorted(pathlib.Path(cache_dir).rglob("*.pkl"))
+    assert paths
+    for p in paths:
+        raw = p.read_bytes()
+        assert raw.startswith(ENTRY_MAGIC)
+        payload, kind = unframe_blob(raw)
+        assert kind == "ok" and payload
+
+
+def test_bitflip_fails_checksum_and_quarantines(cache_dir):
+    cold = compile_sources(SOURCES, opts(cache_dir))
+
+    def flip_last_byte(p):
+        raw = bytearray(p.read_bytes())
+        raw[-1] ^= 0xFF
+        p.write_bytes(bytes(raw))
+
+    damaged = _damage_entries(cache_dir, flip_last_byte)
+    result = compile_sources(SOURCES, opts(cache_dir))
+    assert fingerprint(result) == fingerprint(cold)
+    assert any("recomputed" in d.message
+               for d in result.diagnostics.warnings()
+               if d.code == CODE_CACHE)
+    # the damaged entries moved into quarantine for post-mortem
+    qdir = pathlib.Path(cache_dir) / QUARANTINE_DIR
+    assert qdir.is_dir()
+    assert len(list(qdir.glob("*.pkl"))) == min(damaged,
+                                                QUARANTINE_MAX)
+
+
+def test_legacy_unframed_entries_still_load(tmp_path):
+    cache = SummaryCache(tmp_path / "cache")
+    key = SummaryCache.key_for("parse", "legacy")
+    path = cache._path("parse", key)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps({"old": True}))   # no frame
+    assert cache.load("parse", key) == {"old": True}
+
+
+def test_quarantine_is_bounded(tmp_path):
+    root = tmp_path / "cache"
+    cache = SummaryCache(root)
+    for i in range(QUARANTINE_MAX + 8):
+        key = SummaryCache.key_for("parse", f"bad{i}")
+        path = cache._path("parse", key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"junk")
+        quarantine_entry(root, path, "parse", key)
+    kept = list((root / QUARANTINE_DIR).glob("*.pkl"))
+    assert len(kept) == QUARANTINE_MAX
+
+
+# ---------------------------------------------------------------------------
+# fsck: the `repro cache fsck` engine
+# ---------------------------------------------------------------------------
+
+def test_fsck_clean_cache_reports_no_corruption(cache_dir):
+    compile_sources(SOURCES, opts(cache_dir))
+    report = fsck_cache(cache_dir)
+    assert report.scanned > 0
+    assert report.corrupt == 0
+    assert report.quarantined == []
+    assert report.total_bytes > 0
+    for cat in report.categories.values():
+        assert cat.entries > 0 and cat.corrupt == 0
+        assert cat.oldest_s is not None
+
+
+def test_fsck_quarantines_corrupt_entries(cache_dir):
+    compile_sources(SOURCES, opts(cache_dir))
+    victim = sorted(pathlib.Path(cache_dir).rglob("*.pkl"))[0]
+    victim.write_bytes(frame_blob(b"payload")[:-2])     # bad digest
+    report = fsck_cache(cache_dir)
+    assert report.corrupt == 1
+    assert len(report.quarantined) == 1
+    assert not victim.exists()
+    # the scan healed the cache: a re-scan is clean
+    again = fsck_cache(cache_dir)
+    assert again.corrupt == 0
+
+
+def test_fsck_report_only_mode_leaves_entries_in_place(cache_dir):
+    compile_sources(SOURCES, opts(cache_dir))
+    victim = sorted(pathlib.Path(cache_dir).rglob("*.pkl"))[0]
+    victim.write_bytes(b"")
+    report = fsck_cache(cache_dir, quarantine=False)
+    assert report.corrupt == 1
+    assert report.quarantined == []
+    assert victim.exists()
+
+
+def test_fsck_missing_root_is_empty_not_an_error(tmp_path):
+    report = fsck_cache(tmp_path / "never-created")
+    assert report.scanned == 0 and report.corrupt == 0
+    assert report.to_dict()["categories"] == {}
