@@ -9,7 +9,11 @@ measurements backing the PR's performance claims:
   cold compile that filled the cache.  The warm path restores the whole
   front end from one content-addressed entry, so the claim is >= 5x.
 - ``parallel_speedup`` — cold compile with ``jobs=4`` versus
-  ``jobs=1`` (no cache either way), isolating the parse-pool win.
+  ``jobs=1`` (no cache either way): the pass-DAG scheduler running
+  parse/summarize/analysis nodes concurrently.
+- ``scheduler`` — the DAG shape behind that number: node count,
+  critical-path ms, jobs=1 vs jobs=N wall, measured speedup, and a
+  serial-vs-parallel result-parity check.
 - ``phases`` — per-phase wall time (fe/ipa/be), the hottest guarded
   passes, and the observability cost: best-of-N compile time with
   tracing disabled versus enabled (the disabled path must stay a
@@ -41,7 +45,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core import Compiler, CompilerOptions  # noqa: E402
+from repro.core import Compiler, CompilerOptions, effective_cores  # noqa: E402
 from repro.obs import MetricsRegistry, Tracer  # noqa: E402
 from repro.runtime import run_program  # noqa: E402
 from repro.workloads import ALL_WORKLOADS  # noqa: E402
@@ -86,9 +90,11 @@ int use{u}_{f}(int n) {{
     return sources
 
 
-def _compile_time(sources, *, jobs: int, cache_dir, repeats: int = 1,
-                  transform: bool = False) -> float:
+def _compile_best(sources, *, jobs: int, cache_dir, repeats: int = 1,
+                  transform: bool = False):
+    """(best wall seconds, last CompilationResult)."""
     best = []
+    result = None
     for _ in range(repeats):
         opts = CompilerOptions(jobs=jobs, cache_dir=cache_dir,
                                transform=transform)
@@ -97,7 +103,23 @@ def _compile_time(sources, *, jobs: int, cache_dir, repeats: int = 1,
         best.append(time.perf_counter() - t0)
         assert not result.diagnostics.has_errors, \
             result.diagnostics.render()
-    return min(best)
+    return min(best), result
+
+
+def _compile_time(sources, *, jobs: int, cache_dir, repeats: int = 1,
+                  transform: bool = False) -> float:
+    return _compile_best(sources, jobs=jobs, cache_dir=cache_dir,
+                         repeats=repeats, transform=transform)[0]
+
+
+def _result_fingerprint(result) -> str:
+    """Everything parity cares about: decisions, diagnostics, layout."""
+    return hashlib.sha256(repr((
+        [(d.type_name, d.action, tuple(d.dead_fields),
+          tuple(d.cold_fields), d.transformed) for d in result.decisions],
+        result.diagnostics.render("warning"),
+        sorted(result.legality.types),
+    )).encode()).hexdigest()
 
 
 def bench_pipeline(n_units: int, repeats: int) -> dict:
@@ -107,22 +129,28 @@ def bench_pipeline(n_units: int, repeats: int) -> dict:
         cold = _compile_time(sources, jobs=1, cache_dir=cache_root)
         warm = _compile_time(sources, jobs=1, cache_dir=cache_root,
                              repeats=repeats)
-        cold_j1 = _compile_time(sources, jobs=1, cache_dir=None,
-                                repeats=repeats)
-        cold_j4 = _compile_time(sources, jobs=4, cache_dir=None,
-                                repeats=repeats)
+        cold_j1, res_j1 = _compile_best(sources, jobs=1,
+                                        cache_dir=None,
+                                        repeats=repeats)
+        cold_j4, res_j4 = _compile_best(sources, jobs=4,
+                                        cache_dir=None,
+                                        repeats=repeats)
     finally:
         shutil.rmtree(cache_root, ignore_errors=True)
-    cpu_count = os.cpu_count() or 1
-    # the FE clamps the worker count to min(jobs, units, cores); with
-    # one effective worker there is no parallelism to measure, so the
-    # ratio is reported as null rather than a misleading ~1.0
-    jobs_effective = min(4, n_units, cpu_count)
+    cores = effective_cores()
+    # the scheduler clamps its useful width to min(jobs, cores) — the
+    # affinity-aware count, so a cgroup/taskset-restricted box reports
+    # the truth instead of silently benching serial.  With one
+    # effective core there is no parallelism to measure, so the ratio
+    # is reported as null rather than a misleading ~1.0
+    jobs_effective = min(4, cores)
     parallel_speedup = round(cold_j1 / cold_j4, 2) \
         if jobs_effective > 1 else None
-    return {
+    sched_j4 = res_j4.scheduler
+    pipeline = {
         "units": n_units,
-        "cpu_count": cpu_count,
+        "cpu_count": os.cpu_count() or 1,
+        "effective_cores": cores,
         "cold_s": round(cold, 4),
         "warm_s": round(warm, 4),
         "warm_speedup": round(cold / warm, 2),
@@ -132,6 +160,17 @@ def bench_pipeline(n_units: int, repeats: int) -> dict:
         "jobs_effective": jobs_effective,
         "parallel_speedup": parallel_speedup,
     }
+    scheduler = {
+        "nodes": sched_j4.get("nodes"),
+        "critical_path_ms": sched_j4.get("critical_path_ms"),
+        "mode_jobs4": sched_j4.get("mode"),
+        "jobs1_wall_s": round(cold_j1, 4),
+        "jobs4_wall_s": round(cold_j4, 4),
+        "parallel_speedup": parallel_speedup,
+        "parity_ok": _result_fingerprint(res_j1)
+        == _result_fingerprint(res_j4),
+    }
+    return pipeline, scheduler
 
 
 def bench_phases(n_units: int, repeats: int) -> dict:
@@ -221,12 +260,13 @@ def main(argv=None) -> int:
                     help="fail on ordering regressions (CI gate)")
     args = ap.parse_args(argv)
 
-    pipeline = bench_pipeline(args.units, args.repeats)
+    pipeline, scheduler = bench_pipeline(args.units, args.repeats)
     phases = bench_phases(args.units, args.repeats)
     simulator = bench_simulator(args.repeats)
     report = {
         "benchmark": "pipeline",
         "pipeline": pipeline,
+        "scheduler": scheduler,
         "phases": phases,
         "simulator": simulator,
     }
@@ -239,13 +279,29 @@ def main(argv=None) -> int:
             print("FAIL: warm recompile not faster than cold",
                   file=sys.stderr)
             ok = False
-        # the parse pool is CPU-bound; jobs=4 can only win where
-        # there are cores to run on (workers are clamped to the core
+        # the DAG nodes are CPU-bound; jobs=4 can only win where there
+        # are cores to run on (width is clamped to the effective core
         # count, so a 1-core machine must at least break even)
-        slack = 1.10 if pipeline["jobs_effective"] <= 1 else 1.0
-        if pipeline["cold_jobs4_s"] > pipeline["cold_jobs1_s"] * slack:
-            print("FAIL: jobs=4 cold slower than jobs=1 cold",
-                  file=sys.stderr)
+        if pipeline["jobs_effective"] >= 2:
+            speedup = scheduler["parallel_speedup"] or 0.0
+            if speedup < 1.3:
+                print(f"FAIL: parallel_speedup {speedup} < 1.3 with "
+                      f"{pipeline['effective_cores']} effective cores",
+                      file=sys.stderr)
+                ok = False
+        else:
+            print(f"SKIP parallel_speedup gate: only "
+                  f"{pipeline['effective_cores']} effective core(s) — "
+                  f"nothing to parallelize onto", file=sys.stderr)
+            slack = 1.10
+            if pipeline["cold_jobs4_s"] > \
+                    pipeline["cold_jobs1_s"] * slack:
+                print("FAIL: jobs=4 cold slower than jobs=1 cold",
+                      file=sys.stderr)
+                ok = False
+        if not scheduler["parity_ok"]:
+            print("FAIL: jobs=4 results differ from jobs=1 "
+                  "(serial/parallel parity broken)", file=sys.stderr)
             ok = False
         if simulator["cycles"] != 15_640_398:
             print(f"FAIL: mcf/train cycle count changed "

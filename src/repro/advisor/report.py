@@ -157,15 +157,29 @@ def advisor_report(result: CompilationResult,
 def phase_cost_footer(result: CompilationResult) -> str:
     """The per-phase compile-cost footer: phase wall time and the
     hottest guarded passes (with peak-RSS growth when the compile ran
-    with a tracer and per-pass profiling is available)."""
+    with a tracer and per-pass profiling is available).
+
+    Phase timings are wall-clock *windows*: under ``--jobs N`` phases
+    overlap, so they are normalized against the scheduler's measured
+    compile wall rather than their own sum — percentages then say how
+    much of the compile each phase actually spanned instead of
+    double-counting concurrent work."""
     lines = ["per-phase compile cost", "-" * 69]
-    total = sum(result.timings.values()) or 1.0
+    sched = result.scheduler or {}
+    wall = sched.get("wall_ms", 0.0) / 1e3
+    total = wall or sum(result.timings.values()) or 1.0
     for phase in ("fe", "ipa", "be"):
         t = result.timings.get(phase)
         if t is None:
             continue
         lines.append(f"  {phase:4s} {t * 1e3:9.1f} ms  "
-                     f"({100.0 * t / total:5.1f}%)")
+                     f"({100.0 * min(t, total) / total:5.1f}%)")
+    if sched:
+        lines.append(
+            f"  dag  {sched.get('wall_ms', 0.0):9.1f} ms  "
+            f"(jobs={sched.get('jobs', 1)}, "
+            f"{sched.get('nodes', 0)} nodes, critical path "
+            f"{sched.get('critical_path_ms', 0.0):.1f} ms)")
     passes = sorted(result.pass_timings.items(),
                     key=lambda kv: -kv[1])[:5]
     if passes:

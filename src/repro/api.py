@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields as dc_fields
 
+from .core.dag import effective_cores
 from .core.diagnostics import CODE_CONTAINED, CODE_MISMATCH, \
     DiagnosticEngine
 from .core.faults import ProcessFaultSpec
@@ -108,7 +109,7 @@ class CompileOptions:
     peel_mode: str | None = None       # auto|per-field|hot-cold|affinity
     verify: bool = True                # differential verification
     cache: bool = True                 # use the daemon's summary cache
-    jobs: int = 1                      # parallel front-end width
+    jobs: int = 1                      # pass-DAG width (0 = auto)
     cycle_limit: int = 2_000_000_000   # simulator budget for compare
 
     WIRE_FIELDS = ("scheme", "relax", "ts", "peel_mode", "verify",
@@ -171,7 +172,7 @@ class CompileOptions:
             relax_legality=self.relax,
             transform=full,
             verify_transforms=full and self.verify,
-            jobs=self.jobs,
+            jobs=self.jobs if self.jobs >= 1 else effective_cores(),
             cache_dir=cache_dir if self.cache else None)
 
 

@@ -115,6 +115,14 @@ class OptionBundle(NamedTuple):
     feedback: object | None
 
 
+def _resolve_jobs(jobs) -> int:
+    """``--jobs 0`` means auto: one scheduler thread per effective
+    core (CPU affinity respected)."""
+    from .core.dag import effective_cores
+    jobs = int(jobs or 0)
+    return jobs if jobs >= 1 else effective_cores()
+
+
 def _options(args) -> OptionBundle:
     params = HeuristicParams()
     if getattr(args, "ts", None) is not None:
@@ -137,7 +145,7 @@ def _options(args) -> OptionBundle:
         relax_legality=getattr(args, "relax", False),
         strict=getattr(args, "strict", False),
         verify_transforms=verify,
-        jobs=getattr(args, "jobs", 1) or 1,
+        jobs=_resolve_jobs(getattr(args, "jobs", 1)),
         cache_dir=cache_dir)
     return OptionBundle(options, feedback)
 
@@ -651,8 +659,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "instead of degrading gracefully")
             p.add_argument("-j", "--jobs", type=int, default=1,
                            metavar="N",
-                           help="parse translation units with N "
-                                "parallel workers (default 1)")
+                           help="run the pass DAG with N scheduler "
+                                "threads and up to N parse workers "
+                                "(default 1 = fully serial; 0 = one "
+                                "per effective core)")
             p.add_argument("--cache-dir", default=None, metavar="DIR",
                            help="keep per-TU summaries in DIR so "
                                 "unchanged units are not re-analyzed")

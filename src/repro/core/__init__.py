@@ -14,6 +14,10 @@ from .faults import (
     CACHE_FAULTS, CACHE_FAULT_MODES, CacheFaultRegistry, CacheFaultSpec,
     inject_cache_fault,
 )
+from .dag import (
+    DagError, DagReport, DagScheduler, Node, NodeContext, PassDAG,
+    effective_cores, process_pool, shutdown_process_pool,
+)
 from .fe import FEReport, UnifyError, assemble_program
 from .pipeline import (
     Compiler, CompilerOptions, CompilationResult, PhaseGuard,
@@ -41,6 +45,9 @@ __all__ = [
     "ProcessFaultRegistry", "ProcessFaultSpec",
     "CACHE_FAULTS", "CACHE_FAULT_MODES", "CacheFaultRegistry",
     "CacheFaultSpec", "inject_cache_fault",
+    "DagError", "DagReport", "DagScheduler", "Node", "NodeContext",
+    "PassDAG", "effective_cores", "process_pool",
+    "shutdown_process_pool",
     "FEReport", "UnifyError", "assemble_program",
     "CacheEvent", "FsckReport", "SummaryCache", "fingerprint",
     "fsck_cache", "open_cache",

@@ -48,6 +48,7 @@ from ..frontend.sema import SemaError, SemanticAnalyzer
 from ..frontend.typesys import (
     INT, ArrayType, FunctionType, NamedType, PointerType, RecordType,
 )
+from .dag import process_pool, shutdown_process_pool
 from .summarycache import SummaryCache
 
 
@@ -376,75 +377,97 @@ def _legacy(sources: list[tuple[str, str]], recover: bool,
     return Program.from_sources(sources, recover=recover), report
 
 
-def assemble_program(sources: list[tuple[str, str]], *,
-                     jobs: int = 1,
-                     cache: SummaryCache | None = None,
-                     cache_salt: str = "",
-                     recover: bool = False,
-                     unit_budget: float | None = None
-                     ) -> tuple[Program, FEReport]:
-    """Build a :class:`Program` with the parallel/cached front end.
+def legacy_assembly(sources: list[tuple[str, str]], recover: bool,
+                    report: FEReport, reason: str
+                    ) -> tuple[Program, FEReport]:
+    """Serial-FE fallback, public for the pass-DAG driver (which needs
+    it when parse *planning* itself fails, before any node exists)."""
+    return _legacy(sources, recover, report, reason)
 
-    ``jobs=1`` runs the same isolated-parse + unify path inline (no
-    pool), so results are identical for every job count by
-    construction.  ``cache`` enables the per-TU parse tier, keyed by
-    ``(unit name, source, typedef seed, cache_salt)``.  Any input the
-    unified path cannot handle identically to the serial front end
-    falls back to :meth:`Program.from_sources`.
-    """
-    report = FEReport(jobs=jobs)
-    try:
-        prescans = [prescan_typedef_names(text) for _, text in sources]
-    except Exception as exc:                       # pragma: no cover
-        return _legacy(sources, recover, report,
-                       f"typedef pre-scan failed: {exc}")
 
+def plan_parses(sources: list[tuple[str, str]],
+                unit_budget: float | None = None
+                ) -> tuple[list[tuple], list[list[str]]]:
+    """``(tasks, prescans)`` for per-TU isolated parsing.
+
+    Each task is the ``(name, source, typedef_seed, budget)`` tuple
+    :func:`parse_unit_task` consumes; seeds accumulate the typedef
+    names of every *earlier* unit, exactly as the serial parser would
+    have seen them.  Raises when the pre-scan fails (callers fall back
+    to the legacy FE)."""
+    prescans = [prescan_typedef_names(text) for _, text in sources]
     seeds: list[tuple[str, ...]] = []
     seen: list[str] = []
     for names in prescans:
         seeds.append(tuple(seen))
         seen.extend(n for n in names if n not in seen)
-
     tasks = [(name, text, seeds[i], unit_budget)
              for i, (name, text) in enumerate(sources)]
+    return tasks, prescans
 
-    # -- parse tier: cache lookups first ------------------------------
-    results: list[ParsedUnit | None] = [None] * len(tasks)
-    keys: list[str | None] = [None] * len(tasks)
-    pending: list[int] = []
-    for i, (name, text, seed, _b) in enumerate(tasks):
-        if cache is not None:
-            key = cache.key_for("parse", name, text, seed, cache_salt)
-            keys[i] = key
-            got = cache.load("parse", key)
-            if isinstance(got, ParsedUnit) and got.unit is not None \
-                    and not got.errors and got.crashed is None:
-                got.budget_exceeded = False       # not a property of
-                got.elapsed = 0.0                 # the cached artifact
-                results[i] = got
-                report.parse_cache_hits += 1
-                continue
-        pending.append(i)
 
-    # -- parse the misses, fanned out when it pays --------------------
-    if pending:
-        # CPU-bound work: workers beyond the core count only add
-        # serialization overhead, so a 1-core machine parses inline
-        # (still through the identical isolated-parse + unify path)
-        n_workers = min(jobs, len(pending), os.cpu_count() or 1)
-        if n_workers > 1:
-            try:
-                parsed = _pool_map(
-                    [tasks[i] for i in pending], n_workers)
-            except Exception as exc:
-                return _legacy(sources, recover, report,
-                               f"process pool failed: {exc}")
-        else:
-            parsed = [parse_unit_task(tasks[i]) for i in pending]
-        for i, pu in zip(pending, parsed):
-            results[i] = pu
+def clean_parse(got) -> bool:
+    """True when a cached artifact is a complete, error-free parse."""
+    return (isinstance(got, ParsedUnit) and got.unit is not None
+            and not got.errors and got.crashed is None)
 
-    fresh = set(pending)
+
+def parse_pool_width(jobs: int, n_tasks: int) -> int:
+    """Workers worth using for ``n_tasks`` CPU-bound parses.
+
+    Workers beyond the core count only add serialization overhead, so
+    a 1-core machine parses inline (still through the identical
+    isolated-parse + unify path)."""
+    return min(jobs, n_tasks, os.cpu_count() or 1)
+
+
+def probe_parse_cache(task: tuple, cache: SummaryCache | None,
+                      cache_salt: str
+                      ) -> tuple[ParsedUnit | None, str | None]:
+    """``(clean cached parse | None, cache key | None)`` for one task."""
+    if cache is None:
+        return None, None
+    name, text, seed, _budget = task
+    key = cache.key_for("parse", name, text, seed, cache_salt)
+    got = cache.load("parse", key)
+    if clean_parse(got):
+        got.budget_exceeded = False           # not a property of
+        got.elapsed = 0.0                     # the cached artifact
+        return got, key
+    return None, key
+
+
+def parse_cached(task: tuple, cache: SummaryCache | None = None,
+                 cache_salt: str = "", pool=None
+                 ) -> tuple[ParsedUnit, str | None, bool]:
+    """Parse one TU through the cache: ``(unit, key, fresh)``.
+
+    This is the pass-DAG node body: probe the parse cache, then parse
+    on the shared process pool (when one is passed) or inline.  A pool
+    failure tears the broken pool down and falls back to an inline
+    parse — result-identical, just slower."""
+    got, key = probe_parse_cache(task, cache, cache_salt)
+    if got is not None:
+        return got, key, False
+    if pool is not None:
+        try:
+            return pool.submit(parse_unit_task, task).result(), key, True
+        except Exception:
+            shutdown_process_pool()
+    return parse_unit_task(task), key, True
+
+
+def finish_assembly(sources: list[tuple[str, str]],
+                    results: list[ParsedUnit],
+                    keys: list[str | None],
+                    fresh: list[bool],
+                    prescans: list[list[str]],
+                    recover: bool, report: FEReport,
+                    cache: SummaryCache | None = None
+                    ) -> tuple[Program, FEReport]:
+    """The tail of the front end: record per-unit stats, store fresh
+    clean parses, unify the type tables, and run sema — or fall back
+    to the serial FE on anything the unified path cannot reproduce."""
     for i, pu in enumerate(results):
         report.unit_elapsed[pu.name] = pu.elapsed
         if pu.budget_exceeded:
@@ -458,10 +481,9 @@ def assemble_program(sources: list[tuple[str, str]], *,
         if pu.unit is None:
             return _legacy(sources, recover, report,
                            f"unit {pu.name} exceeded its parse budget")
-        if cache is not None and keys[i] is not None and i in fresh:
+        if cache is not None and keys[i] is not None and fresh[i]:
             cache.store("parse", keys[i], pu)
 
-    # -- unify + finalize ---------------------------------------------
     try:
         records, typedefs = unify_units(results, prescans)
     except Exception as exc:
@@ -487,16 +509,67 @@ def assemble_program(sources: list[tuple[str, str]], *,
     return prog, report
 
 
-def _pool_map(tasks: list[tuple], n_workers: int) -> list[ParsedUnit]:
-    """Run :func:`parse_unit_task` over ``tasks`` on a process pool,
-    preserving input order."""
-    import multiprocessing
-    from concurrent.futures import ProcessPoolExecutor
+def assemble_program(sources: list[tuple[str, str]], *,
+                     jobs: int = 1,
+                     cache: SummaryCache | None = None,
+                     cache_salt: str = "",
+                     recover: bool = False,
+                     unit_budget: float | None = None
+                     ) -> tuple[Program, FEReport]:
+    """Build a :class:`Program` with the parallel/cached front end.
 
+    ``jobs=1`` runs the same isolated-parse + unify path inline (no
+    pool), so results are identical for every job count by
+    construction.  ``cache`` enables the per-TU parse tier, keyed by
+    ``(unit name, source, typedef seed, cache_salt)``.  Any input the
+    unified path cannot handle identically to the serial front end
+    falls back to :meth:`Program.from_sources`.
+    """
+    report = FEReport(jobs=jobs)
     try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:                             # pragma: no cover
-        ctx = multiprocessing.get_context()
-    with ProcessPoolExecutor(max_workers=n_workers,
-                             mp_context=ctx) as pool:
-        return list(pool.map(parse_unit_task, tasks))
+        tasks, prescans = plan_parses(sources, unit_budget)
+    except Exception as exc:                       # pragma: no cover
+        return _legacy(sources, recover, report,
+                       f"typedef pre-scan failed: {exc}")
+
+    # -- parse tier: cache lookups first ------------------------------
+    results: list[ParsedUnit | None] = [None] * len(tasks)
+    keys: list[str | None] = [None] * len(tasks)
+    pending: list[int] = []
+    for i, task in enumerate(tasks):
+        got, keys[i] = probe_parse_cache(task, cache, cache_salt)
+        if got is not None:
+            results[i] = got
+            report.parse_cache_hits += 1
+        else:
+            pending.append(i)
+
+    # -- parse the misses, fanned out when it pays --------------------
+    if pending:
+        n_workers = parse_pool_width(jobs, len(pending))
+        if n_workers > 1:
+            try:
+                parsed = _pool_map(
+                    [tasks[i] for i in pending], n_workers)
+            except Exception as exc:
+                shutdown_process_pool()
+                return _legacy(sources, recover, report,
+                               f"process pool failed: {exc}")
+        else:
+            parsed = [parse_unit_task(tasks[i]) for i in pending]
+        for i, pu in zip(pending, parsed):
+            results[i] = pu
+
+    pending_set = set(pending)
+    fresh = [i in pending_set for i in range(len(tasks))]
+    return finish_assembly(sources, results, keys, fresh, prescans,
+                           recover, report, cache)
+
+
+def _pool_map(tasks: list[tuple], n_workers: int) -> list[ParsedUnit]:
+    """Run :func:`parse_unit_task` over ``tasks`` on the shared process
+    pool, preserving input order."""
+    pool = process_pool(n_workers)
+    if pool is None:                               # pragma: no cover
+        return [parse_unit_task(t) for t in tasks]
+    return list(pool.map(parse_unit_task, tasks))

@@ -1,17 +1,29 @@
-"""The compilation pipeline: FE → IPA → BE (§2 of the paper).
+"""The compilation pipeline as an explicit pass DAG (§2 of the paper).
 
-:class:`Compiler` mirrors the SYZYGY phase structure:
+:class:`Compiler` mirrors the SYZYGY phase structure — **FE** (per
+translation unit, parallelizable in the paper), **IPA** (summary
+aggregation, escape analysis, weight estimation, heuristics), **BE**
+(application of the planned transformations) — but the phases are no
+longer a monolith: every pass is a **node** in a
+:class:`~repro.core.dag.PassDAG` with explicit dependency edges,
+executed by :class:`~repro.core.dag.DagScheduler`:
 
-- **FE** (per translation unit, parallelizable in the paper): legality
-  and property analysis, field reference counting, loop recognition —
-  everything summarized per unit;
-- **IPA**: summary aggregation, escape analysis, weight estimation
-  (ISPBO by default; PBO when a feedback file is supplied), affinity
-  graph construction, and the transformation heuristics;
-- **BE**: application of the planned transformations and re-typing.
+- per-TU parse nodes (``parse[a.c]``) fan out to a shared process
+  pool, per-TU summarize nodes (``legality[a.c]``) run concurrently,
+  and the IPA merges (``legality``, ``deadfields``) are barriers over
+  their unit nodes;
+- independent whole-program passes (callgraph/escape/points-to on one
+  side, weights/profiles on the other) overlap when ``jobs > 1``;
+- the BE planner appends one ``apply[TypeName]`` node per transform
+  decision *while the DAG runs* (dynamic growth), chained in decision
+  order.
 
-Per-phase wall-clock timings are recorded so the §2.5 compile-time
-overhead claim can be measured rather than asserted.
+``jobs=1`` executes nodes inline in builder order — byte-identical to
+the historical phased pipeline — so parallelism stays an execution
+strategy, never a semantic knob.  Per-phase wall-clock timings are
+derived from per-node measurements (§2.5), and
+:attr:`CompilationResult.scheduler` reports the DAG shape, critical
+path, and mode of every compile.
 
 The driver is **fault tolerant**: structure layout optimization is an
 optimization, so no failure inside it may take the compilation down.
@@ -19,12 +31,14 @@ Every analysis pass runs under a containment guard — an exception, a
 wall-clock budget overrun, or a summary that fails validation demotes
 the affected struct types to "do not transform" with a recorded
 :class:`~repro.core.diagnostics.Diagnostic`, and compilation continues
-to a valid (merely more conservative) result.  With
-``verify_transforms`` enabled the BE additionally executes the original
-and transformed programs on the simulated machine and *rolls back* any
-decision whose application changes observable behaviour, bisecting the
-decision list to find the offender — the compiler cannot emit a
-semantics-changing layout.
+to a valid (merely more conservative) result.  Containment is
+*per node*: a crashing unit summary or a single failing ``apply[T]``
+demotes only its own slice of the graph, and the scheduler keeps
+draining the ready queue.  With ``verify_transforms`` enabled the BE
+additionally executes the original and transformed programs on the
+simulated machine and *rolls back* any decision whose application
+changes observable behaviour, bisecting the decision list to find the
+offender — the compiler cannot emit a semantics-changing layout.
 """
 
 from __future__ import annotations
@@ -65,12 +79,16 @@ from ..obs import (
     MetricsRegistry, NULL_TRACER, PASS_EVENTS, PassEvent, PassProfiler,
     Tracer, TracingPassObserver,
 )
+from .dag import DagScheduler, PassDAG, process_pool
 from .diagnostics import (
     CODE_BUDGET, CODE_CACHE, CODE_CONTAINED, CODE_CORRUPT, CODE_PARSE,
     CODE_ROLLBACK, CODE_VERIFY, DiagnosticEngine, FatalCompilerError,
 )
 from .faults import FAULTS, InjectedFault
-from .fe import FEReport, assemble_program
+from .fe import (
+    FEReport, finish_assembly, legacy_assembly, parse_cached,
+    parse_pool_width, plan_parses,
+)
 from .summarycache import SummaryCache, fingerprint, open_cache
 
 #: weight schemes the pipeline can drive transformations with
@@ -87,6 +105,22 @@ FAULT_REASON = "FAULT"
 #: must not be containable in-process).  The observer registry gets
 #: the same pre-containment placement for its ``enter`` events.
 PASS_OBSERVER: Callable[[str], None] | None = None
+
+#: sentinel a per-unit summarize node returns when its source name is
+#: absent from the assembled program (legacy-fallback sema skips, parse
+#: failures) — the merge barrier drops these entries
+_SKIP = object()
+
+
+def _unit_for(program: Program, name: str, occurrence: int):
+    """The ``occurrence``-th unit called ``name``, or :data:`_SKIP`."""
+    seen = 0
+    for u in program.units:
+        if u.name == name:
+            if seen == occurrence:
+                return u
+            seen += 1
+    return _SKIP
 
 
 @dataclass
@@ -120,8 +154,11 @@ class CompilerOptions:
     #: transformed-run budget = original cycles * factor + slack
     verify_cycle_factor: float = 4.0
     verify_cycle_slack: int = 1_000_000
-    #: front-end parallelism: number of parse workers for
-    #: :meth:`Compiler.compile_sources` (1 = in-process, no pool)
+    #: pass-DAG parallelism: worker threads for the node scheduler and
+    #: parse workers for the shared process pool (1 = fully serial,
+    #: deterministic builder order).  The CLI/API resolve ``--jobs 0``
+    #: (auto) to :func:`repro.core.dag.effective_cores` before options
+    #: are built, so here the floor stays 1.
     jobs: int = 1
     #: content-addressed summary cache spec (None = off): a local
     #: directory, or ``unix:PATH`` naming a shared cache-service
@@ -184,6 +221,8 @@ class CompilationResult:
     pass_profile: dict[str, dict] = field(default_factory=dict)
     #: trace id of the compile's span tree (None when tracing was off)
     trace_id: str | None = None
+    #: how the pass DAG ran: mode, jobs, node count, wall, critical path
+    scheduler: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -225,15 +264,21 @@ class PhaseGuard:
     fallback, with a diagnostic naming the contained failure.  In
     ``strict`` mode the original exception is re-raised as
     :class:`FatalCompilerError` instead.
+
+    ``ctx`` tags this guard's :class:`~repro.obs.PassEvent`s with the
+    owning compilation, so observers can attribute events correctly
+    when DAG nodes run on scheduler worker threads.
     """
 
     def __init__(self, diags: DiagnosticEngine, *, strict: bool = False,
                  budget: float | None = None,
-                 timings: dict[str, float] | None = None):
+                 timings: dict[str, float] | None = None,
+                 ctx: Any = None):
         self.diags = diags
         self.strict = strict
         self.budget = budget
         self.timings = timings if timings is not None else {}
+        self.ctx = ctx
 
     def run(self, name: str, fn: Callable[[], Any],
             fallback: Callable[[], Any]) -> Any:
@@ -243,7 +288,8 @@ class PhaseGuard:
         events = PASS_EVENTS
         if events:                    # pre-containment, like the hook
             events.publish(PassEvent(name, "enter",
-                                     diags=len(self.diags)))
+                                     diags=len(self.diags),
+                                     ctx=self.ctx))
         t0 = time.perf_counter()
         try:
             FAULTS.fire(name)        # injection point (raise / stall)
@@ -255,13 +301,14 @@ class PhaseGuard:
                 events.publish(PassEvent(
                     name, "fail", elapsed=elapsed,
                     error=f"{type(exc).__name__}: {exc}",
-                    diags=len(self.diags)))
+                    diags=len(self.diags), ctx=self.ctx))
             return self._contain(name, exc, fallback)
         elapsed = time.perf_counter() - t0
         self.timings[name] = elapsed
         if events:
             events.publish(PassEvent(name, "exit", elapsed=elapsed,
-                                     diags=len(self.diags)))
+                                     diags=len(self.diags),
+                                     ctx=self.ctx))
         if self.budget is not None and elapsed > self.budget:
             # the pass finished but blew its budget: its result is
             # suspect (a stalled analysis may have been wedged), so the
@@ -281,6 +328,8 @@ class PhaseGuard:
     def _contain(self, name: str, exc: Exception,
                  fallback: Callable[[], Any]) -> Any:
         if self.strict:
+            if isinstance(exc, FatalCompilerError):
+                raise exc            # already named its failing pass
             raise FatalCompilerError(name, str(exc), cause=exc) from exc
         kind = "injected fault" if isinstance(exc, InjectedFault) \
             else f"{type(exc).__name__}"
@@ -291,8 +340,415 @@ class PhaseGuard:
         return fallback()
 
 
+class _CompileGraph:
+    """Builds the pass DAG for one compilation.
+
+    Each node gets its own :class:`DiagnosticEngine`, pass-timing
+    fragment, and :class:`PhaseGuard` — so containment, budgets and
+    diagnostics stay correct when nodes run on different threads.  The
+    driver merges the per-node engines in node (= historical serial)
+    order after the run, so rendered diagnostics are independent of
+    execution order.
+    """
+
+    def __init__(self, compiler: "Compiler", *, token: Any,
+                 cache: SummaryCache | None, opts_fp: str,
+                 sources: list[tuple[str, str]] | None):
+        self.c = compiler
+        self.opts = compiler.options
+        self.token = token
+        self.cache = cache
+        self.opts_fp = opts_fp
+        self.sources = sources
+        self.unit_sources = dict(sources) \
+            if sources is not None and cache is not None else None
+        self.dag = PassDAG()
+        self.engines: dict[str, DiagnosticEngine] = {}
+        self.node_timings: dict[str, dict[str, float]] = {}
+        #: guard name -> phase, for re-parenting pass spans emitted on
+        #: scheduler worker threads (parallel mode)
+        self.pass_phase: dict[str, str] = {}
+        self.state: dict[str, Any] = {}
+        self.rolled_back: list[str] = []
+        self.pool_width = 1
+
+    # -- node plumbing -----------------------------------------------------
+
+    def _spec(self, name: str, fn, *, deps=(), phase: str = "",
+              group: str = "", budget: float | None = None,
+              guard_names: tuple[str, ...] = ()) -> dict:
+        engine = DiagnosticEngine()
+        timings: dict[str, float] = {}
+        guard = PhaseGuard(engine, strict=self.opts.strict,
+                           budget=budget, timings=timings,
+                           ctx=self.token)
+        self.engines[name] = engine
+        self.node_timings[name] = timings
+        for g in guard_names:
+            self.pass_phase[g] = phase
+        return {"name": name,
+                "fn": lambda ctx, fn=fn, e=engine, g=guard: fn(ctx, e, g),
+                "deps": tuple(deps), "phase": phase, "group": group}
+
+    def _add(self, name: str, fn, **kw) -> None:
+        spec = self._spec(name, fn, **kw)
+        self.dag.add(spec["name"], spec["fn"], deps=spec["deps"],
+                     phase=spec["phase"], group=spec["group"])
+
+    # -- FE: parse + assemble ----------------------------------------------
+
+    def build_fe_sources(self) -> None:
+        c, opts, sources = self.c, self.opts, self.sources
+        n_units = max(len(sources), 1)
+        unit_budget = opts.phase_budget / n_units \
+            if opts.phase_budget is not None else None
+        report = FEReport(jobs=opts.jobs)
+        plan_error = ""
+        try:
+            tasks, prescans = plan_parses(sources, unit_budget)
+        except Exception as exc:                   # pragma: no cover
+            tasks, prescans = None, None
+            plan_error = f"typedef pre-scan failed: {exc}"
+
+        parse_nodes: list[str] = []
+        if tasks is not None:
+            self.pool_width = parse_pool_width(opts.jobs, len(tasks))
+            counts: dict[str, int] = {}
+            for task in tasks:
+                raw = task[0]
+                occ = counts.get(raw, 0)
+                counts[raw] = occ + 1
+                node = f"parse[{raw}]" if occ == 0 \
+                    else f"parse[{raw}#{occ}]"
+
+                def parse_fn(ctx, engine, guard, task=task):
+                    pool = process_pool(self.pool_width) \
+                        if self.pool_width > 1 else None
+                    return parse_cached(task, self.cache, self.opts_fp,
+                                        pool=pool)
+
+                self._add(node, parse_fn, phase="fe", group="fe.parse")
+                parse_nodes.append(node)
+
+        def assemble(ctx, engine, guard):
+            if tasks is None:
+                program, rep = legacy_assembly(sources, True, report,
+                                               plan_error)
+            else:
+                triples = [ctx[n] for n in parse_nodes]
+                report.parse_cache_hits = sum(
+                    1 for t in triples if not t[2])
+                program, rep = finish_assembly(
+                    sources, [t[0] for t in triples],
+                    [t[1] for t in triples], [t[2] for t in triples],
+                    prescans, True, report, self.cache)
+            self.state["fe_report"] = rep
+            c._fe_report_diags(rep, engine, unit_budget)
+            c._parse_diags(program, engine)
+            if self.cache is not None:
+                self.state["iface_fp"] = c._interface_fingerprint(program)
+            return program
+
+        self._add("fe.assemble", assemble, deps=tuple(parse_nodes),
+                  phase="fe", group="fe.parse")
+
+    # -- FE: analyses --------------------------------------------------------
+
+    def build_fe_analyses(self, unit_names: list[str]) -> None:
+        c, opts = self.c, self.opts
+        pb = opts.phase_budget
+        self._add(
+            "lower",
+            lambda ctx, e, g: g.run(
+                "lower", lambda: lower_program(ctx["fe.assemble"]),
+                dict),
+            deps=("fe.assemble",), phase="fe", budget=pb,
+            guard_names=("lower",))
+        self._add(
+            "loops",
+            lambda ctx, e, g: g.run(
+                "loops",
+                lambda: {name: find_loops(cfg)
+                         for name, cfg in ctx["lower"].items()},
+                dict),
+            deps=("lower",), phase="fe", budget=pb,
+            guard_names=("loops",))
+        leg = self._unit_family(
+            "legality", unit_names, summarize=summarize_unit_legality,
+            unit_fallback=fallback_unit_legality,
+            summary_type=UnitLegality)
+        self._merge_node("legality", leg, merge=merge_unit_legality,
+                         fallback=c._fallback_legality,
+                         validate=c._validate_legality)
+        dead = self._unit_family(
+            "deadfields", unit_names, summarize=summarize_unit_usage,
+            unit_fallback=fallback_unit_usage, summary_type=UnitUsage)
+        self._merge_node("deadfields", dead, merge=merge_unit_usage,
+                         fallback=c._fallback_usage,
+                         validate=c._validate_usage)
+
+    def _unit_family(self, kind: str, unit_names: list[str], *,
+                     summarize, unit_fallback,
+                     summary_type) -> list[str]:
+        """One summarize node per unit (``legality[a.c]``), each with a
+        proportional share of the phase budget and its own summary-cache
+        probe — the FE/IPA split of §2, now genuinely concurrent."""
+        opts = self.opts
+        n = max(len(unit_names), 1)
+        share = opts.phase_budget / n \
+            if opts.phase_budget is not None else None
+        nodes: list[str] = []
+        counts: dict[str, int] = {}
+        for raw in unit_names:
+            occ = counts.get(raw, 0)
+            counts[raw] = occ + 1
+            gname = f"{kind}[{raw}]"
+            node = gname if occ == 0 else f"{kind}[{raw}#{occ}]"
+
+            def unit_fn(ctx, engine, guard, raw=raw, occ=occ,
+                        gname=gname):
+                program = ctx["fe.assemble"]
+                u = _unit_for(program, raw, occ)
+                if u is _SKIP:
+                    return _SKIP
+                cache = self.cache
+                key = None
+                if cache is not None and self.unit_sources is not None \
+                        and raw in self.unit_sources:
+                    key = cache.key_for(
+                        "summary", kind, raw, self.unit_sources[raw],
+                        self.state.get("iface_fp", ""), self.opts_fp)
+                    got = cache.load("summary", key)
+                    if isinstance(got, summary_type):
+                        return got
+                    if got is not None:
+                        with cache.lock:
+                            cache.hits -= 1
+                            cache._event("corrupt", "summary", key,
+                                         "artifact has the wrong type")
+                        cache._discard("summary", key)
+                s = guard.run(gname, lambda: summarize(u),
+                              lambda: unit_fallback(raw))
+                if key is not None and isinstance(s, summary_type) \
+                        and not s.demote_all:
+                    cache.store("summary", key, s)
+                return s
+
+            self._add(node, unit_fn, deps=("fe.assemble",), phase="fe",
+                      budget=share, guard_names=(gname,))
+            nodes.append(node)
+        return nodes
+
+    def _merge_node(self, kind: str, unit_nodes: list[str], *,
+                    merge, fallback, validate) -> None:
+        """The IPA merge barrier over one unit family."""
+        pb = self.opts.phase_budget
+
+        def merge_fn(ctx, engine, guard):
+            program = ctx["fe.assemble"]
+            summaries = [s for n in unit_nodes
+                         if (s := ctx[n]) is not _SKIP]
+            res = guard.run(kind, lambda: merge(program, summaries),
+                            lambda: fallback(program))
+            return validate(program, res, engine)
+
+        self._add(kind, merge_fn,
+                  deps=("fe.assemble",) + tuple(unit_nodes),
+                  phase="fe", budget=pb, guard_names=(kind,))
+
+    def build_fe_finish(self, fe_key: str) -> None:
+        """Store the whole-FE artifact once every FE node is clean.
+
+        Only clean front ends are cached: a contained fault or a budget
+        overrun must be recomputed (and re-reported), not replayed
+        silently from disk.  The engine snapshot below covers exactly
+        the FE nodes built before this one.  ``escape`` depends on this
+        node so the stored legality cannot be mutated mid-pickle.
+        """
+        c, cache = self.c, self.cache
+        snapshot = list(self.engines.values())
+
+        def finish_fn(ctx, engine, guard):
+            program = ctx["fe.assemble"]
+            if not program.frontend_errors \
+                    and not any(e.contained() for e in snapshot):
+                cache.store("fe", fe_key,
+                            (program, ctx["lower"], ctx["loops"],
+                             ctx["legality"], ctx["deadfields"]))
+            c._cache_diags(cache, engine)
+            return None
+
+        self._add("fe.finish", finish_fn,
+                  deps=("fe.assemble", "lower", "loops", "legality",
+                        "deadfields"),
+                  phase="fe")
+
+    # -- IPA + BE ------------------------------------------------------------
+
+    def build_ipa_be(self, has_finish: bool) -> None:
+        c, opts = self.c, self.opts
+        pb = opts.phase_budget
+        self._add(
+            "callgraph",
+            lambda ctx, e, g: g.run(
+                "callgraph",
+                lambda: build_call_graph(ctx["lower"],
+                                         ctx["fe.assemble"]),
+                lambda: CallGraph(cfgs={})),
+            deps=("fe.assemble", "lower"), phase="ipa", budget=pb,
+            guard_names=("callgraph",))
+        # escape mutates legality (ESCP/FAULT reasons), so the whole-FE
+        # store must have happened first when a cache is in play
+        esc_deps = ("fe.assemble", "legality") \
+            + (("fe.finish",) if has_finish else ())
+        self._add(
+            "escape",
+            lambda ctx, e, g: g.run(
+                "escape",
+                lambda: analyze_escapes(ctx["fe.assemble"],
+                                        ctx["legality"]),
+                lambda: c._fallback_escape(ctx["legality"])),
+            deps=esc_deps, phase="ipa", budget=pb,
+            guard_names=("escape",))
+        heur_deps = ["fe.assemble", "legality", "deadfields", "escape",
+                     "weights", "profiles"]
+        if opts.relax_legality:
+            self._add(
+                "pointsto",
+                lambda ctx, e, g: c._relax(ctx["fe.assemble"],
+                                           ctx["legality"], g, e),
+                deps=("fe.assemble", "legality", "escape"),
+                phase="ipa", budget=pb, guard_names=("pointsto",))
+            heur_deps.append("pointsto")
+        self._add(
+            "weights",
+            lambda ctx, e, g: g.run(
+                "weights",
+                lambda: c._weights(ctx["lower"], ctx["callgraph"],
+                                   ctx["loops"]),
+                lambda: ProgramWeights(scheme=opts.scheme)),
+            deps=("lower", "loops", "callgraph"), phase="ipa",
+            budget=pb, guard_names=("weights",))
+
+        def profiles_fn(ctx, e, g):
+            res = g.run(
+                "profiles",
+                lambda: compute_profiles(ctx["fe.assemble"],
+                                         ctx["lower"], ctx["weights"],
+                                         ctx["loops"]),
+                dict)
+            return c._validate_profiles(res, e)
+
+        self._add("profiles", profiles_fn,
+                  deps=("fe.assemble", "lower", "loops", "weights"),
+                  phase="ipa", budget=pb, guard_names=("profiles",))
+
+        def heuristics_fn(ctx, e, g):
+            program = ctx["fe.assemble"]
+            res = g.run(
+                "heuristics",
+                lambda: decide_transforms(
+                    program, ctx["legality"], ctx["deadfields"],
+                    ctx["profiles"], ctx["weights"].scheme,
+                    opts.params),
+                list)
+            return c._validate_decisions(program, res, e)
+
+        self._add("heuristics", heuristics_fn, deps=tuple(heur_deps),
+                  phase="ipa", budget=pb, guard_names=("heuristics",))
+        self._add("be.plan", self._plan_fn,
+                  deps=("fe.assemble", "heuristics"), phase="be")
+
+    def _plan_fn(self, ctx, engine, guard):
+        """Grow the BE subgraph from the decided transforms: one
+        ``apply[TypeName]`` node per decision (chained in decision
+        order), an ``apply`` gather barrier, and ``verify``."""
+        c, opts = self.c, self.opts
+        program = ctx["fe.assemble"]
+        decisions = ctx["heuristics"]
+        if not opts.transform:
+            return None
+        pb = opts.phase_budget
+        specs: list[dict] = []
+        prev: str | None = None
+        for d in decisions:
+            if not d.transformed:
+                continue
+            gname = f"apply[{d.type_name}]"
+            specs.append(self._spec(
+                gname, self._apply_fn(d, prev, program),
+                deps=("be.plan",) if prev is None else (prev,),
+                phase="be", budget=pb, guard_names=(gname,)))
+            prev = gname
+        last = prev
+
+        def gather_fn(ctx2, e2, g2):
+            base = ctx2[last] if last is not None else program
+            return g2.run(
+                "apply", lambda: base,
+                lambda: c._demote_all_decisions(
+                    program, decisions,
+                    "transform application failed"))
+
+        specs.append(self._spec(
+            "apply", gather_fn,
+            deps=("be.plan",) if last is None else (last,),
+            phase="be", budget=pb, guard_names=("apply",)))
+        if opts.verify_transforms:
+            def verify_fn(ctx2, e2, g2):
+                transformed = ctx2["apply"]
+                return g2.run(
+                    "verify",
+                    lambda: c._verify_transforms(
+                        program, decisions, transformed, e2,
+                        self.rolled_back),
+                    lambda: c._demote_all_decisions(
+                        program, decisions,
+                        "verification machinery failed; transforms "
+                        "withheld"))
+
+            specs.append(self._spec("verify", verify_fn,
+                                    deps=("apply",), phase="be",
+                                    budget=pb,
+                                    guard_names=("verify",)))
+        ctx.add_nodes(specs)
+        return None
+
+    def _apply_fn(self, d: TransformDecision, prev: str | None,
+                  program: Program):
+        c, opts = self.c, self.opts
+
+        def fn(ctx, engine, guard):
+            base = ctx[prev] if prev is not None else program
+
+            def body():
+                try:
+                    return apply_decisions(base, [d])
+                except Exception as exc:
+                    if opts.strict:
+                        raise FatalCompilerError(
+                            "apply", f"transform of {d.type_name!r} "
+                                     f"failed: {exc}",
+                            cause=exc) from exc
+                    engine.warning(
+                        "apply",
+                        f"{d.action} failed "
+                        f"({type(exc).__name__}: {exc}); "
+                        f"type left untransformed",
+                        type_name=d.type_name, code=CODE_CONTAINED,
+                        action="report a rewriter bug with this source")
+                    d.notes.append(f"contained apply failure: {exc}")
+                    d.action = "none"
+                    return base
+
+            return guard.run(f"apply[{d.type_name}]", body,
+                             lambda: base)
+
+        return fn
+
+
 class Compiler:
-    """Drives one FE → IPA → BE compilation.
+    """Drives one compilation through the pass DAG.
 
     ``tracer`` and ``metrics`` are the observability hooks: a
     :class:`~repro.obs.Tracer` collects a ``compile`` → phase → pass
@@ -310,22 +766,25 @@ class Compiler:
         self.metrics = metrics
 
     @contextmanager
-    def _observing(self):
+    def _observing(self, token: Any):
         """Subscribe this compile's observers (tracing spans, metrics,
         per-pass profiling) for the duration of one compilation;
-        yields the profiler, or None on the zero-overhead path."""
+        yields ``(profiler, tracing_observer)`` — both None on the
+        zero-overhead path."""
         subs: list = []
         profiler = None
+        tracing = None
         if self.tracer.enabled:
-            profiler = PassProfiler()
-            subs += [TracingPassObserver(self.tracer), profiler]
+            profiler = PassProfiler(ctx=token)
+            tracing = TracingPassObserver(self.tracer, ctx=token)
+            subs += [tracing, profiler]
         if self.metrics is not None:
             subs.append(MetricsPassObserver(self.metrics))
         if not subs:
-            yield None
+            yield None, None
             return
         with PASS_EVENTS.subscribed(*subs):
-            yield profiler
+            yield profiler, tracing
 
     def _finalize_obs(self, result: CompilationResult,
                       profiler) -> CompilationResult:
@@ -336,33 +795,7 @@ class Compiler:
         return result
 
     def compile(self, program: Program) -> CompilationResult:
-        with self._observing() as profiler:
-            with self.tracer.span("compile", category=CAT_COMPILE) as s:
-                s.set(scheme=self.options.scheme,
-                      units=len(program.units))
-                result = self._compile_program(program)
-            return self._finalize_obs(result, profiler)
-
-    def _compile_program(self, program: Program) -> CompilationResult:
-        opts = self.options
-        timings: dict[str, float] = {}
-        pass_timings: dict[str, float] = {}
-        diags = DiagnosticEngine()
-        guard = PhaseGuard(diags, strict=opts.strict,
-                           budget=opts.phase_budget,
-                           timings=pass_timings)
-
-        self._parse_diags(program, diags)
-
-        # ---- FE: per-unit analysis ----
-        t0 = time.perf_counter()
-        with self.tracer.span("fe", category=CAT_PHASE):
-            cfgs, nests, legality, usage = self._fe_analyses(
-                program, guard, diags, pass_timings)
-        timings["fe"] = time.perf_counter() - t0
-
-        return self._ipa_be(program, cfgs, nests, legality, usage,
-                            timings, pass_timings, diags, guard)
+        return self._entry(program=program)
 
     def compile_sources(self, sources: list[tuple[str, str]]
                         ) -> CompilationResult:
@@ -373,96 +806,211 @@ class Compiler:
         Warm path: an unchanged ``(sources, options)`` pair restores
         the entire FE result — program, CFGs, loop nests, legality and
         usage summaries — from one cache entry (the paper's "IELF
-        files" kept between compiles) and goes straight to IPA.  Cache
-        problems of any kind degrade to recomputation with a
-        ``CODE_CACHE`` diagnostic; they never fail the compile.
+        files" kept between compiles), seeds the DAG with it, and runs
+        only the IPA/BE subgraph.  Cache problems of any kind degrade
+        to recomputation with a ``CODE_CACHE`` diagnostic; they never
+        fail the compile.
 
         The cache is bypassed while fault injection is armed so
         injected faults always exercise the real passes.
         """
-        with self._observing() as profiler:
+        return self._entry(sources=sources)
+
+    def _entry(self, program: Program | None = None,
+               sources: list[tuple[str, str]] | None = None
+               ) -> CompilationResult:
+        token = object()              # this compile's event identity
+        with self._observing(token) as (profiler, tracing):
             with self.tracer.span("compile", category=CAT_COMPILE) as s:
-                s.set(scheme=self.options.scheme, units=len(sources))
-                result = self._compile_sources(sources)
+                s.set(scheme=self.options.scheme,
+                      units=len(sources) if sources is not None
+                      else len(program.units))
+                result = self._run(program, sources, s, token, tracing)
             return self._finalize_obs(result, profiler)
 
-    def _compile_sources(self, sources: list[tuple[str, str]]
-                         ) -> CompilationResult:
-        opts = self.options
-        timings: dict[str, float] = {}
-        pass_timings: dict[str, float] = {}
-        diags = DiagnosticEngine()
-        guard = PhaseGuard(diags, strict=opts.strict,
-                           budget=opts.phase_budget,
-                           timings=pass_timings)
+    # -- the DAG driver ----------------------------------------------------
 
-        cache: SummaryCache | None = None
-        if opts.cache_dir is not None and not FAULTS:
-            cache = open_cache(opts.cache_dir)
+    def _run(self, program: Program | None,
+             sources: list[tuple[str, str]] | None, compile_span,
+             token: Any, tracing) -> CompilationResult:
+        opts = self.options
+        diags = DiagnosticEngine()
         opts_fp = opts.fingerprint()
 
-        # ---- FE: whole-result cache probe ----
-        t0 = time.perf_counter()
-        fe_span = self.tracer.start("fe", category=CAT_PHASE)
-        try:
-            if cache is not None:
-                fe_key = cache.key_for("fe", opts_fp, tuple(sources))
-                artifacts = self._load_fe_artifacts(cache, fe_key)
-                if artifacts is not None:
-                    program, cfgs, nests, legality, usage = artifacts
-                    timings["fe"] = time.perf_counter() - t0
-                    diags.note("fe", "front end restored from summary "
-                               "cache", code=CODE_CACHE)
-                    self._cache_diags(cache, diags)
-                    self._cache_metrics(cache)
-                    fe_span.set(restored_from_cache=True)
-                    self.tracer.finish(fe_span)
-                    fe_span = None
-                    return self._ipa_be(program, cfgs, nests, legality,
-                                        usage, timings, pass_timings,
-                                        diags, guard)
+        cache: SummaryCache | None = None
+        if sources is not None and opts.cache_dir is not None \
+                and not FAULTS:
+            cache = open_cache(opts.cache_dir)
 
-            # ---- FE: parse (parallel + per-TU parse cache) ----
-            n_units = max(len(sources), 1)
-            unit_budget = opts.phase_budget / n_units \
-                if opts.phase_budget is not None else None
-            with self.tracer.span("fe.parse", category=CAT_PHASE) as ps:
-                parse_t0 = time.perf_counter()
-                program, fe_report = assemble_program(
-                    sources, jobs=opts.jobs, cache=cache,
-                    cache_salt=opts_fp, recover=True,
-                    unit_budget=unit_budget)
-                ps.set(mode=fe_report.mode, jobs=fe_report.jobs,
-                       parse_cache_hits=fe_report.parse_cache_hits)
-            self._fe_unit_spans(fe_report, parse_t0, ps.span_id)
-            self._fe_report_diags(fe_report, diags, unit_budget)
-            self._parse_diags(program, diags)
-
-            # ---- FE: analyses (per-TU summaries + summary cache) ----
-            unit_sources = dict(sources) if cache is not None else None
-            cfgs, nests, legality, usage = self._fe_analyses(
-                program, guard, diags, pass_timings, cache=cache,
-                unit_sources=unit_sources, opts_fp=opts_fp)
-            timings["fe"] = time.perf_counter() - t0
-
-            if cache is not None and not program.frontend_errors \
-                    and not diags.contained():
-                # only clean front ends are cached: a contained fault
-                # or a budget overrun must be recomputed (and
-                # re-reported), not replayed silently from disk
-                cache.store("fe", fe_key,
-                            (program, cfgs, nests, legality, usage))
-            if cache is not None:
+        # ---- whole-FE cache probe (imperative: it decides the graph) --
+        restored = False
+        fe_probe = 0.0
+        fe_key = ""
+        seeded: dict[str, Any] = {}
+        if cache is not None:
+            t0 = time.perf_counter()
+            fe_key = cache.key_for("fe", opts_fp, tuple(sources))
+            artifacts = self._load_fe_artifacts(cache, fe_key)
+            fe_probe = time.perf_counter() - t0
+            if artifacts is not None:
+                restored = True
+                program, cfgs0, nests0, legality0, usage0 = artifacts
+                seeded = {"fe.assemble": program, "lower": cfgs0,
+                          "loops": nests0, "legality": legality0,
+                          "deadfields": usage0}
+                diags.note("fe", "front end restored from summary "
+                           "cache", code=CODE_CACHE)
                 self._cache_diags(cache, diags)
-                self._cache_metrics(cache)
-        finally:
-            if fe_span is not None:
-                self.tracer.finish(fe_span)
+                if self.tracer.enabled:
+                    self.tracer.add_finished(
+                        "fe", t0, t0 + fe_probe, category=CAT_PHASE,
+                        parent_id=compile_span.span_id,
+                        attrs={"restored_from_cache": True})
 
-        result = self._ipa_be(program, cfgs, nests, legality, usage,
-                              timings, pass_timings, diags, guard)
-        result.fe_report = fe_report
+        # ---- build the graph ------------------------------------------
+        graph = _CompileGraph(self, token=token, cache=cache,
+                              opts_fp=opts_fp, sources=sources)
+        if restored:
+            graph.build_ipa_be(has_finish=False)
+        elif sources is not None:
+            graph.build_fe_sources()
+            graph.build_fe_analyses([name for name, _ in sources])
+            if cache is not None:
+                graph.build_fe_finish(fe_key)
+            graph.build_ipa_be(has_finish=cache is not None)
+        else:
+            self._parse_diags(program, diags)
+            seeded = {"fe.assemble": program}
+            graph.build_fe_analyses([u.name for u in program.units])
+            graph.build_ipa_be(has_finish=False)
+
+        # ---- execute ---------------------------------------------------
+        jobs = opts.jobs
+        if jobs > 1 and graph.pool_width > 1:
+            # pre-warm the fork pool from this (single-threaded-so-far)
+            # thread: forking after the scheduler's workers exist risks
+            # inheriting held locks into pool children
+            process_pool(graph.pool_width)
+        boundary_spans: dict[str, Any] = {}
+        boundary = None
+        if jobs == 1 and self.tracer.enabled:
+            def boundary(kind, name, entering):
+                if entering:
+                    boundary_spans[name] = self.tracer.start(
+                        name, category=CAT_PHASE)
+                else:
+                    sp = boundary_spans.get(name)
+                    if sp is not None:
+                        self.tracer.finish(sp)
+        sched = DagScheduler(jobs, boundary=boundary)
+        results, dreport = sched.run(graph.dag, seeded=seeded)
+
+        # ---- merge per-node diagnostics + timings in builder order ----
+        pass_timings: dict[str, float] = {}
+        for node in sorted(graph.dag.nodes.values(),
+                           key=lambda n: n.order):
+            e = graph.engines.get(node.name)
+            if e is not None and len(e):
+                diags.merge(e)
+            t = graph.node_timings.get(node.name)
+            if t:
+                pass_timings.update(t)
+
+        timings = {"fe": fe_probe + dreport.phase_window("fe"),
+                   "ipa": dreport.phase_window("ipa"),
+                   "be": dreport.phase_window("be")}
+
+        program_out = results["fe.assemble"]
+        decisions = results["heuristics"]
+        if "verify" in results:
+            transformed = results["verify"]
+        elif "apply" in results:
+            transformed = results["apply"]
+        else:
+            transformed = program_out
+
+        if self.tracer.enabled:
+            self._emit_spans(graph, dreport, compile_span, tracing,
+                             boundary_spans, decisions,
+                             graph.rolled_back, jobs)
+        if cache is not None:
+            self._cache_metrics(cache)
+
+        result = CompilationResult(
+            program=program_out, options=opts, cfgs=results["lower"],
+            nests=results["loops"], callgraph=results["callgraph"],
+            legality=results["legality"], escape=results["escape"],
+            usage=results["deadfields"], weights=results["weights"],
+            profiles=results["profiles"], decisions=decisions,
+            transformed=transformed, timings=timings,
+            pass_timings=pass_timings, diagnostics=diags,
+            rolled_back=graph.rolled_back,
+            fe_report=graph.state.get("fe_report"))
+        result.scheduler = {**dreport.to_dict(),
+                            "restored_fe": restored}
         return result
+
+    # -- span assembly -----------------------------------------------------
+
+    def _emit_spans(self, graph: _CompileGraph, dreport, compile_span,
+                    tracing, boundary_spans: dict, decisions,
+                    rolled_back: list[str], jobs: int) -> None:
+        """Phase/group spans for the finished run.
+
+        Serial mode opened real nested spans via the scheduler's
+        boundary callback — only attributes are filled in here.
+        Parallel mode records retroactive phase spans spanning each
+        phase's node window, and re-parents pass spans that were opened
+        on worker threads (where no phase span was current)."""
+        opts = self.options
+        rep = graph.state.get("fe_report")
+        if jobs == 1:
+            ps = boundary_spans.get("fe.parse")
+            if ps is not None and rep is not None:
+                ps.set(mode=rep.mode, jobs=rep.jobs,
+                       parse_cache_hits=rep.parse_cache_hits)
+                self._fe_unit_spans(rep, ps.start, ps.span_id)
+            ipa = boundary_spans.get("ipa")
+            if ipa is not None:
+                ipa.set(decisions=len(decisions))
+            be = boundary_spans.get("be")
+            if be is not None:
+                be.set(transform=opts.transform,
+                       rolled_back=len(rolled_back))
+            return
+
+        stats = dreport.stats
+        phase_spans: dict[str, Any] = {}
+        for phase in ("fe", "ipa", "be"):
+            ss = [s for s in stats.values() if s.phase == phase]
+            if not ss:
+                continue
+            phase_spans[phase] = self.tracer.add_finished(
+                phase, min(s.start for s in ss),
+                max(s.end for s in ss), category=CAT_PHASE,
+                parent_id=compile_span.span_id)
+        gs = [s for s in stats.values() if s.group == "fe.parse"]
+        fe_span = phase_spans.get("fe")
+        if gs and fe_span is not None and rep is not None:
+            start = min(s.start for s in gs)
+            ps = self.tracer.add_finished(
+                "fe.parse", start, max(s.end for s in gs),
+                category=CAT_PHASE, parent_id=fe_span.span_id,
+                attrs={"mode": rep.mode, "jobs": rep.jobs,
+                       "parse_cache_hits": rep.parse_cache_hits})
+            self._fe_unit_spans(rep, start, ps.span_id)
+        if "ipa" in phase_spans:
+            phase_spans["ipa"].set(decisions=len(decisions))
+        if "be" in phase_spans:
+            phase_spans["be"].set(transform=opts.transform,
+                                  rolled_back=len(rolled_back))
+        if tracing is not None:
+            for sp in tracing.created:
+                if sp.parent_id is None:
+                    target = phase_spans.get(
+                        graph.pass_phase.get(sp.name, ""))
+                    if target is not None:
+                        sp.parent_id = target.span_id
 
     def _fe_unit_spans(self, report: FEReport, parse_t0: float,
                        parent_id: str | None = None) -> None:
@@ -528,9 +1076,10 @@ class Compiler:
                 and isinstance(blob[2], dict)
                 and isinstance(blob[3], LegalityResult)
                 and isinstance(blob[4], UsageResult)):
-            cache.hits -= 1           # reclassify: that was no hit
-            cache._event("corrupt", "fe", fe_key,
-                         "artifact has the wrong shape")
+            with cache.lock:
+                cache.hits -= 1       # reclassify: that was no hit
+                cache._event("corrupt", "fe", fe_key,
+                             "artifact has the wrong shape")
             cache._discard("fe", fe_key)
             return None
         return blob
@@ -554,85 +1103,6 @@ class Compiler:
                        f"summary cache: {cache.hits} hit(s), "
                        f"{cache.misses} miss(es)", code=CODE_CACHE)
 
-    def _fe_analyses(self, program: Program, guard: PhaseGuard,
-                     diags: DiagnosticEngine,
-                     pass_timings: dict[str, float],
-                     cache: SummaryCache | None = None,
-                     unit_sources: dict[str, str] | None = None,
-                     opts_fp: str = ""):
-        """Lower + loops + legality + deadfields, the per-unit halves
-        running under per-unit containment guards (``legality[a.c]``)
-        with a proportional share of the phase budget each."""
-        cfgs = guard.run("lower", lambda: lower_program(program), dict)
-        nests = guard.run(
-            "loops",
-            lambda: {name: find_loops(cfg)
-                     for name, cfg in cfgs.items()},
-            dict)
-        iface_fp = self._interface_fingerprint(program) \
-            if cache is not None else ""
-        legality = guard.run(
-            "legality",
-            lambda: self._unit_merged(
-                program, diags, pass_timings, cache, unit_sources,
-                iface_fp, opts_fp, kind="legality",
-                summarize=summarize_unit_legality,
-                unit_fallback=fallback_unit_legality,
-                merge=merge_unit_legality, summary_type=UnitLegality),
-            lambda: self._fallback_legality(program))
-        legality = self._validate_legality(program, legality, diags)
-        usage = guard.run(
-            "deadfields",
-            lambda: self._unit_merged(
-                program, diags, pass_timings, cache, unit_sources,
-                iface_fp, opts_fp, kind="deadfields",
-                summarize=summarize_unit_usage,
-                unit_fallback=fallback_unit_usage,
-                merge=merge_unit_usage, summary_type=UnitUsage),
-            lambda: self._fallback_usage(program))
-        usage = self._validate_usage(program, usage, diags)
-        return cfgs, nests, legality, usage
-
-    def _unit_merged(self, program: Program, diags: DiagnosticEngine,
-                     pass_timings: dict[str, float],
-                     cache: SummaryCache | None,
-                     unit_sources: dict[str, str] | None,
-                     iface_fp: str, opts_fp: str, *, kind: str,
-                     summarize, unit_fallback, merge, summary_type):
-        """Summarize every unit (under per-unit guards, consulting the
-        per-TU summary cache) and merge — the FE/IPA split of §2."""
-        opts = self.options
-        n = max(len(program.units), 1)
-        share = opts.phase_budget / n \
-            if opts.phase_budget is not None else None
-        sub = PhaseGuard(diags, strict=opts.strict, budget=share,
-                         timings=pass_timings)
-        summaries = []
-        for u in program.units:
-            key = None
-            if cache is not None and unit_sources is not None \
-                    and u.name in unit_sources:
-                key = cache.key_for("summary", kind, u.name,
-                                    unit_sources[u.name], iface_fp,
-                                    opts_fp)
-                got = cache.load("summary", key)
-                if isinstance(got, summary_type):
-                    summaries.append(got)
-                    continue
-                if got is not None:
-                    cache.hits -= 1
-                    cache._event("corrupt", "summary", key,
-                                 "artifact has the wrong type")
-                    cache._discard("summary", key)
-            s = sub.run(f"{kind}[{u.name}]",
-                        lambda u=u: summarize(u),
-                        lambda u=u: unit_fallback(u.name))
-            if key is not None and isinstance(s, summary_type) \
-                    and not s.demote_all:
-                cache.store("summary", key, s)
-            summaries.append(s)
-        return merge(program, summaries)
-
     @staticmethod
     def _interface_fingerprint(program: Program) -> str:
         """Hash of the cross-unit facts a per-TU summary can depend on:
@@ -652,80 +1122,6 @@ class Compiler:
         gls = sorted((n, str(s.type))
                      for n, s in program.symbols.globals.items())
         return fingerprint("iface", recs, tds, fns, gls)
-
-    # -- IPA + BE ----------------------------------------------------------
-
-    def _ipa_be(self, program: Program, cfgs, nests, legality, usage,
-                timings: dict[str, float],
-                pass_timings: dict[str, float],
-                diags: DiagnosticEngine,
-                guard: PhaseGuard) -> CompilationResult:
-        opts = self.options
-
-        # ---- IPA: aggregation, weights, heuristics ----
-        t0 = time.perf_counter()
-        with self.tracer.span("ipa", category=CAT_PHASE) as ipa_span:
-            callgraph = guard.run(
-                "callgraph", lambda: build_call_graph(cfgs, program),
-                lambda: CallGraph(cfgs={}))
-            escape = guard.run(
-                "escape", lambda: analyze_escapes(program, legality),
-                lambda: self._fallback_escape(legality))
-            if opts.relax_legality:
-                self._relax(program, legality, guard, diags)
-            weights = guard.run(
-                "weights", lambda: self._weights(cfgs, callgraph, nests),
-                lambda: ProgramWeights(scheme=opts.scheme))
-            profiles = guard.run(
-                "profiles",
-                lambda: compute_profiles(program, cfgs, weights, nests),
-                dict)
-            profiles = self._validate_profiles(profiles, diags)
-            decisions = guard.run(
-                "heuristics",
-                lambda: decide_transforms(program, legality, usage,
-                                          profiles, weights.scheme,
-                                          opts.params),
-                list)
-            decisions = self._validate_decisions(program, decisions,
-                                                 diags)
-            ipa_span.set(decisions=len(decisions))
-        timings["ipa"] = time.perf_counter() - t0
-
-        # ---- BE: transformation + differential verification ----
-        t0 = time.perf_counter()
-        transformed = program
-        rolled_back: list[str] = []
-        with self.tracer.span("be", category=CAT_PHASE) as be_span:
-            if opts.transform:
-                transformed = guard.run(
-                    "apply",
-                    lambda: self._contained_apply(program, decisions,
-                                                  diags),
-                    lambda: self._demote_all_decisions(
-                        program, decisions,
-                        "transform application failed"))
-                if opts.verify_transforms:
-                    transformed = guard.run(
-                        "verify",
-                        lambda: self._verify_transforms(
-                            program, decisions, transformed, diags,
-                            rolled_back),
-                        lambda: self._demote_all_decisions(
-                            program, decisions,
-                            "verification machinery failed; transforms "
-                            "withheld"))
-            be_span.set(transform=opts.transform,
-                        rolled_back=len(rolled_back))
-        timings["be"] = time.perf_counter() - t0
-
-        return CompilationResult(
-            program=program, options=opts, cfgs=cfgs, nests=nests,
-            callgraph=callgraph, legality=legality, escape=escape,
-            usage=usage, weights=weights, profiles=profiles,
-            decisions=decisions, transformed=transformed,
-            timings=timings, pass_timings=pass_timings,
-            diagnostics=diags, rolled_back=rolled_back)
 
     # -- conservative fallbacks -------------------------------------------
 
@@ -921,32 +1317,6 @@ class Compiler:
             return estimate_ispbo_w(cfgs, callgraph, nests,
                                     entry=opts.entry)
         raise ValueError(f"unknown scheme {scheme!r}")
-
-    def _contained_apply(self, program: Program,
-                         decisions: list[TransformDecision],
-                         diags: DiagnosticEngine) -> Program:
-        """Apply decisions one type at a time; a failing application
-        demotes only that type's decision and the rest still apply."""
-        current = program
-        for d in decisions:
-            if not d.transformed:
-                continue
-            try:
-                current = apply_decisions(current, [d])
-            except Exception as exc:
-                if self.options.strict:
-                    raise FatalCompilerError(
-                        "apply", f"transform of {d.type_name!r} "
-                                 f"failed: {exc}", cause=exc) from exc
-                diags.warning(
-                    "apply",
-                    f"{d.action} failed ({type(exc).__name__}: {exc}); "
-                    f"type left untransformed",
-                    type_name=d.type_name, code=CODE_CONTAINED,
-                    action="report a rewriter bug with this source")
-                d.notes.append(f"contained apply failure: {exc}")
-                d.action = "none"
-        return current
 
     # -- differential rollback --------------------------------------------
 

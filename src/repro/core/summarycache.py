@@ -39,6 +39,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -122,6 +123,9 @@ class SummaryCache:
 
     def __post_init__(self):
         self.root = Path(self.root)
+        # concurrent DAG nodes probe/store through one cache object;
+        # reentrant because load -> _event/_discard nest
+        self.lock = threading.RLock()
 
     # -- keys ---------------------------------------------------------------
 
@@ -138,7 +142,6 @@ class SummaryCache:
     def store(self, category: str, key: str, value: Any) -> bool:
         """Atomically persist ``value``; False (never an exception) on
         any I/O or pickling failure."""
-        path = self._path(category, key)
         try:
             blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
@@ -151,27 +154,29 @@ class SummaryCache:
         """Persist an already-pickled artifact atomically, framed with
         its SHA-256 checksum."""
         path = self._path(category, key)
-        try:
-            from .faults import CACHE_FAULTS
-            CACHE_FAULTS.fire("store", category)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with self.lock:
             try:
-                with os.fdopen(fd, "wb") as f:
-                    f.write(frame_blob(blob))
-                os.replace(tmp, path)
-            except BaseException:
+                from .faults import CACHE_FAULTS
+                CACHE_FAULTS.fire("store", category)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                           suffix=".tmp")
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except Exception as exc:
-            self._event("io-error", category, key,
-                        f"store failed: {type(exc).__name__}")
-            return False
-        self._event("store", category, key)
-        return True
+                    with os.fdopen(fd, "wb") as f:
+                        f.write(frame_blob(blob))
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except Exception as exc:
+                self._event("io-error", category, key,
+                            f"store failed: {type(exc).__name__}")
+                return False
+            self._event("store", category, key)
+            return True
 
     # -- load ---------------------------------------------------------------
 
@@ -179,27 +184,33 @@ class SummaryCache:
         """The cached artifact, or None on miss/corruption (never
         raises).  Corruption is reported as a distinct event kind so the
         pipeline can emit a diagnostic rather than silently recompute."""
-        blob = self.load_blob(category, key)
-        if blob is None:
-            return None
-        try:
-            value = pickle.loads(blob)
-        except Exception as exc:
-            self._event("corrupt", category, key,
-                        f"unpickle failed: {type(exc).__name__}")
-            self._discard(category, key)
-            return None
-        if value is None:
-            # None is not a legal artifact (it is the miss sentinel);
-            # treat a stored None as corruption
-            self._event("corrupt", category, key, "null artifact")
-            self._discard(category, key)
-            return None
-        self.hits += 1
-        self._event("hit", category, key)
-        return value
+        with self.lock:
+            blob = self.load_blob(category, key)
+            if blob is None:
+                return None
+            try:
+                value = pickle.loads(blob)
+            except Exception as exc:
+                self._event("corrupt", category, key,
+                            f"unpickle failed: {type(exc).__name__}")
+                self._discard(category, key)
+                return None
+            if value is None:
+                # None is not a legal artifact (it is the miss
+                # sentinel); treat a stored None as corruption
+                self._event("corrupt", category, key, "null artifact")
+                self._discard(category, key)
+                return None
+            self.hits += 1
+            self._event("hit", category, key)
+            return value
 
     def load_blob(self, category: str, key: str) -> bytes | None:
+        with self.lock:
+            return self._load_blob_locked(category, key)
+
+    def _load_blob_locked(self, category: str,
+                          key: str) -> bytes | None:
         path = self._path(category, key)
         try:
             from .faults import CACHE_FAULTS
@@ -232,23 +243,27 @@ class SummaryCache:
     def _discard(self, category: str, key: str) -> None:
         """Quarantine a bad entry so it is recomputed cleanly next time
         but stays inspectable (moved, not deleted; bounded count)."""
-        self.misses += 1
+        with self.lock:
+            self.misses += 1
         quarantine_entry(self.root, self._path(category, key),
                          category, key)
 
     def corrupt_events(self) -> list[CacheEvent]:
-        return [e for e in self.events if e.kind == "corrupt"]
+        with self.lock:
+            return [e for e in self.events if e.kind == "corrupt"]
 
     def drain_events(self) -> list[CacheEvent]:
         """Return and clear accumulated events (one compile's worth)."""
-        out = self.events
-        self.events = []
-        return out
+        with self.lock:
+            out = self.events
+            self.events = []
+            return out
 
     def _event(self, kind: str, category: str, key: str,
                detail: str = "") -> None:
-        self.events.append(CacheEvent(kind=kind, category=category,
-                                      key=key, detail=detail))
+        with self.lock:
+            self.events.append(CacheEvent(kind=kind, category=category,
+                                          key=key, detail=detail))
 
 
 # ---------------------------------------------------------------------------

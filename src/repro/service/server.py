@@ -41,6 +41,7 @@ import threading
 import time
 from pathlib import Path
 
+from ..core.dag import effective_cores
 from .requests import (
     COMPILE_OPS, ProtocolError, Request, busy_response, decode, encode,
     error_response,
@@ -337,6 +338,7 @@ class CompileServer(LineServer):
                 "uptime_s": round(
                     time.monotonic() - self._started_at, 2),
                 "socket": self.socket_path,
+                "effective_cores": effective_cores(),
             }
         out = {"server": server}
         out.update(self.supervisor.stats())

@@ -333,7 +333,11 @@ class Supervisor:
                       exitcode: int | None) -> Path:
         """Persist one crash report; returns its path."""
         self._crash_seq += 1
-        fp = fingerprint("crash", op, tier, tuple(units), last_stage,
+        # attribute the crash to the pass *family*: per-node stages
+        # like "apply[Point]" or "legality[a.c]" fingerprint/report as
+        # their base pass, with the full stage kept in last_stage
+        base = last_stage.split("[", 1)[0]
+        fp = fingerprint("crash", op, tier, tuple(units), base,
                          reason)[:16]
         report = {
             "time": time.time(),
@@ -342,7 +346,8 @@ class Supervisor:
             "tier": tier,
             "attempt": attempt,
             "units": units,
-            "last_pass": last_stage,
+            "last_pass": base,
+            "last_stage": last_stage,
             "reason": reason,
             "detail": detail,
             "exitcode": exitcode,

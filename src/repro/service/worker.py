@@ -40,6 +40,7 @@ import traceback
 
 from ..api import CompileOptions, execute_tier
 from ..api import _type_rows  # noqa: F401  (re-exported; tests use it)
+from ..core.dag import shutdown_process_pool
 from ..core.faults import PROC_FAULTS, ProcessFault, ProcessFaultSpec
 from ..core.pipeline import CompilerOptions, PASS_EVENTS
 from ..obs import CAT_SERVICE, Tracer
@@ -221,3 +222,6 @@ def worker_main(conn, heartbeat, state, cache_dir: str | None,
                 set_stage(state, "idle")
     finally:
         PASS_EVENTS.unsubscribe(on_pass_event)
+        # drop this worker's parse pool: its children must not outlive
+        # the worker the way the worker must not outlive the daemon
+        shutdown_process_pool()
