@@ -25,9 +25,21 @@ Drills, in order:
    re-run a warm workload.  The cache service must quarantine the
    corrupt entries and serve misses; the compile recomputes and still
    ends ``ok``.
+5. **Overload** (``--only overload``): one tenant floods the farm far
+   past its queue capacity while a second, polite tenant submits a
+   small batch at high priority with an end-to-end ``deadline_ms``,
+   plus a few requests whose budget is hopeless by construction.
+   Gates: every request gets exactly one structured reply; every
+   polite request is served within its deadline and its p95 latency
+   beats the flood's; zero ``ok``/``degraded`` replies land past
+   their propagated deadline (hopeless budgets come back
+   ``deadline_exceeded``, never served late).
 
-Every step runs under its own wall-clock budget so a wedged farm fails
-the job quickly.  Exit status: 0 on success, 1 on any violation.
+``--only`` runs a comma-separated subset of drills (``kill``,
+``gray``, ``restart``, ``cache``, ``overload``); the default is the
+four classic drills.  Every step runs under its own wall-clock budget
+so a wedged farm fails the job quickly.  Exit status: 0 on success,
+1 on any violation.
 """
 
 from __future__ import annotations
@@ -138,6 +150,151 @@ def gate_batch(name: str, responses: dict, dropped: dict,
     return ok
 
 
+def percentile(values: list, q: float) -> float:
+    """Nearest-rank percentile of a non-empty list."""
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, int(round(
+        q / 100.0 * (len(ordered) - 1)))))
+    return ordered[idx]
+
+
+def run_overload_drill(farm, router: str, args) -> bool:
+    """Drill 5: a flooding tenant vs a polite one with deadlines.
+
+    ``floody`` fires 5x the farm's batch size with no deadline;
+    ``nice`` concurrently sends a small high-priority batch with a
+    real ``deadline_ms`` plus a few requests whose 1 ms budget is
+    hopeless by construction.  See the module docstring for gates."""
+    ok = True
+    step = StepTimer("overload", args.step_timeout * 2)
+    nice_deadline_ms = min(30_000.0, args.step_timeout * 1000.0)
+    flood = [{"id": f"f{i}", "op": "analyze",
+              "sources": [[f"flood{i}.c",
+                           SOURCE_TMPL % {"salt": 1000 + i}]],
+              "options": {"cache": False}, "tenant": "floody"}
+             for i in range(args.requests * 5)]
+    nice = [{"id": f"n{i}", "op": "analyze",
+             "sources": [[f"nice{i}.c",
+                          SOURCE_TMPL % {"salt": 2000 + i}]],
+             "options": {"cache": False}, "tenant": "nice",
+             "priority": "high", "deadline_ms": nice_deadline_ms}
+            for i in range(args.requests)]
+    hopeless = [{"id": f"h{i}", "op": "analyze",
+                 "sources": [[f"hope{i}.c",
+                              SOURCE_TMPL % {"salt": 3000 + i}]],
+                 "options": {"cache": False}, "tenant": "nice",
+                 "deadline_ms": 1.0}
+                for i in range(4)]
+    reqs = flood + nice + hopeless
+    responses: dict = {}
+    elapsed_ms: dict = {}
+    dropped: dict = {}
+
+    def one(req: dict) -> None:
+        t0 = time.monotonic()
+        try:
+            responses[req["id"]] = single_request(
+                router, req, timeout=args.step_timeout * 2)
+            elapsed_ms[req["id"]] = \
+                (time.monotonic() - t0) * 1000.0
+        except Exception as exc:
+            dropped[req["id"]] = f"{type(exc).__name__}: {exc}"
+
+    threads = [threading.Thread(target=one, args=(r,))
+               for r in reqs]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=args.step_timeout * 2)
+
+    # gate 1: every request got exactly one structured reply
+    for req_id, msg in sorted(dropped.items()):
+        ok = False
+        print(f"FAIL [overload]: request {req_id} dropped: {msg}",
+              file=sys.stderr)
+    if len(responses) + len(dropped) != len(reqs):
+        ok = False
+        print(f"FAIL [overload]: "
+              f"{len(reqs) - len(responses) - len(dropped)} "
+              f"request(s) never completed", file=sys.stderr)
+    for req_id, resp in sorted(responses.items()):
+        if not isinstance(resp.get("status"), str):
+            ok = False
+            print(f"FAIL [overload]: request {req_id} reply has no "
+                  f"status: {resp}", file=sys.stderr)
+
+    # gate 2: the polite tenant's deadline batch is served in full,
+    # inside its deadline
+    nice_latencies = []
+    for req in nice:
+        resp = responses.get(req["id"])
+        if resp is None:
+            continue              # already failed gate 1
+        if resp.get("status") not in ("ok", "degraded"):
+            ok = False
+            print(f"FAIL [overload]: nice request {req['id']} ended "
+                  f"{resp.get('status')!r}: {resp.get('error')}",
+                  file=sys.stderr)
+            continue
+        nice_latencies.append(elapsed_ms[req["id"]])
+
+    # gate 3: zero served replies past their propagated deadline —
+    # a reply that would land late must be deadline_exceeded instead
+    for req in nice + hopeless:
+        resp = responses.get(req["id"])
+        if resp is None:
+            continue
+        late = elapsed_ms[req["id"]] > req["deadline_ms"]
+        if resp.get("status") in ("ok", "degraded") and late:
+            ok = False
+            print(f"FAIL [overload]: request {req['id']} served "
+                  f"{elapsed_ms[req['id']]:.0f}ms into a "
+                  f"{req['deadline_ms']:.0f}ms deadline",
+                  file=sys.stderr)
+    hopeless_statuses = {r["id"]: responses.get(r["id"], {})
+                         .get("status") for r in hopeless}
+    if any(s in ("ok", "degraded")
+           for s in hopeless_statuses.values()):
+        ok = False
+        print(f"FAIL [overload]: hopeless 1ms-budget requests were "
+              f"served instead of refused: {hopeless_statuses}",
+              file=sys.stderr)
+
+    # gate 4: fairness — the polite tenant's p95 beats the flood's
+    # (the flood queues behind itself, nice interleaves via DRR)
+    flood_latencies = [elapsed_ms[r["id"]] for r in flood
+                       if responses.get(r["id"], {}).get("status")
+                       in ("ok", "degraded")
+                       and r["id"] in elapsed_ms]
+    if nice_latencies and len(flood_latencies) >= args.requests:
+        nice_p95 = percentile(nice_latencies, 95)
+        flood_p95 = percentile(flood_latencies, 95)
+        if nice_p95 > flood_p95:
+            ok = False
+            print(f"FAIL [overload]: polite tenant p95 "
+                  f"{nice_p95:.0f}ms exceeds flooding tenant p95 "
+                  f"{flood_p95:.0f}ms — fair queueing is not "
+                  f"protecting the polite tenant", file=sys.stderr)
+    nice_p95 = percentile(nice_latencies, 95) if nice_latencies \
+        else float("nan")
+    served_flood = len(flood_latencies)
+    stats = single_request(router, {"op": "stats"},
+                           timeout=30)["stats"]
+    fairness = stats.get("fairness", {})
+    print(f"  [overload] flood served {served_flood}/{len(flood)}, "
+          f"nice served {len(nice_latencies)}/{len(nice)} "
+          f"(p95 {nice_p95:.0f}ms), hopeless "
+          f"{sorted(hopeless_statuses.values())}", flush=True)
+    print(f"  [overload] router fairness: "
+          f"{fairness.get('tenants', {})}", flush=True)
+    step.done()
+    return ok
+
+
+DRILLS = ("kill", "gray", "restart", "cache", "overload")
+CLASSIC = ("kill", "gray", "restart", "cache")
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--daemons", type=int, default=3)
@@ -147,7 +304,18 @@ def main(argv=None) -> int:
     ap.add_argument("--cache-budget", default="64M")
     ap.add_argument("--step-timeout", type=float, default=120.0,
                     help="wall-clock budget per drill step, seconds")
+    ap.add_argument("--only", default=None, metavar="DRILLS",
+                    help="comma-separated subset of drills to run: "
+                         + ", ".join(DRILLS)
+                         + " (default: the four classic drills)")
     args = ap.parse_args(argv)
+    if args.only is None:
+        drills = set(CLASSIC)
+    else:
+        drills = {d.strip() for d in args.only.split(",") if d.strip()}
+        unknown = drills - set(DRILLS)
+        if unknown:
+            ap.error(f"unknown drill(s): {', '.join(sorted(unknown))}")
 
     run_dir = tempfile.mkdtemp(prefix="repro-chaos-", dir="/tmp")
     print(f"farm chaos: {args.daemons} daemons, "
@@ -183,117 +351,129 @@ def main(argv=None) -> int:
         # and then no failover would be needed at all.  The second
         # half still rendezvous-routes to the dead shard, so every one
         # of those requests must fail over.
-        step = StepTimer("kill-failover", args.step_timeout)
-        half = max(1, args.requests // 2)
-        reqs = [{"id": i, "op": "analyze", "sources": workload(0)}
-                for i in range(args.requests)]
-        responses, dropped = fire_batch(router, reqs[:half],
-                                        args.step_timeout)
-        ok &= gate_batch("kill-failover/before", responses, dropped,
-                         half)
-        farm.kill_proc(victim, sig=signal.SIGKILL)
-        responses, dropped = fire_batch(router, reqs[half:],
-                                        args.step_timeout)
-        ok &= gate_batch("kill-failover", responses, dropped,
-                         len(reqs) - half)
-        stats = single_request(router, {"op": "stats"},
-                               timeout=30)["stats"]
-        if stats["router"]["failovers"] < 1:
-            ok = False
-            print("FAIL [kill-failover]: router reports no failovers "
-                  "after its serving shard was killed",
-                  file=sys.stderr)
-        farm.restart_proc(victim, ready_timeout=args.step_timeout)
-        step.done()
+        if "kill" in drills:
+            step = StepTimer("kill-failover", args.step_timeout)
+            half = max(1, args.requests // 2)
+            reqs = [{"id": i, "op": "analyze", "sources": workload(0)}
+                    for i in range(args.requests)]
+            responses, dropped = fire_batch(router, reqs[:half],
+                                            args.step_timeout)
+            ok &= gate_batch("kill-failover/before", responses,
+                             dropped, half)
+            farm.kill_proc(victim, sig=signal.SIGKILL)
+            responses, dropped = fire_batch(router, reqs[half:],
+                                            args.step_timeout)
+            ok &= gate_batch("kill-failover", responses, dropped,
+                             len(reqs) - half)
+            stats = single_request(router, {"op": "stats"},
+                                   timeout=30)["stats"]
+            if stats["router"]["failovers"] < 1:
+                ok = False
+                print("FAIL [kill-failover]: router reports no "
+                      "failovers after its serving shard was killed",
+                      file=sys.stderr)
+            farm.restart_proc(victim, ready_timeout=args.step_timeout)
+            step.done()
 
         # -- drill 2: gray failure (stopped, not dead) -------------------
-        step = StepTimer("gray-failure", args.step_timeout)
-        probe = single_request(router, {
-            "id": "gray", "op": "analyze", "sources": workload(1)},
-            timeout=args.step_timeout)
-        gray = probe["route"]["shard"]
-        pid = farm.procs[gray].proc.pid
-        os.kill(pid, signal.SIGSTOP)
-        try:
-            t0 = time.monotonic()
-            resp = single_request(router, {
-                "id": "hedge", "op": "analyze",
-                "sources": workload(1)}, timeout=args.step_timeout)
-            elapsed = time.monotonic() - t0
-        finally:
-            os.kill(pid, signal.SIGCONT)
-        if resp.get("status") != "ok":
-            ok = False
-            print(f"FAIL [gray-failure]: request against a stopped "
-                  f"shard ended {resp.get('status')!r}",
-                  file=sys.stderr)
-        if not resp.get("route", {}).get("hedged"):
-            ok = False
-            print("FAIL [gray-failure]: response was not hedged "
-                  f"(route={resp.get('route')})", file=sys.stderr)
-        print(f"  [gray-failure] hedged around stopped shard "
-              f"{gray!r} in {elapsed:.1f}s "
-              f"(winner {resp.get('route', {}).get('shard')!r})",
-              flush=True)
-        step.done()
+        if "gray" in drills:
+            step = StepTimer("gray-failure", args.step_timeout)
+            probe = single_request(router, {
+                "id": "gray", "op": "analyze", "sources": workload(1)},
+                timeout=args.step_timeout)
+            gray = probe["route"]["shard"]
+            pid = farm.procs[gray].proc.pid
+            os.kill(pid, signal.SIGSTOP)
+            try:
+                t0 = time.monotonic()
+                resp = single_request(router, {
+                    "id": "hedge", "op": "analyze",
+                    "sources": workload(1)},
+                    timeout=args.step_timeout)
+                elapsed = time.monotonic() - t0
+            finally:
+                os.kill(pid, signal.SIGCONT)
+            if resp.get("status") != "ok":
+                ok = False
+                print(f"FAIL [gray-failure]: request against a "
+                      f"stopped shard ended {resp.get('status')!r}",
+                      file=sys.stderr)
+            if not resp.get("route", {}).get("hedged"):
+                ok = False
+                print("FAIL [gray-failure]: response was not hedged "
+                      f"(route={resp.get('route')})", file=sys.stderr)
+            print(f"  [gray-failure] hedged around stopped shard "
+                  f"{gray!r} in {elapsed:.1f}s "
+                  f"(winner {resp.get('route', {}).get('shard')!r})",
+                  flush=True)
+            step.done()
 
         # -- drill 3: rolling drain-restart under load -------------------
-        step = StepTimer("hot-restart", args.step_timeout * 2)
-        reqs = [{"id": 100 + i, "op": "analyze",
-                 "sources": workload(i % 4)}
-                for i in range(args.requests)]
-        batch: dict = {}
+        if "restart" in drills:
+            step = StepTimer("hot-restart", args.step_timeout * 2)
+            reqs = [{"id": 100 + i, "op": "analyze",
+                     "sources": workload(i % 4)}
+                    for i in range(args.requests)]
+            batch: dict = {}
 
-        def run_batch() -> None:
-            batch["result"] = fire_batch(router, reqs,
-                                         args.step_timeout * 2)
+            def run_batch() -> None:
+                batch["result"] = fire_batch(router, reqs,
+                                             args.step_timeout * 2)
 
-        runner = threading.Thread(target=run_batch)
-        runner.start()
-        time.sleep(0.3)
-        farm.rolling_restart(ready_timeout=args.step_timeout)
-        runner.join(timeout=args.step_timeout * 2)
-        responses, dropped = batch.get("result", ({}, {}))
-        ok &= gate_batch("hot-restart", responses, dropped, len(reqs))
-        restarts = {n: p.restarts for n, p in farm.procs.items()
-                    if n != "cache"}
-        if any(r < 1 for r in restarts.values()):
-            ok = False
-            print(f"FAIL [hot-restart]: not every shard was "
-                  f"restarted: {restarts}", file=sys.stderr)
-        step.done()
+            runner = threading.Thread(target=run_batch)
+            runner.start()
+            time.sleep(0.3)
+            farm.rolling_restart(ready_timeout=args.step_timeout)
+            runner.join(timeout=args.step_timeout * 2)
+            responses, dropped = batch.get("result", ({}, {}))
+            ok &= gate_batch("hot-restart", responses, dropped,
+                             len(reqs))
+            restarts = {n: p.restarts for n, p in farm.procs.items()
+                        if n != "cache"}
+            if any(r < 1 for r in restarts.values()):
+                ok = False
+                print(f"FAIL [hot-restart]: not every shard was "
+                      f"restarted: {restarts}", file=sys.stderr)
+            step.done()
 
         # -- drill 4: corrupt the shared cache on disk -------------------
-        step = StepTimer("cache-corruption", args.step_timeout)
-        entries = [p for p in Path(farm.cache_dir).rglob("*.pkl")
-                   if "quarantine" not in p.parts]
-        for p in entries:
-            raw = bytearray(p.read_bytes())
-            raw[-1] ^= 0xFF
-            p.write_bytes(bytes(raw))
-        print(f"  corrupted {len(entries)} cache entr(ies) on disk",
-              flush=True)
-        resp = single_request(router, {
-            "id": "post-corrupt", "op": "analyze",
-            "sources": workload(0)}, timeout=args.step_timeout)
-        if resp.get("status") != "ok":
-            ok = False
-            print(f"FAIL [cache-corruption]: compile against a "
-                  f"corrupt cache ended {resp.get('status')!r}",
-                  file=sys.stderr)
-        stats = single_request(router, {"op": "stats"},
-                               timeout=30)["stats"]
-        cache_stats = (stats.get("cache") or {}).get("cache", {})
-        if entries and not cache_stats.get("corrupt"):
-            ok = False
-            print(f"FAIL [cache-corruption]: cache service counted "
-                  f"no corruption: {cache_stats}", file=sys.stderr)
-        print(f"  [cache-corruption] service stats: "
-              f"hits={cache_stats.get('hits')} "
-              f"misses={cache_stats.get('misses')} "
-              f"corrupt={cache_stats.get('corrupt')} "
-              f"evictions={cache_stats.get('evictions')}", flush=True)
-        step.done()
+        if "cache" in drills:
+            step = StepTimer("cache-corruption", args.step_timeout)
+            entries = [p for p in Path(farm.cache_dir).rglob("*.pkl")
+                       if "quarantine" not in p.parts]
+            for p in entries:
+                raw = bytearray(p.read_bytes())
+                raw[-1] ^= 0xFF
+                p.write_bytes(bytes(raw))
+            print(f"  corrupted {len(entries)} cache entr(ies) on "
+                  f"disk", flush=True)
+            resp = single_request(router, {
+                "id": "post-corrupt", "op": "analyze",
+                "sources": workload(0)}, timeout=args.step_timeout)
+            if resp.get("status") != "ok":
+                ok = False
+                print(f"FAIL [cache-corruption]: compile against a "
+                      f"corrupt cache ended {resp.get('status')!r}",
+                      file=sys.stderr)
+            stats = single_request(router, {"op": "stats"},
+                                   timeout=30)["stats"]
+            cache_stats = (stats.get("cache") or {}).get("cache", {})
+            if entries and not cache_stats.get("corrupt"):
+                ok = False
+                print(f"FAIL [cache-corruption]: cache service "
+                      f"counted no corruption: {cache_stats}",
+                      file=sys.stderr)
+            print(f"  [cache-corruption] service stats: "
+                  f"hits={cache_stats.get('hits')} "
+                  f"misses={cache_stats.get('misses')} "
+                  f"corrupt={cache_stats.get('corrupt')} "
+                  f"evictions={cache_stats.get('evictions')}",
+                  flush=True)
+            step.done()
+
+        # -- drill 5: overload with a flooding tenant --------------------
+        if "overload" in drills:
+            ok &= run_overload_drill(farm, router, args)
 
         # -- post-chaos health -------------------------------------------
         # Recovery is eventual, not instant: a shard ejected during
@@ -312,8 +492,9 @@ def main(argv=None) -> int:
                       file=sys.stderr)
                 break
             time.sleep(0.2)
-        counters = stats["router"]
-        print(f"  router counters: {counters}", flush=True)
+        stats = single_request(router, {"op": "stats"},
+                               timeout=30)["stats"]
+        print(f"  router counters: {stats['router']}", flush=True)
         step.done()
 
         print("farm chaos: " + ("OK" if ok else "FAILED"), flush=True)

@@ -66,6 +66,14 @@ STATUS_OK = "ok"
 STATUS_DEGRADED = "degraded"
 STATUS_BUSY = "busy"
 STATUS_ERROR = "error"
+#: terminal admission statuses (overload control): a ``rejected``
+#: request was refused on arrival (quota, full queue, or hopeless
+#: deadline) and carries an honest ``retry_after``; a
+#: ``deadline_exceeded`` request ran out of end-to-end budget before
+#: it could be served.  Neither is retried by the farm router — the
+#: *caller* owns the retry decision.
+STATUS_REJECTED = "rejected"
+STATUS_DEADLINE_EXCEEDED = "deadline_exceeded"
 
 
 class ApiError(ValueError):
@@ -78,6 +86,31 @@ class ApiError(ValueError):
     def __init__(self, message: str, *, detail: dict | None = None):
         super().__init__(message)
         self.detail = detail or {}
+
+
+#: wire spellings of a priority lane (kept in sync with
+#: :mod:`repro.service.admission`, which cannot be imported here
+#: without inverting the api <- service layering)
+PRIORITY_NAMES = {"high": 0, "normal": 1, "low": 2}
+
+
+def _coerce_priority(value) -> int:
+    """Normalize a wire priority (int or name) to a lane index."""
+    if isinstance(value, str):
+        try:
+            return PRIORITY_NAMES[value.lower()]
+        except KeyError:
+            raise ApiError(
+                f"unknown priority {value!r}; expected one of "
+                f"{', '.join(PRIORITY_NAMES)} or 0..2",
+                detail={"where": "priority"}) from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ApiError("'priority' must be an integer or a name",
+                       detail={"where": "priority"})
+    if not 0 <= value <= 2:
+        raise ApiError("'priority' must be in 0..2",
+                       detail={"where": "priority"})
+    return value
 
 
 def _reject_unknown(d: dict, known: tuple[str, ...],
@@ -194,9 +227,20 @@ class CompileRequest:
     faults: list[ProcessFaultSpec] = field(default_factory=list)
     #: ask for a stitched distributed trace of this request
     trace: bool = False
+    #: multi-tenancy triple (overload control).  ``tenant`` names the
+    #: quota/fair-queue bucket this request is accounted to;
+    #: ``priority`` picks the within-tenant lane (0=high, 1=normal,
+    #: 2=low — names accepted on the wire); ``deadline_ms`` is the
+    #: *remaining end-to-end budget in milliseconds at send time* —
+    #: every hop (router, server queue, supervisor) deducts its own
+    #: elapsed time before passing it on.
+    tenant: str | None = None
+    priority: int = 1
+    deadline_ms: float | None = None
 
     WIRE_FIELDS = ("op", "id", "sources", "options", "deadline",
-                   "max_retries", "faults", "trace")
+                   "max_retries", "faults", "trace", "tenant",
+                   "priority", "deadline_ms")
 
     def __post_init__(self):
         if self.op not in COMPILE_OPS:
@@ -256,10 +300,28 @@ class CompileRequest:
         except (KeyError, TypeError, ValueError) as exc:
             raise ApiError(f"bad fault spec: {exc}",
                            detail={"where": "faults"}) from exc
+        tenant = d.get("tenant")
+        if tenant is not None:
+            if not isinstance(tenant, str) or not tenant:
+                raise ApiError("'tenant' must be a non-empty string",
+                               detail={"where": "tenant"})
+        priority = _coerce_priority(d.get("priority", 1))
+        deadline_ms = d.get("deadline_ms")
+        if deadline_ms is not None:
+            try:
+                deadline_ms = float(deadline_ms)
+            except (TypeError, ValueError) as exc:
+                raise ApiError("'deadline_ms' must be a number",
+                               detail={"where": "deadline_ms"}) from exc
+            if deadline_ms <= 0:
+                raise ApiError("'deadline_ms' must be positive",
+                               detail={"where": "deadline_ms"})
         return cls(op=op, sources=sources, options=options,
                    id=d.get("id"), deadline=deadline,
                    max_retries=max_retries, faults=faults,
-                   trace=bool(d.get("trace", False)))
+                   trace=bool(d.get("trace", False)),
+                   tenant=tenant, priority=priority,
+                   deadline_ms=deadline_ms)
 
     def to_wire(self) -> dict:
         """The request as the wire dict ``from_dict`` round-trips."""
@@ -278,6 +340,12 @@ class CompileRequest:
             out["faults"] = [f.to_dict() for f in self.faults]
         if self.trace:
             out["trace"] = True
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
+        if self.priority != 1:
+            out["priority"] = self.priority
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
         return out
 
     def ladder(self) -> tuple[str, ...]:
@@ -294,7 +362,8 @@ class CompileReply:
     """One typed reply, local or from the daemon."""
 
     op: str
-    status: str                        # ok|degraded|busy|error
+    #: ok|degraded|busy|error|rejected|deadline_exceeded
+    status: str
     id: str | int | None = None
     tier: str | None = None
     payload: dict = field(default_factory=dict)

@@ -309,7 +309,9 @@ def cmd_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown)
     server = CompileServer(args.socket, Supervisor(config),
-                           queue_max=args.queue_max)
+                           queue_max=args.queue_max,
+                           tenant_rate=args.tenant_rate,
+                           tenant_burst=args.tenant_burst)
     try:
         server.start()
     except OSError as exc:
@@ -386,7 +388,12 @@ def cmd_farm(args) -> int:
                        "for the router")
     if args.config:
         cluster = ClusterConfig.from_file(args.config)
-        router_server = RouterServer(args.socket, Router(cluster))
+        router_server = RouterServer(
+            args.socket,
+            Router(cluster, tenant_rate=args.tenant_rate,
+                   tenant_burst=args.tenant_burst,
+                   retry_rate=args.retry_rate,
+                   retry_burst=args.retry_burst))
         try:
             router_server.start()
         except OSError as exc:
@@ -409,7 +416,11 @@ def cmd_farm(args) -> int:
 
     farm = Farm(args.dir, daemons=args.daemons,
                 pool_size=args.pool_size,
-                cache_budget=args.cache_budget)
+                cache_budget=args.cache_budget,
+                tenant_rate=args.tenant_rate,
+                tenant_burst=args.tenant_burst,
+                retry_rate=args.retry_rate,
+                retry_burst=args.retry_burst)
     farm.router_socket = args.socket or farm.router_socket
     try:
         farm.start()
@@ -555,6 +566,7 @@ def _client_request(args) -> CompileRequest:
     except (KeyError, ValueError) as exc:
         raise CliError(f"bad --inject-fault: {exc}",
                        EXIT_USAGE) from exc
+    priority = {"high": 0, "normal": 1, "low": 2}[args.priority]
     try:
         return CompileRequest(
             op=args.client_op,
@@ -563,7 +575,10 @@ def _client_request(args) -> CompileRequest:
             deadline=args.deadline,
             max_retries=args.max_retries,
             faults=faults,
-            trace=bool(args.trace_out))
+            trace=bool(args.trace_out),
+            tenant=args.tenant,
+            priority=priority,
+            deadline_ms=args.deadline_ms)
     except ApiError as exc:
         raise CliError(str(exc), EXIT_USAGE) from exc
 
@@ -589,7 +604,17 @@ def cmd_client(args) -> int:
             pass
     if reply.status == "busy":
         print(f"repro: busy: {(reply.error or {}).get('message', '')}"
-              f" (retry after {reply.retry_after or 0.5}s)",
+              f" (retry after {reply.retry_after or 0.5:.1f}s)",
+              file=sys.stderr)
+        return EXIT_COMPILE
+    if reply.status == "rejected":
+        print(f"repro: rejected: {(reply.error or {}).get('message', '')}"
+              f" (retry after {reply.retry_after or 0.5:.1f}s)",
+              file=sys.stderr)
+        return EXIT_COMPILE
+    if reply.status == "deadline_exceeded":
+        print(f"repro: deadline exceeded: "
+              f"{(reply.error or {}).get('message', '')}",
               file=sys.stderr)
         return EXIT_COMPILE
     if reply.status == "error":
@@ -761,6 +786,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max seconds a SIGTERM drain waits for "
                         "in-flight requests before exiting anyway "
                         "(default 30)")
+    p.add_argument("--tenant-rate", type=float, default=0.0,
+                   metavar="R",
+                   help="per-tenant admission quota in requests/s; "
+                        "0 disables quotas (default 0)")
+    p.add_argument("--tenant-burst", type=float, default=8.0,
+                   metavar="B",
+                   help="per-tenant quota burst size (default 8)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -799,6 +831,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "(route only; spawn nothing)")
     p.add_argument("--drain-grace", type=float, default=30.0,
                    metavar="S", help="SIGTERM drain grace")
+    p.add_argument("--tenant-rate", type=float, default=0.0,
+                   metavar="R",
+                   help="per-tenant admission quota at the router in "
+                        "requests/s; 0 disables quotas (default 0)")
+    p.add_argument("--tenant-burst", type=float, default=8.0,
+                   metavar="B",
+                   help="per-tenant quota burst size (default 8)")
+    p.add_argument("--retry-rate", type=float, default=8.0,
+                   metavar="R",
+                   help="per-tenant retry budget refill in "
+                        "retries/s shared by failover and hedging "
+                        "(default 8)")
+    p.add_argument("--retry-burst", type=float, default=32.0,
+                   metavar="B",
+                   help="per-tenant retry budget burst (default 32)")
     p.set_defaults(fn=cmd_farm)
 
     p = sub.add_parser("cache",
@@ -871,6 +918,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ask the daemon for a stitched distributed "
                         "trace of this request and write it to FILE "
                         "(Chrome trace_event JSON; JSONL for .jsonl)")
+    p.add_argument("--tenant", default=None, metavar="NAME",
+                   help="tenant identity for admission quotas and "
+                        "fair queueing (default: anonymous)")
+    p.add_argument("--priority", default="normal",
+                   choices=["high", "normal", "low"],
+                   help="queue priority lane within the tenant "
+                        "(default normal)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   metavar="MS",
+                   help="end-to-end deadline budget in milliseconds; "
+                        "propagated and deducted at every hop")
     p.set_defaults(fn=cmd_client)
 
     return parser

@@ -15,8 +15,22 @@ dead ones, fails over and hedges stuck requests, while a shared
 warm on one content-addressed summary store.  Daemons drain
 gracefully (the ``drain`` op / SIGTERM), so the farm hot-restarts
 with zero failed requests.
+
+Overload control lives in :mod:`repro.service.admission`: per-tenant
+token-bucket quotas, a bounded weighted-fair queue (deficit
+round-robin across tenants, priority lanes within a tenant), and
+cost-aware reject-on-arrival with an honest ``retry_after`` derived
+from the observed queue drain rate.  ``deadline_ms`` budgets propagate
+end-to-end: every hop deducts its elapsed time before forwarding, and
+requests whose remaining budget cannot cover the observed p50 service
+time are refused immediately instead of queued.
 """
 
+from .admission import (
+    ANON_TENANT, AdmissionController, FairQueue, PRIORITY_HIGH,
+    PRIORITY_LOW, PRIORITY_NAMES, PRIORITY_NORMAL, QueueItem,
+    TokenBucket, coerce_priority,
+)
 from .breaker import (
     CircuitBreaker, STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN,
 )
@@ -26,8 +40,10 @@ from .cacheservice import (
 )
 from .requests import (
     COMPILE_OPS, CONTROL_OPS, LADDER, OPS, ProtocolError, Request,
-    STATUS_BUSY, STATUS_DEGRADED, STATUS_ERROR, STATUS_OK, TIERS,
-    busy_response, decode, encode, error_response, response,
+    STATUS_BUSY, STATUS_DEADLINE_EXCEEDED, STATUS_DEGRADED,
+    STATUS_ERROR, STATUS_OK, STATUS_REJECTED, TIERS,
+    busy_response, deadline_response, decode, encode, error_response,
+    rejected_response, response,
 )
 from .router import (
     ClusterConfig, Farm, FarmProc, Router, RouterServer, ShardSpec,
@@ -40,13 +56,18 @@ from .server import (
 from .supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
+    "ANON_TENANT", "AdmissionController", "FairQueue",
+    "PRIORITY_HIGH", "PRIORITY_LOW", "PRIORITY_NAMES",
+    "PRIORITY_NORMAL", "QueueItem", "TokenBucket", "coerce_priority",
     "CircuitBreaker", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN",
     "CACHE_OPS", "CacheServer", "CacheStore", "RemoteCache",
     "parse_budget", "serve_cache", "wait_cache_ready",
     "COMPILE_OPS", "CONTROL_OPS", "LADDER", "OPS", "ProtocolError",
-    "Request", "STATUS_BUSY", "STATUS_DEGRADED", "STATUS_ERROR",
-    "STATUS_OK", "TIERS",
-    "busy_response", "decode", "encode", "error_response", "response",
+    "Request", "STATUS_BUSY", "STATUS_DEADLINE_EXCEEDED",
+    "STATUS_DEGRADED", "STATUS_ERROR", "STATUS_OK", "STATUS_REJECTED",
+    "TIERS",
+    "busy_response", "deadline_response", "decode", "encode",
+    "error_response", "rejected_response", "response",
     "ClusterConfig", "Farm", "FarmProc", "Router", "RouterServer",
     "ShardSpec", "ShardState",
     "CompileServer", "IDEMPOTENT_OPS", "LineServer", "ServiceClient",

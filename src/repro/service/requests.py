@@ -18,9 +18,21 @@ Responses carry a ``status``:
   (e.g. an advisory report instead of a transformation);
 - ``busy``      — the bounded request queue was full; the request was
   shed with a ``retry_after`` hint (the 429 of this protocol);
+- ``rejected``  — admission control refused the request *on arrival*
+  (tenant over quota, or a hopeless deadline); carries an honest
+  ``retry_after`` derived from the quota refill / queue drain rate.
+  Terminal: the farm router does not fail it over;
+- ``deadline_exceeded`` — the request's end-to-end ``deadline_ms``
+  budget ran out before it could be served (expired in queue, or no
+  remaining budget for an attempt).  Terminal, like ``rejected``;
 - ``error``     — every ladder tier failed; ``error`` holds a
   structured description (tiers tried, failure reasons, crash
   fingerprints).
+
+Compile requests may carry the multi-tenancy triple: ``tenant`` (the
+quota/fairness bucket), ``priority`` (within-tenant lane), and
+``deadline_ms`` (remaining end-to-end budget at send time — each hop
+deducts its own elapsed time before forwarding).
 """
 
 from __future__ import annotations
@@ -30,7 +42,8 @@ from dataclasses import dataclass, field
 
 from ..api import (
     ApiError, COMPILE_OPS, CompileRequest, LADDER, STATUS_BUSY,
-    STATUS_DEGRADED, STATUS_ERROR, STATUS_OK, TIERS,
+    STATUS_DEADLINE_EXCEEDED, STATUS_DEGRADED, STATUS_ERROR, STATUS_OK,
+    STATUS_REJECTED, TIERS,
 )
 from ..core.faults import ProcessFaultSpec
 from ..core.summarycache import fingerprint
@@ -45,8 +58,10 @@ _CONTROL_FIELDS = ("op", "id", "trace_id")
 __all__ = [
     "COMPILE_OPS", "CONTROL_OPS", "OPS", "LADDER", "TIERS",
     "STATUS_OK", "STATUS_DEGRADED", "STATUS_BUSY", "STATUS_ERROR",
+    "STATUS_REJECTED", "STATUS_DEADLINE_EXCEEDED",
     "ProtocolError", "Request", "encode", "decode", "response",
-    "busy_response", "error_response",
+    "busy_response", "error_response", "rejected_response",
+    "deadline_response",
 ]
 
 
@@ -83,6 +98,15 @@ class Request:
     trace: bool = False
     #: fetch filter for the ``trace`` control op
     trace_id: str | None = None
+    #: multi-tenancy triple (see the module docstring)
+    tenant: str | None = None
+    priority: int = 1
+    deadline_ms: float | None = None
+    #: server-side runtime state, never on the wire: the monotonic
+    #: instant the end-to-end budget runs out, and the time this
+    #: request spent in the admission queue before dispatch
+    budget_expires_at: float | None = None
+    queue_wait_s: float | None = None
 
     @classmethod
     def from_dict(cls, d: dict) -> "Request":
@@ -114,7 +138,16 @@ class Request:
                    options=creq.options.to_dict(),
                    deadline=creq.deadline,
                    max_retries=creq.max_retries, faults=creq.faults,
-                   trace=creq.trace)
+                   trace=creq.trace, tenant=creq.tenant,
+                   priority=creq.priority,
+                   deadline_ms=creq.deadline_ms)
+
+    def remaining_budget_s(self, now: float) -> float | None:
+        """Seconds of end-to-end budget left, or ``None`` when the
+        request carries no ``deadline_ms``."""
+        if self.budget_expires_at is None:
+            return None
+        return self.budget_expires_at - now
 
     def source_fingerprint(self) -> str:
         """Content hash of the sources — the per-workload half of the
@@ -184,6 +217,33 @@ def busy_response(req_id, op: str, retry_after: float = 0.5,
         err["reason"] = reason
     return response(req_id, op, STATUS_BUSY, retry_after=retry_after,
                     error=err)
+
+
+def rejected_response(req_id, op: str, retry_after: float,
+                      message: str | None = None,
+                      reason: str | None = None) -> dict:
+    """Admission refused the request on arrival (quota / hopeless
+    deadline).  Terminal — the router does not fail it over; the
+    caller decides whether to retry after ``retry_after``."""
+    err = {"message": message or "request rejected by admission "
+                                 "control"}
+    if reason is not None:
+        err["reason"] = reason
+    return response(req_id, op, STATUS_REJECTED,
+                    retry_after=retry_after, error=err)
+
+
+def deadline_response(req_id, op: str, message: str | None = None,
+                      reason: str | None = None) -> dict:
+    """The request's end-to-end ``deadline_ms`` budget ran out before
+    it could be served.  Terminal; retrying with the same budget would
+    only fail again, so no ``retry_after`` is offered."""
+    err = {"message": message or "end-to-end deadline budget "
+                                 "exhausted before the request could "
+                                 "be served"}
+    if reason is not None:
+        err["reason"] = reason
+    return response(req_id, op, STATUS_DEADLINE_EXCEEDED, error=err)
 
 
 def error_response(req_id, op: str, message: str, *,

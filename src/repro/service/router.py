@@ -54,10 +54,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.summarycache import fingerprint
-from .requests import COMPILE_OPS, ProtocolError, error_response
+from .admission import ANON_TENANT, TokenBucket
+from .requests import (
+    COMPILE_OPS, ProtocolError, STATUS_DEGRADED, STATUS_OK,
+    deadline_response, error_response, rejected_response,
+)
 from .server import LineServer, ServiceClient, single_request, wait_ready
 
-#: dispatch outcomes that trigger failover to the next-ranked shard
+#: dispatch outcomes that trigger failover to the next-ranked shard.
+#: ``rejected`` and ``deadline_exceeded`` are deliberately absent:
+#: they are *terminal* admission verdicts — re-dispatching a
+#: quota-rejected or budget-expired request to another shard would
+#: turn overload control into an overload amplifier.
 _FAILOVER_STATUSES = ("busy", "error")
 
 
@@ -232,6 +240,10 @@ class Router:
                  hedge_percentile: float = 0.95,
                  hedge_floor: float = 2.0,
                  hedge_max: int = 1,
+                 tenant_rate: float = 0.0,
+                 tenant_burst: float = 8.0,
+                 retry_rate: float = 8.0,
+                 retry_burst: float = 32.0,
                  jitter_seed: int | None = None):
         self.cluster = cluster
         self.shards = [ShardState(s) for s in cluster.shards]
@@ -244,6 +256,16 @@ class Router:
         self.hedge_percentile = hedge_percentile
         self.hedge_floor = hedge_floor
         self.hedge_max = hedge_max
+        #: per-tenant admission quota at the farm's front door
+        #: (``rate <= 0`` disables it, the default)
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        #: per-tenant *retry* budget: failover and hedging both draw
+        #: from this bucket, so a failing tenant's retries cannot
+        #: amplify an overload (draining-shard failovers are exempt —
+        #: they are lifecycle, not load)
+        self.retry_rate = retry_rate
+        self.retry_burst = retry_burst
         import random
         self._rng = random.Random(jitter_seed)
         self._lock = threading.Lock()
@@ -251,9 +273,46 @@ class Router:
             "requests": 0, "completed": 0, "failovers": 0,
             "hedges": 0, "hedge_wins": 0, "no_healthy_shard": 0,
             "exhausted": 0, "ejections": 0, "readmissions": 0,
+            "rejected": 0, "deadline_refused": 0, "retries_denied": 0,
         }
+        self._tenant_buckets: dict[str, TokenBucket] = {}
+        self._retry_buckets: dict[str, TokenBucket] = {}
+        self._tenant_stats: dict[str, dict] = {}
+        #: in-flight dispatches: seq -> (tenant, arrival monotonic)
+        self._active: dict[int, tuple[str, float]] = {}
+        self._active_seq = 0
         self._stop = threading.Event()
         self._health_thread: threading.Thread | None = None
+
+    # -- per-tenant state ---------------------------------------------------
+
+    def _tenant_counters(self, tenant: str) -> dict:
+        with self._lock:
+            stats = self._tenant_stats.get(tenant)
+            if stats is None:
+                stats = self._tenant_stats[tenant] = {
+                    "requests": 0, "completed": 0, "rejected": 0,
+                    "deadline_exceeded": 0, "retries_denied": 0,
+                    "failed": 0,
+                }
+            return stats
+
+    @staticmethod
+    def _bucket(buckets: dict, tenant: str, rate: float,
+                burst: float, lock: threading.Lock) -> TokenBucket:
+        with lock:
+            bucket = buckets.get(tenant)
+            if bucket is None:
+                bucket = buckets[tenant] = TokenBucket(rate, burst)
+            return bucket
+
+    def _take_retry(self, tenant: str) -> bool:
+        """Spend one token from the tenant's retry budget."""
+        if self.retry_rate <= 0:
+            return True
+        return self._bucket(self._retry_buckets, tenant,
+                            self.retry_rate, self.retry_burst,
+                            self._lock).try_take()
 
     # -- health loop --------------------------------------------------------
 
@@ -365,10 +424,63 @@ class Router:
     def dispatch(self, raw: dict) -> dict:
         """Route one compile request; failover and hedge as needed.
 
+        Admission happens *before* routing: a tenant over its quota is
+        rejected on arrival with an honest ``retry_after``; a request
+        whose ``deadline_ms`` budget is already gone is answered
+        ``deadline_exceeded`` without burning a shard.  The budget is
+        deducted for elapsed router time at every (re)dispatch, and
+        failover/hedging spend the tenant's retry budget.
+
         Returns the winning shard's response with a ``route`` block
         attached, or a structured error if every shard is gone."""
+        tenant = str(raw.get("tenant") or ANON_TENANT)
+        arrival = time.monotonic()
+        tstats = self._tenant_counters(tenant)
         with self._lock:
             self.counters["requests"] += 1
+            tstats["requests"] += 1
+        deadline_ms = raw.get("deadline_ms")
+        if not isinstance(deadline_ms, (int, float)) \
+                or isinstance(deadline_ms, bool):
+            deadline_ms = None
+        if deadline_ms is not None and deadline_ms <= 0:
+            with self._lock:
+                self.counters["deadline_refused"] += 1
+                tstats["deadline_exceeded"] += 1
+            return deadline_response(
+                raw.get("id"), raw.get("op") or "(unknown)",
+                message="deadline budget already exhausted on "
+                        "arrival at the router",
+                reason="expired_on_arrival")
+        if self.tenant_rate > 0:
+            bucket = self._bucket(self._tenant_buckets, tenant,
+                                  self.tenant_rate, self.tenant_burst,
+                                  self._lock)
+            if not bucket.try_take():
+                with self._lock:
+                    self.counters["rejected"] += 1
+                    tstats["rejected"] += 1
+                return rejected_response(
+                    raw.get("id"), raw.get("op") or "(unknown)",
+                    max(0.05, bucket.retry_after()),
+                    message=f"tenant {tenant!r} over its "
+                            f"{self.tenant_rate:g}/s farm quota",
+                    reason="quota")
+        with self._lock:
+            self._active_seq += 1
+            seq = self._active_seq
+            self._active[seq] = (tenant, arrival)
+        try:
+            resp = self._dispatch_routed(raw, tenant, tstats, arrival,
+                                         deadline_ms)
+        finally:
+            with self._lock:
+                self._active.pop(seq, None)
+        return resp
+
+    def _dispatch_routed(self, raw: dict, tenant: str, tstats: dict,
+                         arrival: float,
+                         deadline_ms: float | None) -> dict:
         fp = self.workload_fingerprint(raw)
         ranked = self.rank(fp)
         if not ranked:
@@ -384,24 +496,43 @@ class Router:
                 detail={"shards": [s.name for s in self.shards]})
 
         results: queue.Queue = queue.Queue()
+        tried: set[str] = set()
         launched = 0
         failovers = 0
         hedges = 0
         pending = 0
         last_failure: dict | None = None
 
+        hedge_allowed = True
+
         def fire(shard: ShardState) -> None:
             nonlocal launched, pending
+            tried.add(shard.name)
             with shard.lock:
                 shard.dispatched += 1
             launched += 1
             pending += 1
             threading.Thread(
-                target=self._attempt, args=(shard, raw, results),
+                target=self._attempt,
+                args=(shard, raw, results, arrival, deadline_ms),
                 daemon=True,
                 name=f"route-{shard.name}").start()
 
-        fire(ranked[0])
+        def next_target() -> ShardState | None:
+            """Best not-yet-tried shard *right now*.  Re-ranking on
+            every hedge/failover decision (instead of freezing the
+            candidate list at arrival) means a shard readmitted while
+            this request is in flight — e.g. one that just finished
+            restarting after an ejection — becomes a target, rather
+            than the request riding out its full timeout on the one
+            sick shard that was available at arrival time."""
+            for shard in self.rank(fp):
+                if shard.name not in tried:
+                    return shard
+            return None
+
+        primary = ranked[0]
+        fire(primary)
         hedge_after = self.hedge_after()
         deadline = time.monotonic() + self.shard_timeout
 
@@ -410,28 +541,55 @@ class Router:
             if budget <= 0:
                 break
             wait = budget
-            if hedges < self.hedge_max and launched < len(ranked):
+            hedge_wanted = hedge_allowed and hedges < self.hedge_max
+            if hedge_wanted:
+                # keep waking at hedge cadence even when no target is
+                # available yet: a readmission can create one
                 wait = min(wait, hedge_after)
             try:
                 shard, resp, elapsed = results.get(timeout=wait)
             except queue.Empty:
-                if hedges < self.hedge_max \
-                        and launched < len(ranked):
-                    # stuck past the latency percentile: hedge
+                if hedge_wanted:
+                    target = next_target()
+                    if target is None:
+                        continue
+                    # stuck past the latency percentile: hedge — a
+                    # duplicate dispatch, so it spends retry budget
+                    if not self._take_retry(tenant):
+                        hedge_allowed = False
+                        with self._lock:
+                            self.counters["retries_denied"] += 1
+                            tstats["retries_denied"] += 1
+                        continue
                     hedges += 1
                     with self._lock:
                         self.counters["hedges"] += 1
-                    fire(ranked[launched])
+                    fire(target)
                     continue
                 break
             pending -= 1
+            status = resp.get("status") if resp is not None else None
             if resp is not None \
-                    and resp.get("status") not in _FAILOVER_STATUSES:
-                shard.note_success(elapsed)
+                    and status not in _FAILOVER_STATUSES:
+                if status in (STATUS_OK, STATUS_DEGRADED):
+                    shard.note_success(elapsed)
+                else:
+                    # terminal admission verdict from the shard
+                    # (rejected / deadline_exceeded): not a shard
+                    # failure, not a routing success — latency stats
+                    # and failure counters both stay untouched
+                    with self._lock:
+                        key = ("rejected" if status == "rejected"
+                               else "deadline_exceeded")
+                        tstats[key] += 1
+                        if status != "rejected":
+                            self.counters["deadline_refused"] += 1
                 with self._lock:
                     self.counters["completed"] += 1
+                    if status in (STATUS_OK, STATUS_DEGRADED):
+                        tstats["completed"] += 1
                     if hedges and launched > 1 \
-                            and shard is not ranked[0]:
+                            and shard is not primary:
                         self.counters["hedge_wins"] += 1
                 resp["route"] = {
                     "shard": shard.name, "attempts": launched,
@@ -439,6 +597,7 @@ class Router:
                 }
                 return resp
             # failure: connection loss (resp None) or busy/error
+            draining_busy = False
             if resp is None:
                 self._note_shard_failure(shard)
             elif resp.get("status") == "busy" \
@@ -446,15 +605,26 @@ class Router:
                     == "draining":
                 with shard.lock:
                     shard.draining = True
+                draining_busy = True
             last_failure = resp
-            if launched < len(ranked):
-                failovers += 1
-                with self._lock:
-                    self.counters["failovers"] += 1
-                fire(ranked[launched])
+            target = next_target()
+            if target is not None:
+                # a drained shard refusing work is lifecycle, not
+                # overload: its failover is exempt from the retry
+                # budget (rolling restarts must stay zero-failure)
+                if draining_busy or self._take_retry(tenant):
+                    failovers += 1
+                    with self._lock:
+                        self.counters["failovers"] += 1
+                    fire(target)
+                else:
+                    with self._lock:
+                        self.counters["retries_denied"] += 1
+                        tstats["retries_denied"] += 1
 
         with self._lock:
             self.counters["exhausted"] += 1
+            tstats["failed"] += 1
         if last_failure is not None:
             last_failure.setdefault("route", {
                 "shard": None, "attempts": launched,
@@ -466,14 +636,34 @@ class Router:
             detail={"attempts": launched, "failovers": failovers})
 
     def _attempt(self, shard: ShardState, raw: dict,
-                 results: queue.Queue) -> None:
-        """One shard attempt; always reports back to the queue."""
+                 results: queue.Queue, arrival: float | None = None,
+                 deadline_ms: float | None = None) -> None:
+        """One shard attempt; always reports back to the queue.
+
+        Deadline propagation happens here, at actual dispatch time:
+        the budget forwarded to the shard is the original
+        ``deadline_ms`` minus everything the request has already spent
+        inside the router (queueing for a failover slot, waiting out a
+        hedge timer).  A budget that ran out before the wire send is
+        answered ``deadline_exceeded`` without touching the shard."""
         t0 = time.monotonic()
+        fwd = raw
+        if deadline_ms is not None and arrival is not None:
+            remaining = deadline_ms - (t0 - arrival) * 1e3
+            if remaining <= 0:
+                results.put((shard, deadline_response(
+                    raw.get("id"), raw.get("op") or "(unknown)",
+                    message="deadline budget exhausted inside the "
+                            "router before dispatch",
+                    reason="expired_in_router"), 0.0))
+                return
+            fwd = dict(raw)
+            fwd["deadline_ms"] = remaining
         try:
             with ServiceClient(shard.spec.socket,
                                timeout=self.shard_timeout,
                                reconnects=1) as client:
-                resp = client.request(raw)
+                resp = client.request(fwd)
         except (OSError, ConnectionError, ProtocolError):
             results.put((shard, None, time.monotonic() - t0))
             return
@@ -481,11 +671,37 @@ class Router:
 
     # -- stats --------------------------------------------------------------
 
+    def fairness(self) -> dict:
+        """Per-tenant accounting and live queue view (the ``fairness``
+        stats block, mirroring the compile server's)."""
+        now = time.monotonic()
+        with self._lock:
+            tenants = {t: dict(c)
+                       for t, c in self._tenant_stats.items()}
+            active = list(self._active.values())
+        by_tenant: dict[str, int] = {}
+        for t, _ in active:
+            by_tenant[t] = by_tenant.get(t, 0) + 1
+        for t, n in by_tenant.items():
+            tenants.setdefault(t, {})["in_flight"] = n
+        oldest = min((at for _, at in active), default=None)
+        return {
+            "in_flight": len(active),
+            "oldest_age_s": None if oldest is None
+            else round(now - oldest, 3),
+            "tenant_rate": self.tenant_rate,
+            "tenant_burst": self.tenant_burst,
+            "retry_rate": self.retry_rate,
+            "retry_burst": self.retry_burst,
+            "tenants": tenants,
+        }
+
     def stats(self) -> dict:
         with self._lock:
             counters = dict(self.counters)
         out = {
             "router": counters,
+            "fairness": self.fairness(),
             "shards": {s.name: s.snapshot() for s in self.shards},
         }
         if self.cluster.cache_socket:
@@ -560,9 +776,14 @@ class RouterServer(LineServer):
 
     def stats(self) -> dict:
         out = self.router.stats()
+        fairness = out.get("fairness") or {}
         out["server"] = {
             "role": "router",
             "in_flight": self.in_flight,
+            # the router has no queue of its own: its "queue" is the
+            # set of dispatches waiting on shards right now
+            "queue_depth": fairness.get("in_flight", 0),
+            "oldest_age_s": fairness.get("oldest_age_s"),
             "draining": self.draining,
             "uptime_s": self.uptime_s(),
             "socket": self.socket_path,
@@ -602,7 +823,9 @@ class Farm:
                  pool_size: int = 1, cache_budget: str | None = None,
                  weights: list[float] | None = None,
                  serve_args: list[str] | None = None,
-                 drain_grace: float = 5.0, term_grace: float = 2.0):
+                 drain_grace: float = 5.0, term_grace: float = 2.0,
+                 tenant_rate: float = 0.0, tenant_burst: float = 8.0,
+                 retry_rate: float = 8.0, retry_burst: float = 32.0):
         self.run_dir = Path(run_dir)
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self.pool_size = pool_size
@@ -610,6 +833,10 @@ class Farm:
         self.serve_args = list(serve_args or [])
         self.drain_grace = drain_grace
         self.term_grace = term_grace
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self.retry_rate = retry_rate
+        self.retry_burst = retry_burst
         self.cache_dir = self.run_dir / "cache"
         self.cache_socket = str(self.run_dir / "cache.sock")
         self.router_socket = str(self.run_dir / "router.sock")
@@ -675,8 +902,12 @@ class Farm:
                     f"farm process {fp.name!r} never became ready "
                     f"(see {self.run_dir / (fp.name + '.log')})")
         self.cluster.write(self.run_dir / "cluster.json")
-        self.router_server = RouterServer(self.router_socket,
-                                          Router(self.cluster))
+        self.router_server = RouterServer(
+            self.router_socket,
+            Router(self.cluster, tenant_rate=self.tenant_rate,
+                   tenant_burst=self.tenant_burst,
+                   retry_rate=self.retry_rate,
+                   retry_burst=self.retry_burst))
         self.router_server.start()
 
     def stop(self) -> None:

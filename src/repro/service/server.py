@@ -20,10 +20,20 @@ exits on its own.  A drained daemon can therefore be hot-restarted
 with zero failed requests.
 
 Backpressure (compile server): at most ``pool_size + queue_max``
-compile requests may be in flight.  Beyond that the server *sheds
-load*: the request is answered immediately with a ``busy`` response and
-a ``retry_after`` hint instead of queueing unboundedly — the 429 of
-this protocol.
+compile requests may be in the system (queued or dispatching).  The
+bound is enforced by an :class:`~repro.service.admission.
+AdmissionController`: arrivals pass a per-tenant token-bucket quota, a
+cost-aware hopeless-deadline check, and a bounded weighted-fair queue
+(deficit round-robin across tenants, priority lanes within one).
+Beyond the bound the server *sheds load* — the request is answered
+immediately with a ``busy`` response whose ``retry_after`` is derived
+from the measured queue drain rate — unless the arriving tenant is
+still under its fair share, in which case the most over-share tenant's
+newest low-priority request is displaced (answered ``busy``) to make
+room.  Quota rejections answer ``rejected``; requests whose
+``deadline_ms`` budget is already hopeless answer
+``deadline_exceeded``; requests that expire while queued are evicted
+with ``deadline_exceeded`` instead of dispatched.
 
 The invariant the tests enforce: **every request line receives exactly
 one structured response line**.  Malformed JSON, unknown ops, internal
@@ -35,6 +45,7 @@ the connection without an answer.
 from __future__ import annotations
 
 import os
+import queue as queuelib
 import random
 import socket
 import threading
@@ -42,9 +53,13 @@ import time
 from pathlib import Path
 
 from ..core.dag import effective_cores
+from .admission import (
+    ADMIT, ANON_TENANT, AdmissionController, QueueItem, REJECT_HOPELESS,
+    REJECT_QUOTA,
+)
 from .requests import (
-    COMPILE_OPS, ProtocolError, Request, busy_response, decode, encode,
-    error_response,
+    COMPILE_OPS, ProtocolError, Request, busy_response, deadline_response,
+    decode, encode, error_response, rejected_response,
 )
 from .supervisor import Supervisor
 
@@ -257,27 +272,118 @@ class LineServer:
         return round(time.monotonic() - self._started_at, 2)
 
 
+def _box_put(box: "queuelib.Queue", resp: dict) -> None:
+    """Deliver a reply to a one-slot reply box; a second delivery
+    (teardown flush racing a dispatcher) is silently dropped — the
+    waiter takes exactly one."""
+    try:
+        box.put_nowait(resp)
+    except queuelib.Full:
+        pass
+
+
 class CompileServer(LineServer):
-    """The ``repro serve`` front door for one supervisor."""
+    """The ``repro serve`` front door for one supervisor.
+
+    Compile requests flow admission -> fair queue -> dispatcher pool:
+    the connection thread offers the request to the
+    :class:`AdmissionController` and blocks on a one-slot reply box;
+    ``pool_size`` dispatcher threads pull queued requests in
+    deficit-round-robin order and run them through the supervisor.
+    Every admitted, displaced, rejected, or expired request gets
+    exactly one structured reply through its box or inline."""
 
     WORK_OPS = COMPILE_OPS
 
     def __init__(self, socket_path: str, supervisor: Supervisor,
-                 queue_max: int = 8):
+                 queue_max: int = 8, tenant_rate: float = 0.0,
+                 tenant_burst: float = 8.0):
         super().__init__(socket_path)
         self.supervisor = supervisor
         self.queue_max = queue_max
-        #: bounds in-flight compile requests: pool + bounded queue
-        self._slots = threading.BoundedSemaphore(
-            supervisor.config.pool_size + queue_max)
+        #: bounds compile requests in the system: pool + bounded queue
+        self.admission = AdmissionController(
+            supervisor.config.pool_size + queue_max,
+            tenant_rate=tenant_rate, tenant_burst=tenant_burst)
         self._served = 0
         self._shed = 0
+        self._deadline_refused = 0
+        #: requests currently held by a dispatcher (counts against the
+        #: admission bound alongside the queue depth)
+        self._dispatching = 0
+        self._dispatchers: list[threading.Thread] = []
+        self._dispatchers_stop = threading.Event()
 
     def _startup(self) -> None:
         self.supervisor.start()
+        self._dispatchers_stop.clear()
+        for i in range(max(1, self.supervisor.config.pool_size)):
+            t = threading.Thread(target=self._dispatch_loop,
+                                 daemon=True,
+                                 name=f"compile-dispatch-{i}")
+            t.start()
+            self._dispatchers.append(t)
 
     def _teardown(self) -> None:
+        self._dispatchers_stop.set()
+        # anything still queued gets a structured answer before the
+        # supervisor goes away — a blocked connection thread must
+        # never be left waiting on a box no one will fill
+        for item in self.admission.queue.drain():
+            req, box = item.payload
+            _box_put(box, error_response(
+                req.id, req.op, "server shut down before the queued "
+                                "request was dispatched"))
         self.supervisor.stop()
+        for t in self._dispatchers:
+            t.join(timeout=2.0)
+        self._dispatchers.clear()
+
+    # -- dispatcher pool ---------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._dispatchers_stop.is_set():
+            item = self.admission.take(timeout=0.05)
+            if item is None:
+                continue
+            with self._lock:
+                self._dispatching += 1
+            try:
+                self._serve_item(item)
+            finally:
+                with self._lock:
+                    self._dispatching -= 1
+
+    def _serve_item(self, item: QueueItem) -> None:
+        req, box = item.payload
+        now = time.monotonic()
+        if item.expired(now):
+            # expired while queued: evict, never dispatch
+            self.admission.evict_expired(item)
+            with self._lock:
+                self._deadline_refused += 1
+            self.supervisor.metrics.counter(
+                "admission.deadline_evicted").inc()
+            _box_put(box, deadline_response(
+                req.id, req.op,
+                message="deadline budget expired while the request "
+                        "was queued",
+                reason="expired_in_queue"))
+            return
+        req.queue_wait_s = max(0.0, now - item.enqueued_at)
+        self.supervisor.metrics.histogram(
+            "admission.queue_wait_ms").observe(req.queue_wait_s * 1e3)
+        try:
+            resp = self.supervisor.submit(req)
+        except Exception as exc:   # the dispatcher must never die
+            resp = error_response(
+                req.id, req.op,
+                f"internal error: {type(exc).__name__}: {exc}")
+        self.admission.note_completed(
+            item, service_s=time.monotonic() - now)
+        with self._lock:
+            self._served += 1
+        _box_put(box, resp)
 
     def handle_request(self, raw: dict) -> dict:
         req_id = raw.get("id") if isinstance(raw, dict) else None
@@ -313,17 +419,66 @@ class CompileServer(LineServer):
             return {"id": req.id, "op": "trace", "status": "ok",
                     "trace_id": trace_id, "spans": spans}
         assert req.op in COMPILE_OPS
-        if not self._slots.acquire(blocking=False):
+        return self._admit_and_wait(req)
+
+    def _admit_and_wait(self, req: Request) -> dict:
+        """Admission -> fair queue -> block on the reply box."""
+        now = time.monotonic()
+        if req.deadline_ms is not None:
+            req.budget_expires_at = now + req.deadline_ms / 1e3
+        box: queuelib.Queue = queuelib.Queue(maxsize=1)
+        item = QueueItem(
+            tenant=req.tenant or ANON_TENANT, priority=req.priority,
+            op=req.op, enqueued_at=now,
+            expires_at=req.budget_expires_at, payload=(req, box))
+        with self._lock:
+            extra = self._dispatching
+        decision = self.admission.offer(
+            item, budget_s=req.remaining_budget_s(now),
+            extra_occupancy=extra)
+        metrics = self.supervisor.metrics
+        if decision.verdict == REJECT_QUOTA:
+            metrics.counter("admission.rejected",
+                            reason="quota").inc()
+            return rejected_response(
+                req.id, req.op, decision.retry_after or 0.5,
+                message=decision.detail, reason="quota")
+        if decision.verdict == REJECT_HOPELESS:
+            # the remaining budget cannot cover the observed p50
+            # service time: answering now is the only honest outcome
+            with self._lock:
+                self._deadline_refused += 1
+            metrics.counter("admission.rejected",
+                            reason="hopeless").inc()
+            return deadline_response(req.id, req.op,
+                                     message=decision.detail,
+                                     reason="hopeless")
+        if decision.verdict != ADMIT:      # bounded queue full
             with self._lock:
                 self._shed += 1
-            return busy_response(req.id, req.op)
-        try:
-            resp = self.supervisor.submit(req)
+            metrics.counter("admission.shed",
+                            reason="queue_full").inc()
+            return busy_response(req.id, req.op,
+                                 retry_after=decision.retry_after
+                                 or 0.5)
+        if decision.displaced is not None:
+            # push-out: the flooder's newest low-priority request
+            # makes room for an under-share tenant — it still gets
+            # its one structured (busy) reply, right now
+            vreq, vbox = decision.displaced.payload
             with self._lock:
-                self._served += 1
-            return resp
-        finally:
-            self._slots.release()
+                self._shed += 1
+            metrics.counter("admission.shed",
+                            reason="displaced").inc()
+            _box_put(vbox, busy_response(
+                vreq.id, vreq.op,
+                retry_after=self.admission.queue_retry_after(),
+                message="request displaced from the queue by a "
+                        "tenant under its fair share",
+                reason="displaced"))
+        metrics.counter("admission.admitted",
+                        tenant=item.tenant).inc()
+        return box.get()
 
     # -- stats -------------------------------------------------------------
 
@@ -332,15 +487,20 @@ class CompileServer(LineServer):
             server = {
                 "served": self._served,
                 "shed": self._shed,
+                "deadline_refused": self._deadline_refused,
                 "queue_max": self.queue_max,
+                "queue_depth": self.admission.queue.depth(),
+                "oldest_age_s": self.admission.queue.oldest_age_s(),
                 "in_flight": self._in_flight,
+                "dispatching": self._dispatching,
                 "draining": self.draining,
                 "uptime_s": round(
                     time.monotonic() - self._started_at, 2),
                 "socket": self.socket_path,
                 "effective_cores": effective_cores(),
             }
-        out = {"server": server}
+        out = {"server": server,
+               "fairness": self.admission.fairness()}
         out.update(self.supervisor.stats())
         return out
 
@@ -368,20 +528,34 @@ class ServiceClient:
     dies mid-request) the client reconnects with jittered exponential
     backoff, up to ``reconnects`` times, and resends the request.
     Non-idempotent ops fail fast instead — a resend could act twice.
+
+    When the server provides a ``retry_after`` hint (busy shed, quota
+    rejection), the client *honors it*: the hint replaces the jittered
+    default for the next reconnect backoff, and with ``retry_busy > 0``
+    a busy/rejected reply to an idempotent op is automatically resent
+    after sleeping the hinted interval (capped by
+    ``retry_after_cap``), up to ``retry_busy`` times.
     """
 
     def __init__(self, socket_path: str, timeout: float | None = None,
                  reconnects: int = 3, backoff_base: float = 0.05,
                  backoff_cap: float = 1.0,
-                 jitter_seed: int | None = None):
+                 jitter_seed: int | None = None,
+                 retry_busy: int = 0,
+                 retry_after_cap: float = 5.0):
         self.socket_path = str(socket_path)
         self.timeout = timeout
         self.reconnects = reconnects
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.retry_busy = retry_busy
+        self.retry_after_cap = retry_after_cap
         self._rng = random.Random(jitter_seed)
         self._sock: socket.socket | None = None
         self._reader = None
+        #: the most recent server-provided retry_after hint, consumed
+        #: by the next backoff instead of the jittered default
+        self._retry_hint: float | None = None
 
     def connect(self) -> "ServiceClient":
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -413,6 +587,11 @@ class ServiceClient:
         self.close()
 
     def _backoff(self, attempt: int) -> float:
+        hint = self._retry_hint
+        if hint is not None:
+            # a server told us when to come back — believe it
+            self._retry_hint = None
+            return min(max(hint, 0.0), self.retry_after_cap)
         raw = min(self.backoff_cap,
                   self.backoff_base * (2 ** attempt))
         return raw * (0.5 + self._rng.random() * 0.5)
@@ -421,18 +600,34 @@ class ServiceClient:
         """Send one request object; block for its response.
 
         Reconnects and resends (bounded, jittered backoff) when the
-        connection dies under an idempotent op."""
+        connection dies under an idempotent op; with ``retry_busy``
+        set, also resends after a busy/rejected reply, sleeping the
+        server's ``retry_after`` hint."""
         retries = self.reconnects \
             if payload.get("op") in IDEMPOTENT_OPS else 0
-        for attempt in range(retries + 1):
+        busy_retries = self.retry_busy \
+            if payload.get("op") in IDEMPOTENT_OPS else 0
+        busy_used = 0
+        attempt = 0
+        while True:
             try:
-                return self._request_once(payload)
+                resp = self._request_once(payload)
             except (OSError, ConnectionError):
                 self.close()          # stale socket: force a reconnect
                 if attempt >= retries:
                     raise
                 time.sleep(self._backoff(attempt))
-        raise ConnectionError("unreachable")      # pragma: no cover
+                attempt += 1
+                continue
+            hint = resp.get("retry_after")
+            if hint is not None:
+                self._retry_hint = float(hint)
+            if resp.get("status") in ("busy", "rejected") \
+                    and hint is not None and busy_used < busy_retries:
+                busy_used += 1
+                time.sleep(self._backoff(attempt))
+                continue
+            return resp
 
     def _request_once(self, payload: dict) -> dict:
         if self._sock is None:

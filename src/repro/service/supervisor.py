@@ -44,8 +44,8 @@ from ..core.summarycache import fingerprint
 from ..obs import CAT_SERVICE, MetricsRegistry, Tracer
 from .breaker import CircuitBreaker
 from .requests import (
-    Request, STATUS_DEGRADED, STATUS_OK, busy_response, error_response,
-    response,
+    Request, STATUS_DEGRADED, STATUS_OK, busy_response,
+    deadline_response, error_response, response,
 )
 from .worker import STAGE_BYTES, get_stage, worker_main
 
@@ -60,6 +60,10 @@ class SupervisorConfig:
     pool_size: int = 2
     #: per-attempt wall-clock deadline, seconds (requests may lower it)
     deadline: float = 60.0
+    #: safety margin held back from a request's end-to-end
+    #: ``deadline_ms`` budget when deriving the worker deadline, so a
+    #: successful reply always lands *before* the wire deadline
+    deadline_margin: float = 0.1
     #: retries at the requested tier (lower tiers get one attempt each)
     max_retries: int = 2
     backoff_base: float = 0.05
@@ -155,6 +159,7 @@ class Supervisor:
             "errors": 0, "busy": 0, "attempts": 0, "respawns": 0,
             "crashes": 0, "deadline_kills": 0, "hang_kills": 0,
             "breaker_skips": 0, "crash_reports_dropped": 0,
+            "deadline_exceeded": 0,
         }
         #: structured metrics alongside the flat counters — the
         #: ``stats`` op reports both
@@ -564,6 +569,18 @@ class Supervisor:
         with tracer.span("request", category=CAT_SERVICE) as rs:
             rs.set(op=req.op, request_id=req.id,
                    units=[n for n, _ in req.sources])
+            if req.queue_wait_s:
+                # the admission queue wait happened before submit();
+                # synthesize its span so the trace shows the full
+                # arrival -> dispatch -> attempt timeline
+                now = tracer.clock()
+                tracer.add_finished(
+                    "queue", now - req.queue_wait_s, now,
+                    category=CAT_SERVICE, parent_id=rs.span_id,
+                    attrs={"tenant": req.tenant or "anon",
+                           "priority": req.priority,
+                           "wait_ms": round(req.queue_wait_s * 1e3,
+                                            2)})
             resp = self._submit(req, tracer)
             rs.set(status=resp.get("status"), tier=resp.get("tier"))
             if resp.get("status") not in (STATUS_OK, STATUS_DEGRADED):
@@ -609,13 +626,38 @@ class Supervisor:
                 continue
             tries = 1 + (max_retries if tier_index == 0 else 0)
             for local_try in range(tries):
+                now = time.monotonic()
+                remaining = req.remaining_budget_s(now)
+                if remaining is not None \
+                        and remaining <= cfg.deadline_margin:
+                    # out of end-to-end budget: answering now (with
+                    # margin to spare) beats dispatching an attempt
+                    # whose reply would land past the wire deadline
+                    with self.stats_lock:
+                        self.stats_counters["deadline_exceeded"] += 1
+                    self.metrics.counter("service.deadline_exceeded",
+                                         op=req.op).inc()
+                    return deadline_response(
+                        req.id, req.op,
+                        message=f"end-to-end budget exhausted after "
+                                f"{attempts} attempt(s); tier "
+                                f"{tier!r} not attempted",
+                        reason="budget_exhausted")
+                attempt_deadline = deadline
+                if remaining is not None:
+                    # the worker deadline is the remaining budget
+                    # minus the reply margin, never more than the
+                    # configured per-attempt deadline
+                    attempt_deadline = max(
+                        0.05, min(deadline,
+                                  remaining - cfg.deadline_margin))
                 attempts += 1
                 with self.stats_lock:
                     self.stats_counters["attempts"] += 1
                 if attempts > 1:
                     self.metrics.counter("service.retries").inc()
-                outcome = self._execute(req, tier, attempts, deadline,
-                                        tracer)
+                outcome = self._execute(req, tier, attempts,
+                                        attempt_deadline, tracer)
                 if outcome.kind == "busy":
                     with self.stats_lock:
                         self.stats_counters["busy"] += 1
@@ -633,7 +675,13 @@ class Supervisor:
                      "detail": outcome.detail,
                      "last_pass": outcome.last_stage})
                 if local_try < tries - 1:
-                    time.sleep(self._backoff(local_try))
+                    sleep = self._backoff(local_try)
+                    remaining = req.remaining_budget_s(
+                        time.monotonic())
+                    if remaining is not None:
+                        # never sleep the budget away
+                        sleep = min(sleep, max(0.0, remaining / 4))
+                    time.sleep(sleep)
 
         with self.stats_lock:
             self.stats_counters["errors"] += 1

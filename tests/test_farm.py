@@ -36,10 +36,11 @@ import pytest
 from repro.core import inject_cache_fault
 from repro.core.summarycache import SummaryCache
 from repro.service import (
-    COMPILE_OPS, CacheServer, CacheStore, ClusterConfig, LineServer,
-    RemoteCache, Router, RouterServer, ServiceClient, ShardSpec,
-    Supervisor, SupervisorConfig, busy_response, error_response,
-    parse_budget, response, single_request, wait_ready,
+    COMPILE_OPS, CacheServer, CacheStore, ClusterConfig, Farm,
+    LineServer, RemoteCache, Router, RouterServer, ServiceClient,
+    ShardSpec, Supervisor, SupervisorConfig, busy_response,
+    error_response, parse_budget, response, single_request,
+    wait_ready,
 )
 
 # AF_UNIX socket paths are limited to ~107 bytes; pytest tmp_path can
@@ -753,3 +754,56 @@ class TestWorkerOrphanReaping:
         for pid in leaked:              # clean up before failing
             os.kill(pid, 9)
         assert not leaked, f"workers outlived SIGKILLed daemon: {leaked}"
+
+
+# ---------------------------------------------------------------------------
+# rolling restart with a non-empty queue (real subprocess daemons)
+# ---------------------------------------------------------------------------
+
+class TestRollingRestartUnderLoad:
+    def test_rolling_restart_zero_failed_with_queued_requests(self):
+        """`Farm.rolling_restart()` while more requests are in flight
+        than the farm has workers — so shard queues are non-empty when
+        each drain lands.  Contract: every request is answered, none
+        fail; draining shards fail over instead of erroring."""
+        tmp = _tmpdir()
+        farm = Farm(tmp, daemons=2, pool_size=1)
+        farm.start(ready_timeout=120)
+        try:
+            n = 8
+            reqs = [{"id": i, "op": "analyze",
+                     "sources": [[f"w{i}.c",
+                                  "struct s%d { long a; long b; "
+                                  "int c; };\nstruct s%d *v;\n"
+                                  "int main() { return %d; }\n"
+                                  % (i, i, i)]],
+                     "options": {"cache": False}}
+                    for i in range(n)]
+            responses: dict = {}
+            dropped: dict = {}
+
+            def one(req):
+                try:
+                    responses[req["id"]] = single_request(
+                        farm.router_socket, req, timeout=240)
+                except Exception as exc:    # noqa: BLE001
+                    dropped[req["id"]] = repr(exc)
+
+            threads = [threading.Thread(target=one, args=(r,))
+                       for r in reqs]
+            for t in threads:
+                t.start()
+            time.sleep(0.3)                 # batch in flight / queued
+            farm.rolling_restart(ready_timeout=120)
+            for t in threads:
+                t.join(timeout=240)
+            assert not dropped, dropped
+            assert len(responses) == n
+            bad = {i: r["status"] for i, r in responses.items()
+                   if r["status"] not in ("ok", "degraded")}
+            assert not bad, bad
+            restarts = {s: farm.procs[s].restarts
+                        for s in ("s0", "s1")}
+            assert all(r >= 1 for r in restarts.values()), restarts
+        finally:
+            farm.stop()

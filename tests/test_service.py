@@ -371,6 +371,53 @@ class TestResilience:
 
 
 # ---------------------------------------------------------------------------
+# Drain with a non-empty admission queue
+# ---------------------------------------------------------------------------
+
+class TestDrainWhileQueued:
+    def test_drain_completes_already_queued_requests(self):
+        """A drain issued while requests sit in the admission queue
+        must not drop them: everything accepted before the drain gets
+        its real answer; only work arriving afterwards is shed."""
+        with service(queue_max=8, pool_size=1) as (sock, server, _):
+            n = 4
+            results: list = [None] * n
+
+            def one(i: int) -> None:
+                # distinct sources defeat the summary cache so every
+                # request does real work and the queue stays occupied
+                src = DEMO.replace("300", str(301 + i))
+                results[i] = single_request(
+                    sock, {"id": i, "op": "analyze",
+                           "sources": [[f"d{i}.c", src]],
+                           "options": {"cache": False}},
+                    timeout=120)
+
+            threads = [threading.Thread(target=one, args=(i,))
+                       for i in range(n)]
+            for t in threads:
+                t.start()
+            # wait until every request is accepted (in flight) and at
+            # least one actually sits in the queue before draining
+            deadline = time.monotonic() + 10
+            while (server.in_flight < n
+                   or server.admission.queue.depth() == 0) \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert server.in_flight == n
+            assert server.admission.queue.depth() > 0, \
+                "admission queue never became non-empty"
+            drain = single_request(sock, {"op": "drain"})
+            assert drain["draining"] is True
+            assert drain["in_flight"] >= 1
+            for t in threads:
+                t.join(timeout=120)
+            statuses = [r["status"] for r in results]
+            assert all(s in ("ok", "degraded") for s in statuses), \
+                statuses
+
+
+# ---------------------------------------------------------------------------
 # CLI: serve + client subcommands and their exit codes
 # ---------------------------------------------------------------------------
 
