@@ -18,6 +18,11 @@ measurements backing the PR's performance claims:
   passes, and the observability cost: best-of-N compile time with
   tracing disabled versus enabled (the disabled path must stay a
   no-op; ``benchmarks/obs_smoke.py`` gates it at < 5%).
+- ``wire`` — the cost of the hardened wire protocol on the
+  uncontended path: per-request µs for the bounded line reader plus
+  protocol-version check versus a plain unbounded readline, expressed
+  against the cheapest real request (a warm cached compile).  The
+  ``--check`` gate holds the overhead under 2%.
 - ``simulator`` — cycles/second executing 181.mcf (train) on the
   simulated machine, plus the cycle count and an output/stats hash so
   any semantic drift in the simulator fast path is caught, not just
@@ -37,9 +42,11 @@ import hashlib
 import json
 import os
 import shutil
+import socket
 import statistics
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -282,6 +289,88 @@ def bench_overload(repeats: int, baseline_request_s: float) -> dict:
     }
 
 
+def bench_wire(repeats: int, baseline_request_s: float) -> dict:
+    """Wire-hardening overhead on the *uncontended* path: every
+    request line now flows through the bounded line reader and a
+    protocol-version check instead of an unbounded ``makefile``
+    readline.  Both paths read the same N framed requests off a
+    socketpair fed by a writer thread; the difference, per request,
+    is expressed against the cheapest real request the daemon serves
+    (a warm cached compile).  The CI gate holds this under 2%."""
+    from repro.service.wire import (  # noqa: E402
+        DEFAULT_MAX_REQUEST_BYTES, PROTOCOL_VERSION,
+        SUPPORTED_PROTOCOL_VERSIONS, BoundedLineReader)
+
+    n = 2000
+    line = json.dumps(
+        {"id": 1, "op": "analyze", "v": PROTOCOL_VERSION,
+         "sources": [["u.c", "int main() { return 0; }"]]}
+    ).encode("utf-8") + b"\n"
+    payload = line * n
+
+    def feed(sock) -> None:
+        try:
+            sock.sendall(payload)
+            sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    def run_once(read_all) -> float:
+        a, b = socket.socketpair()
+        try:
+            writer = threading.Thread(target=feed, args=(a,),
+                                      daemon=True)
+            writer.start()
+            t0 = time.perf_counter()
+            read_all(b)
+            wall = time.perf_counter() - t0
+            writer.join()
+        finally:
+            a.close()
+            b.close()
+        return wall
+
+    def bounded(sock) -> None:
+        # the hardened server path: bounded framing, JSON decode,
+        # version pop + membership check
+        reader = BoundedLineReader(sock, DEFAULT_MAX_REQUEST_BYTES)
+        count = 0
+        while True:
+            raw, oversized = reader.readline()
+            if raw is None:
+                break
+            assert not oversized
+            req = json.loads(raw.decode("utf-8"))
+            v = req.pop("v", 1)
+            assert not isinstance(v, bool) \
+                and v in SUPPORTED_PROTOCOL_VERSIONS
+            count += 1
+        assert count == n
+
+    def plain(sock) -> None:
+        # the pre-hardening path: unbounded buffered readline + decode
+        f = sock.makefile("rb")
+        count = 0
+        for raw in f:
+            json.loads(raw.decode("utf-8"))
+            count += 1
+        f.close()
+        assert count == n
+
+    reps = max(repeats, 1)
+    best_bounded = min(run_once(bounded) for _ in range(reps))
+    best_plain = min(run_once(plain) for _ in range(reps))
+    extra_s = max(0.0, (best_bounded - best_plain) / n)
+    return {
+        "iterations": n,
+        "plain_us_per_request": round(best_plain / n * 1e6, 2),
+        "bounded_us_per_request": round(best_bounded / n * 1e6, 2),
+        "baseline_request_ms": round(baseline_request_s * 1e3, 3),
+        "uncontended_overhead_pct": round(
+            100.0 * extra_s / baseline_request_s, 4),
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--units", type=int, default=10,
@@ -297,6 +386,7 @@ def main(argv=None) -> int:
     phases = bench_phases(args.units, args.repeats)
     simulator = bench_simulator(args.repeats)
     overload = bench_overload(args.repeats, pipeline["warm_s"])
+    wire = bench_wire(args.repeats, pipeline["warm_s"])
     report = {
         "benchmark": "pipeline",
         "pipeline": pipeline,
@@ -304,6 +394,7 @@ def main(argv=None) -> int:
         "phases": phases,
         "simulator": simulator,
         "overload": overload,
+        "wire": wire,
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
@@ -347,6 +438,11 @@ def main(argv=None) -> int:
         if overload["uncontended_overhead_pct"] >= 2.0:
             print(f"FAIL: admission control costs "
                   f"{overload['uncontended_overhead_pct']}% of an "
+                  f"uncontended request (>= 2%)", file=sys.stderr)
+            ok = False
+        if wire["uncontended_overhead_pct"] >= 2.0:
+            print(f"FAIL: bounded reader + version check cost "
+                  f"{wire['uncontended_overhead_pct']}% of an "
                   f"uncontended request (>= 2%)", file=sys.stderr)
             ok = False
         return 0 if ok else 1

@@ -34,12 +34,18 @@ Drills, in order:
    beats the flood's; zero ``ok``/``degraded`` replies land past
    their propagated deadline (hopeless budgets come back
    ``deadline_exceeded``, never served late).
+6. **Router down** (``--only router-down``): the farm runs an HA
+   router pair (``--routers 2``); the *active* router is SIGKILLed
+   while a staggered batch flows through a multi-endpoint client.
+   Gates: zero failed requests (a dead active costs at most one
+   client retry), and the warm standby promotes itself — rebuilding
+   shard state from its own probes — in under 2 seconds.
 
 ``--only`` runs a comma-separated subset of drills (``kill``,
-``gray``, ``restart``, ``cache``, ``overload``); the default is the
-four classic drills.  Every step runs under its own wall-clock budget
-so a wedged farm fails the job quickly.  Exit status: 0 on success,
-1 on any violation.
+``gray``, ``restart``, ``cache``, ``overload``, ``router-down``); the
+default is the four classic drills.  Every step runs under its own
+wall-clock budget so a wedged farm fails the job quickly.  Exit
+status: 0 on success, 1 on any violation.
 """
 
 from __future__ import annotations
@@ -291,7 +297,123 @@ def run_overload_drill(farm, router: str, args) -> bool:
     return ok
 
 
-DRILLS = ("kill", "gray", "restart", "cache", "overload")
+TAKEOVER_GATE_S = 2.0
+
+
+def run_router_down_drill(farm, args) -> bool:
+    """Drill 6: SIGKILL the active router while a batch is in flight.
+
+    Clients speak to the HA pair through a multi-endpoint spec
+    (``unix:r0,unix:r1``), so a dead active costs at most one client
+    retry.  The warm standby must notice the silence on its peer
+    probes and promote itself — rebuilding shard state from its own
+    probes — within ``TAKEOVER_GATE_S`` seconds."""
+    ok = True
+    step = StepTimer("router-down", args.step_timeout * 2)
+    endpoints = farm.router_endpoints
+
+    # learn which router is active and who stands by
+    active_name = None
+    standby_socks: list[str] = []
+    for i, sock in enumerate(farm.router_sockets):
+        try:
+            ping = single_request(sock, {"op": "ping"},
+                                  timeout=10, reconnects=0)
+        except Exception:
+            continue
+        if ping.get("active") and active_name is None:
+            active_name = f"r{i}"
+        else:
+            standby_socks.append(sock)
+    if active_name is None or not standby_socks:
+        print(f"FAIL [router-down]: need an active router and a "
+              f"warm standby (active={active_name!r}, "
+              f"standbys={len(standby_socks)})", file=sys.stderr)
+        return False
+    print(f"  [router-down] active router {active_name!r}, "
+          f"{len(standby_socks)} standby(s), "
+          f"client endpoints {endpoints}", flush=True)
+
+    # staggered batch through the multi-endpoint client, so requests
+    # are in flight before, during, and after the kill
+    reqs = [{"id": f"rd{i}", "op": "analyze",
+             "sources": [[f"rd{i}.c",
+                          SOURCE_TMPL % {"salt": 4000 + i}]],
+             "options": {"cache": False}}
+            for i in range(args.requests)]
+    responses: dict = {}
+    dropped: dict = {}
+
+    def one(req: dict, delay: float) -> None:
+        time.sleep(delay)
+        try:
+            responses[req["id"]] = single_request(
+                endpoints, req, timeout=args.step_timeout * 2)
+        except Exception as exc:
+            dropped[req["id"]] = f"{type(exc).__name__}: {exc}"
+
+    threads = [threading.Thread(target=one, args=(r, 0.08 * i))
+               for i, r in enumerate(reqs)]
+    for t in threads:
+        t.start()
+    time.sleep(0.2)
+    t_kill = time.monotonic()
+    farm.kill_proc(active_name, sig=signal.SIGKILL)
+
+    # takeover gate: a standby must declare itself active in < 2s
+    takeover_s = None
+    while time.monotonic() - t_kill < args.step_timeout:
+        for sock in standby_socks:
+            try:
+                p = single_request(sock, {"op": "ping"},
+                                   timeout=5, reconnects=0)
+            except Exception:
+                continue
+            if p.get("active"):
+                takeover_s = time.monotonic() - t_kill
+                break
+        if takeover_s is not None:
+            break
+        time.sleep(0.02)
+    if takeover_s is None:
+        ok = False
+        print("FAIL [router-down]: no standby ever took over",
+              file=sys.stderr)
+    elif takeover_s > TAKEOVER_GATE_S:
+        ok = False
+        print(f"FAIL [router-down]: takeover took {takeover_s:.2f}s "
+              f"(gate {TAKEOVER_GATE_S:.0f}s)", file=sys.stderr)
+    else:
+        print(f"  [router-down] standby took over in "
+              f"{takeover_s:.2f}s", flush=True)
+
+    for t in threads:
+        t.join(timeout=args.step_timeout * 2)
+    ok &= gate_batch("router-down", responses, dropped, len(reqs))
+
+    # the promoted standby's HA stats must record the takeover
+    takeovers = 0
+    for sock in standby_socks:
+        try:
+            stats = single_request(sock, {"op": "stats"},
+                                   timeout=30, reconnects=0)["stats"]
+        except Exception:
+            continue
+        takeovers += stats.get("ha", {}).get("takeovers", 0)
+    if takeovers < 1:
+        ok = False
+        print("FAIL [router-down]: no standby counted a takeover",
+              file=sys.stderr)
+
+    # bring the dead router back (supervision stays off during the
+    # measurement so a fast respawn cannot mask a slow takeover)
+    farm.restart_proc(active_name, ready_timeout=args.step_timeout)
+    step.done()
+    return ok
+
+
+DRILLS = ("kill", "gray", "restart", "cache", "overload",
+          "router-down")
 CLASSIC = ("kill", "gray", "restart", "cache")
 
 
@@ -302,6 +424,9 @@ def main(argv=None) -> int:
                     help="concurrent requests per drill batch")
     ap.add_argument("--pool-size", type=int, default=1)
     ap.add_argument("--cache-budget", default="64M")
+    ap.add_argument("--routers", type=int, default=1,
+                    help="router processes (>=2 runs an HA pair; "
+                         "forced to 2 when router-down is drilled)")
     ap.add_argument("--step-timeout", type=float, default=120.0,
                     help="wall-clock budget per drill step, seconds")
     ap.add_argument("--only", default=None, metavar="DRILLS",
@@ -316,15 +441,19 @@ def main(argv=None) -> int:
         unknown = drills - set(DRILLS)
         if unknown:
             ap.error(f"unknown drill(s): {', '.join(sorted(unknown))}")
+    routers = args.routers
+    if "router-down" in drills and routers < 2:
+        routers = 2
 
     run_dir = tempfile.mkdtemp(prefix="repro-chaos-", dir="/tmp")
-    print(f"farm chaos: {args.daemons} daemons, "
+    print(f"farm chaos: {args.daemons} daemons, {routers} router(s), "
           f"{args.requests} requests per batch, run dir {run_dir}",
           flush=True)
     farm = Farm(run_dir, daemons=args.daemons,
                 pool_size=args.pool_size,
-                cache_budget=args.cache_budget)
-    router = farm.router_socket
+                cache_budget=args.cache_budget,
+                routers=routers)
+    router = farm.router_endpoints
     ok = True
     try:
         step = StepTimer("startup", args.step_timeout)
@@ -429,7 +558,7 @@ def main(argv=None) -> int:
             ok &= gate_batch("hot-restart", responses, dropped,
                              len(reqs))
             restarts = {n: p.restarts for n, p in farm.procs.items()
-                        if n != "cache"}
+                        if p.kind == "shard"}
             if any(r < 1 for r in restarts.values()):
                 ok = False
                 print(f"FAIL [hot-restart]: not every shard was "
@@ -474,6 +603,10 @@ def main(argv=None) -> int:
         # -- drill 5: overload with a flooding tenant --------------------
         if "overload" in drills:
             ok &= run_overload_drill(farm, router, args)
+
+        # -- drill 6: kill the active router under load ------------------
+        if "router-down" in drills:
+            ok &= run_router_down_drill(farm, args)
 
         # -- post-chaos health -------------------------------------------
         # Recovery is eventual, not instant: a shard ejected during

@@ -311,7 +311,10 @@ def cmd_serve(args) -> int:
     server = CompileServer(args.socket, Supervisor(config),
                            queue_max=args.queue_max,
                            tenant_rate=args.tenant_rate,
-                           tenant_burst=args.tenant_burst)
+                           tenant_burst=args.tenant_burst,
+                           max_request_bytes=args.max_request_bytes,
+                           idle_timeout=args.idle_timeout,
+                           max_connections=args.max_connections)
     try:
         server.start()
     except OSError as exc:
@@ -377,9 +380,11 @@ def cmd_drain(args) -> int:
 
 def cmd_farm(args) -> int:
     """Run the whole resilient farm: cache service, N shard daemons,
-    and the front-tier router, in the foreground."""
+    and the front-tier router (or an HA router group), in the
+    foreground."""
     from .service.router import ClusterConfig, Farm, Router, \
-        RouterServer
+        RouterPeer, RouterServer
+    from .service.wire import parse_endpoints
     if not args.config and not args.dir:
         raise CliError("farm needs --dir (to spawn a farm) or "
                        "--config (to route external shards)")
@@ -388,19 +393,32 @@ def cmd_farm(args) -> int:
                        "for the router")
     if args.config:
         cluster = ClusterConfig.from_file(args.config)
+        peers: list[RouterPeer] = []
+        if args.ha_peers:
+            # the full ordered router list; our own entry (by rank
+            # position) is skipped, the rest become probe targets
+            sockets = parse_endpoints(args.ha_peers)
+            peers = [RouterPeer(socket=s, rank=i)
+                     for i, s in enumerate(sockets)
+                     if i != args.ha_rank]
         router_server = RouterServer(
             args.socket,
             Router(cluster, tenant_rate=args.tenant_rate,
                    tenant_burst=args.tenant_burst,
                    retry_rate=args.retry_rate,
-                   retry_burst=args.retry_burst))
+                   retry_burst=args.retry_burst),
+            peers=peers, rank=args.ha_rank,
+            max_request_bytes=args.max_request_bytes,
+            idle_timeout=args.idle_timeout,
+            max_connections=args.max_connections)
         try:
             router_server.start()
         except OSError as exc:
             raise CliError(f"cannot bind {args.socket!r}: {exc}",
                            EXIT_USAGE) from exc
+        ha = f", ha-rank {args.ha_rank}" if peers else ""
         print(f"repro: routing {len(cluster.shards)} external "
-              f"shard(s) on {args.socket}", file=sys.stderr,
+              f"shard(s) on {args.socket}{ha}", file=sys.stderr,
               flush=True)
         import signal
         signal.signal(signal.SIGTERM,
@@ -420,24 +438,40 @@ def cmd_farm(args) -> int:
                 tenant_rate=args.tenant_rate,
                 tenant_burst=args.tenant_burst,
                 retry_rate=args.retry_rate,
-                retry_burst=args.retry_burst)
-    farm.router_socket = args.socket or farm.router_socket
+                retry_burst=args.retry_burst,
+                routers=args.routers)
+    if args.routers <= 1:
+        farm.router_socket = args.socket or farm.router_socket
     try:
         farm.start()
     except (OSError, RuntimeError) as exc:
         farm.stop()
         raise CliError(f"farm failed to start: {exc}",
                        EXIT_USAGE) from exc
-    print(f"repro: farm up — router {farm.router_socket}, "
+    print(f"repro: farm up — router(s) {farm.router_endpoints}, "
           f"{args.daemons} daemon(s), cache {farm.cache_socket}",
           file=sys.stderr, flush=True)
     import signal
-    stopping = []
-    signal.signal(signal.SIGTERM, lambda *_: (
-        stopping.append(True),
-        farm.router_server.request_shutdown()))
+    if farm.router_server is not None:
+        # classic layout: the router runs in this process
+        signal.signal(signal.SIGTERM, lambda *_:
+                      farm.router_server.request_shutdown())
+        try:
+            farm.router_server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            farm.stop()
+        return EXIT_OK
+    # HA layout: routers are supervised subprocesses; this process
+    # just babysits until signalled
+    import threading
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    farm.start_supervision()
     try:
-        farm.router_server.serve_forever()
+        while not stop.wait(timeout=0.2):
+            pass
     except KeyboardInterrupt:
         pass
     finally:
@@ -449,7 +483,10 @@ def cmd_cache_serve(args) -> int:
     from .service.cacheservice import parse_budget, serve_cache
     try:
         server = serve_cache(args.socket, args.dir,
-                             budget=args.cache_budget)
+                             budget=args.cache_budget,
+                             max_request_bytes=args.max_request_bytes,
+                             idle_timeout=args.idle_timeout,
+                             max_connections=args.max_connections)
     except ValueError as exc:
         raise CliError(str(exc), EXIT_USAGE) from exc
     try:
@@ -699,6 +736,29 @@ def build_parser() -> argparse.ArgumentParser:
                                 "JSON; JSONL when FILE ends in "
                                 ".jsonl)")
 
+    def add_wire_flags(p):
+        from .service.wire import (
+            DEFAULT_IDLE_TIMEOUT, DEFAULT_MAX_CONNECTIONS,
+            DEFAULT_MAX_REQUEST_BYTES,
+        )
+        p.add_argument("--max-request-bytes", type=int,
+                       default=DEFAULT_MAX_REQUEST_BYTES,
+                       metavar="N",
+                       help="hard cap on one request line; larger "
+                            "frames get a structured error and the "
+                            "connection resyncs (default "
+                            f"{DEFAULT_MAX_REQUEST_BYTES})")
+        p.add_argument("--idle-timeout", type=float,
+                       default=DEFAULT_IDLE_TIMEOUT, metavar="S",
+                       help="close a connection silent for S seconds, "
+                            "including one that never sent a byte "
+                            f"(default {DEFAULT_IDLE_TIMEOUT:g})")
+        p.add_argument("--max-connections", type=int,
+                       default=DEFAULT_MAX_CONNECTIONS, metavar="N",
+                       help="open-connection cap; past it the idlest "
+                            "connection is evicted (default "
+                            f"{DEFAULT_MAX_CONNECTIONS})")
+
     p = sub.add_parser("analyze", help="legality + planned transforms")
     add_common(p)
     p.set_defaults(fn=cmd_analyze)
@@ -793,6 +853,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tenant-burst", type=float, default=8.0,
                    metavar="B",
                    help="per-tenant quota burst size (default 8)")
+    add_wire_flags(p)
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -846,6 +907,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retry-burst", type=float, default=32.0,
                    metavar="B",
                    help="per-tenant retry budget burst (default 32)")
+    p.add_argument("--routers", type=int, default=1, metavar="N",
+                   help="router processes: 1 (default) runs the "
+                        "classic in-process router; >=2 spawns an "
+                        "active + warm-standby HA group (r0.sock, "
+                        "r1.sock, ...) that is supervised and "
+                        "respawned like the daemons — point clients "
+                        "at unix:r0.sock,unix:r1.sock")
+    p.add_argument("--ha-rank", type=int, default=0, metavar="K",
+                   help="(with --config) this router's rank in an HA "
+                        "group; the lowest healthy rank is active "
+                        "(default 0)")
+    p.add_argument("--ha-peers", default=None, metavar="LIST",
+                   help="(with --config) the full ordered "
+                        "comma-separated router socket list of the "
+                        "HA group, this router's own socket included "
+                        "at position --ha-rank")
+    add_wire_flags(p)
     p.set_defaults(fn=cmd_farm)
 
     p = sub.add_parser("cache",
@@ -865,6 +943,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "unbounded)")
     cp.add_argument("--drain-grace", type=float, default=30.0,
                     metavar="S", help="SIGTERM drain grace")
+    add_wire_flags(cp)
     cp.set_defaults(fn=cmd_cache_serve)
 
     cp = cache_sub.add_parser(
@@ -890,7 +969,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("files", nargs="+",
                    help="MiniC source files (one program)")
     p.add_argument("--socket", required=True, metavar="PATH",
-                   help="Unix socket of the daemon")
+                   help="Unix socket of the daemon, or a failover "
+                        "list 'unix:A,unix:B' (e.g. an HA router "
+                        "pair; endpoints are tried in order)")
     p.add_argument("--deadline", type=float, default=None, metavar="S",
                    help="per-attempt deadline override")
     p.add_argument("--max-retries", type=int, default=None,

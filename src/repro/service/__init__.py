@@ -46,14 +46,20 @@ from .requests import (
     rejected_response, response,
 )
 from .router import (
-    ClusterConfig, Farm, FarmProc, Router, RouterServer, ShardSpec,
-    ShardState,
+    ClusterConfig, Farm, FarmProc, Router, RouterPeer, RouterServer,
+    ShardSpec, ShardState,
 )
 from .server import (
     CompileServer, IDEMPOTENT_OPS, LineServer, ServiceClient,
     single_request, wait_ready,
 )
 from .supervisor import Supervisor, SupervisorConfig
+from .wire import (
+    BoundedLineReader, DEFAULT_IDLE_TIMEOUT, DEFAULT_MAX_CONNECTIONS,
+    DEFAULT_MAX_REPLY_BYTES, DEFAULT_MAX_REQUEST_BYTES,
+    OversizedReplyError, PROTOCOL_VERSION, SUPPORTED_PROTOCOL_VERSIONS,
+    parse_endpoints,
+)
 
 __all__ = [
     "ANON_TENANT", "AdmissionController", "FairQueue",
@@ -68,9 +74,14 @@ __all__ = [
     "TIERS",
     "busy_response", "deadline_response", "decode", "encode",
     "error_response", "rejected_response", "response",
-    "ClusterConfig", "Farm", "FarmProc", "Router", "RouterServer",
-    "ShardSpec", "ShardState",
+    "ClusterConfig", "Farm", "FarmProc", "Router", "RouterPeer",
+    "RouterServer", "ShardSpec", "ShardState",
     "CompileServer", "IDEMPOTENT_OPS", "LineServer", "ServiceClient",
     "single_request", "wait_ready",
     "Supervisor", "SupervisorConfig",
+    "BoundedLineReader", "DEFAULT_IDLE_TIMEOUT",
+    "DEFAULT_MAX_CONNECTIONS", "DEFAULT_MAX_REPLY_BYTES",
+    "DEFAULT_MAX_REQUEST_BYTES", "OversizedReplyError",
+    "PROTOCOL_VERSION", "SUPPORTED_PROTOCOL_VERSIONS",
+    "parse_endpoints",
 ]

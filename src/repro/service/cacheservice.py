@@ -224,8 +224,8 @@ class CacheServer(LineServer):
 
     WORK_OPS = ("cache.get", "cache.put", "cache.drop")
 
-    def __init__(self, socket_path: str, store: CacheStore):
-        super().__init__(socket_path)
+    def __init__(self, socket_path: str, store: CacheStore, **wire):
+        super().__init__(socket_path, **wire)
         self.store = store
 
     def handle_request(self, raw: dict) -> dict:
@@ -315,6 +315,7 @@ class CacheServer(LineServer):
                 "uptime_s": self.uptime_s(),
                 "socket": self.socket_path,
             },
+            "connections": self.connection_stats(),
             "cache": self.store.stats(),
             "metrics": self.store.metrics.snapshot(),
         }
@@ -428,10 +429,11 @@ class RemoteCache(SummaryCache):
 
 
 def serve_cache(socket_path: str, root: str | Path,
-                budget: str | int | None = None) -> CacheServer:
+                budget: str | int | None = None,
+                **wire) -> CacheServer:
     """Construct (but do not start) a cache server for the CLI/farm."""
     store = CacheStore(root, budget_bytes=parse_budget(budget))
-    return CacheServer(socket_path, store)
+    return CacheServer(socket_path, store, **wire)
 
 
 def wait_cache_ready(socket_path: str, timeout: float = 10.0) -> bool:

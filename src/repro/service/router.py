@@ -331,12 +331,24 @@ class Router:
             for shard in self.shards:
                 self.probe(shard)
 
-    def probe(self, shard: ShardState) -> bool:
+    def probe_all(self) -> None:
+        """Probe every shard immediately, ignoring re-probe backoff.
+
+        A standby router taking over calls this to rebuild its
+        :class:`ShardState` view from its *own* probes the moment it
+        becomes active — shard state is soft, so no consensus or state
+        transfer from the dead active is needed."""
+        for shard in self.shards:
+            self.probe(shard, force=True)
+
+    def probe(self, shard: ShardState, force: bool = False) -> bool:
         """Ping one shard and update its state.  Ejected shards are
-        only probed past their jittered re-probe time."""
+        only probed past their jittered re-probe time (unless
+        ``force``)."""
         now = time.monotonic()
         with shard.lock:
-            if not shard.healthy and now < shard.ejected_until:
+            if not force and not shard.healthy \
+                    and now < shard.ejected_until:
                 return False
         try:
             resp = single_request(
@@ -716,20 +728,111 @@ class Router:
         return out
 
 
+@dataclass
+class RouterPeer:
+    """A sibling router in an HA pair/group, as one router sees it.
+
+    Peers start presumed healthy: a standby must *observe* the active
+    failing (``fail_threshold`` consecutive probe misses) before it
+    promotes itself, so a slow-starting active is not usurped."""
+
+    socket: str
+    rank: int
+    healthy: bool = True
+    consecutive_failures: int = 0
+
+
 class RouterServer(LineServer):
-    """The farm's socket front door: same wire protocol, N shards."""
+    """The farm's socket front door: same wire protocol, N shards.
+
+    **High availability**: give each router in a group the full
+    ordered socket list and its own ``rank``; every router probes its
+    peers, and a router is *active* exactly when no healthy peer has a
+    lower rank.  The lowest rank is therefore the active by default
+    and the rest are warm standbys (their shard health loops run the
+    whole time).  There is no consensus — shard state is soft — so a
+    takeover is just: notice the active stopped answering pings,
+    flip ``active``, and re-probe every shard immediately to rebuild
+    :class:`ShardState` from scratch.  Standbys still *serve* requests
+    sent to them (compile ops are idempotent and clients prefer
+    endpoints in list order), so the ``active`` flag is observability
+    and takeover accounting, not a request gate — which is what makes
+    a SIGKILLed active cost clients at most one reconnect."""
 
     WORK_OPS = COMPILE_OPS
 
-    def __init__(self, socket_path: str, router: Router):
-        super().__init__(socket_path)
+    def __init__(self, socket_path: str, router: Router, *,
+                 peers: list[RouterPeer] | None = None, rank: int = 0,
+                 peer_probe_interval: float = 0.25,
+                 peer_fail_threshold: int = 3,
+                 peer_timeout: float = 1.0, **wire):
+        super().__init__(socket_path, **wire)
         self.router = router
+        self.rank = rank
+        self.peers = list(peers or [])
+        self.peer_probe_interval = peer_probe_interval
+        self.peer_fail_threshold = peer_fail_threshold
+        self.peer_timeout = peer_timeout
+        self.takeovers = 0
+        self._active = not any(p.rank < rank for p in self.peers)
+        self._peer_stop = threading.Event()
+        self._peer_thread: threading.Thread | None = None
+
+    @property
+    def active(self) -> bool:
+        return self._active
 
     def _startup(self) -> None:
         self.router.start_health_loop()
+        if self.peers:
+            self._peer_stop.clear()
+            self._peer_thread = threading.Thread(
+                target=self._peer_loop, daemon=True,
+                name="router-peers")
+            self._peer_thread.start()
 
     def _teardown(self) -> None:
+        self._peer_stop.set()
         self.router.stop_health_loop()
+
+    # -- HA: peer probing and active selection ------------------------------
+
+    def _peer_loop(self) -> None:
+        while not self._peer_stop.wait(
+                timeout=self.peer_probe_interval):
+            self._probe_peers_once()
+
+    def _probe_peers_once(self) -> None:
+        for peer in self.peers:
+            try:
+                resp = single_request(
+                    peer.socket, {"op": "ping"},
+                    timeout=self.peer_timeout, reconnects=0)
+                ok = bool(resp.get("pong"))
+            except (OSError, ConnectionError, ProtocolError):
+                ok = False
+            if ok:
+                peer.consecutive_failures = 0
+                peer.healthy = True
+            else:
+                peer.consecutive_failures += 1
+                if peer.consecutive_failures \
+                        >= self.peer_fail_threshold:
+                    peer.healthy = False
+        self._update_active()
+
+    def _update_active(self) -> None:
+        active = not any(p.healthy and p.rank < self.rank
+                         for p in self.peers)
+        if active and not self._active:
+            # takeover: we are now the preferred router.  Rebuild the
+            # shard view from our own probes right away — off-thread,
+            # so a slow shard cannot stall the peer loop
+            self.takeovers += 1
+            threading.Thread(target=self.router.probe_all,
+                             daemon=True,
+                             name="router-takeover-probe").start()
+        self._active = active
 
     def handle_request(self, raw: dict) -> dict:
         req_id = raw.get("id")
@@ -737,7 +840,8 @@ class RouterServer(LineServer):
         if op == "ping":
             return {"id": req_id, "op": "ping", "status": "ok",
                     "pong": True, "draining": self.draining,
-                    "role": "router",
+                    "role": "router", "rank": self.rank,
+                    "active": self._active,
                     "shards": sum(1 for s in self.router.shards
                                   if s.available())}
         if op == "shutdown":
@@ -788,6 +892,17 @@ class RouterServer(LineServer):
             "uptime_s": self.uptime_s(),
             "socket": self.socket_path,
         }
+        out["connections"] = self.connection_stats()
+        out["ha"] = {
+            "rank": self.rank,
+            "active": self._active,
+            "takeovers": self.takeovers,
+            "peers": [{"socket": p.socket, "rank": p.rank,
+                       "healthy": p.healthy,
+                       "consecutive_failures":
+                           p.consecutive_failures}
+                      for p in self.peers],
+        }
         return out
 
 
@@ -796,12 +911,15 @@ class RouterServer(LineServer):
 # ---------------------------------------------------------------------------
 
 class FarmProc:
-    """One managed subprocess (shard daemon or cache service)."""
+    """One managed subprocess (shard daemon, cache service, or
+    router)."""
 
-    def __init__(self, name: str, socket_path: str, argv: list[str]):
+    def __init__(self, name: str, socket_path: str, argv: list[str],
+                 kind: str = "shard"):
         self.name = name
         self.socket = socket_path
         self.argv = argv
+        self.kind = kind
         self.proc: subprocess.Popen | None = None
         self.restarts = 0
 
@@ -825,7 +943,8 @@ class Farm:
                  serve_args: list[str] | None = None,
                  drain_grace: float = 5.0, term_grace: float = 2.0,
                  tenant_rate: float = 0.0, tenant_burst: float = 8.0,
-                 retry_rate: float = 8.0, retry_burst: float = 32.0):
+                 retry_rate: float = 8.0, retry_burst: float = 32.0,
+                 routers: int = 1):
         self.run_dir = Path(run_dir)
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self.pool_size = pool_size
@@ -839,7 +958,18 @@ class Farm:
         self.retry_burst = retry_burst
         self.cache_dir = self.run_dir / "cache"
         self.cache_socket = str(self.run_dir / "cache.sock")
-        self.router_socket = str(self.run_dir / "router.sock")
+        #: ``routers == 1``: one in-process RouterServer (the classic
+        #: layout every existing test and drill assumes).
+        #: ``routers >= 2``: an HA group of *subprocess* routers —
+        #: ``r0`` (active) .. ``rN`` (warm standbys), supervised and
+        #: respawned like any other daemon.
+        self.routers = max(1, int(routers))
+        if self.routers == 1:
+            self.router_sockets = [str(self.run_dir / "router.sock")]
+        else:
+            self.router_sockets = [str(self.run_dir / f"r{i}.sock")
+                                   for i in range(self.routers)]
+        self.router_socket = self.router_sockets[0]
         weights = weights or [1.0] * daemons
         if len(weights) != daemons:
             raise ValueError("need one weight per daemon")
@@ -851,6 +981,17 @@ class Farm:
             cache_socket=self.cache_socket)
         self.procs: dict[str, FarmProc] = {}
         self.router_server: RouterServer | None = None
+        self._supervise_stop: threading.Event | None = None
+        self._supervise_thread: threading.Thread | None = None
+
+    @property
+    def router_endpoints(self) -> str:
+        """The multi-endpoint spec clients should use —
+        ``unix:A,unix:B`` across the HA group (preference order:
+        active first), or the single router socket."""
+        if self.routers == 1:
+            return f"unix:{self.router_socket}"
+        return ",".join(f"unix:{s}" for s in self.router_sockets)
 
     # -- process plumbing ---------------------------------------------------
 
@@ -882,11 +1023,25 @@ class Farm:
                 "--pool-size", str(self.pool_size),
                 *self.serve_args]
 
+    def _router_argv(self, i: int) -> list[str]:
+        """A standalone router process: ``repro farm --config`` plus
+        its HA identity (rank + the full ordered socket list).  The
+        identity lives in the argv, so a plain respawn restores it."""
+        return [sys.executable, "-m", "repro", "farm",
+                "--config", str(self.run_dir / "cluster.json"),
+                "--socket", self.router_sockets[i],
+                "--ha-rank", str(i),
+                "--ha-peers", ",".join(self.router_sockets),
+                "--tenant-rate", str(self.tenant_rate),
+                "--tenant-burst", str(self.tenant_burst),
+                "--retry-rate", str(self.retry_rate),
+                "--retry-burst", str(self.retry_burst)]
+
     # -- lifecycle ----------------------------------------------------------
 
     def start(self, ready_timeout: float = 60.0) -> None:
         cache = FarmProc("cache", self.cache_socket,
-                         self._cache_argv())
+                         self._cache_argv(), kind="cache")
         self.procs["cache"] = cache
         self._spawn(cache)
         shard_procs = []
@@ -902,23 +1057,76 @@ class Farm:
                     f"farm process {fp.name!r} never became ready "
                     f"(see {self.run_dir / (fp.name + '.log')})")
         self.cluster.write(self.run_dir / "cluster.json")
-        self.router_server = RouterServer(
-            self.router_socket,
-            Router(self.cluster, tenant_rate=self.tenant_rate,
-                   tenant_burst=self.tenant_burst,
-                   retry_rate=self.retry_rate,
-                   retry_burst=self.retry_burst))
-        self.router_server.start()
+        if self.routers == 1:
+            self.router_server = RouterServer(
+                self.router_socket,
+                Router(self.cluster, tenant_rate=self.tenant_rate,
+                       tenant_burst=self.tenant_burst,
+                       retry_rate=self.retry_rate,
+                       retry_burst=self.retry_burst))
+            self.router_server.start()
+            return
+        router_procs = []
+        for i in range(self.routers):
+            fp = FarmProc(f"r{i}", self.router_sockets[i],
+                          self._router_argv(i), kind="router")
+            self.procs[fp.name] = fp
+            self._spawn(fp)
+            router_procs.append(fp)
+        for fp in router_procs:
+            if not wait_ready(fp.socket, timeout=ready_timeout):
+                raise RuntimeError(
+                    f"farm process {fp.name!r} never became ready "
+                    f"(see {self.run_dir / (fp.name + '.log')})")
 
     def stop(self) -> None:
+        self.stop_supervision()
         if self.router_server is not None:
             self.router_server.shutdown()
             self.router_server = None
-        # shards first (they may still talk to the cache), cache last
-        order = [n for n in self.procs if n != "cache"] \
-            + (["cache"] if "cache" in self.procs else [])
-        for name in order:
+        # front tier first (no new work flows in), then shards (they
+        # may still talk to the cache), cache last
+        by_kind = {"router": [], "shard": [], "cache": []}
+        for name, fp in self.procs.items():
+            by_kind.setdefault(fp.kind, []).append(name)
+        for name in (by_kind["router"] + by_kind["shard"]
+                     + by_kind["cache"]):
             self.stop_proc(name)
+
+    # -- supervision --------------------------------------------------------
+
+    def start_supervision(self, interval: float = 0.5,
+                          ready_timeout: float = 60.0) -> None:
+        """Respawn dead router processes automatically, the way an
+        init system would.  Routers only: shards and the cache already
+        have drill/restart story of their own, and the chaos harness
+        needs *them* to stay dead when it kills them."""
+        if self._supervise_thread is not None:
+            return
+        stop = threading.Event()
+        self._supervise_stop = stop
+
+        def loop() -> None:
+            while not stop.wait(timeout=interval):
+                for fp in list(self.procs.values()):
+                    if fp.kind != "router" or fp.proc is None \
+                            or fp.alive():
+                        continue
+                    fp.restarts += 1
+                    self._spawn(fp)
+                    wait_ready(fp.socket, timeout=ready_timeout)
+
+        self._supervise_thread = threading.Thread(
+            target=loop, daemon=True, name="farm-supervise")
+        self._supervise_thread.start()
+
+    def stop_supervision(self) -> None:
+        if self._supervise_stop is not None:
+            self._supervise_stop.set()
+            self._supervise_stop = None
+        if self._supervise_thread is not None:
+            self._supervise_thread.join(timeout=2.0)
+            self._supervise_thread = None
 
     def stop_proc(self, name: str) -> None:
         """drain -> SIGTERM -> SIGKILL, first rung that works wins."""
@@ -983,6 +1191,6 @@ class Farm:
 
 
 __all__ = [
-    "ClusterConfig", "Farm", "FarmProc", "Router", "RouterServer",
-    "ShardSpec", "ShardState",
+    "ClusterConfig", "Farm", "FarmProc", "Router", "RouterPeer",
+    "RouterServer", "ShardSpec", "ShardState",
 ]

@@ -62,6 +62,38 @@ from .requests import (
     decode, encode, error_response, rejected_response,
 )
 from .supervisor import Supervisor
+from .wire import (
+    BoundedLineReader, DEFAULT_IDLE_TIMEOUT, DEFAULT_MAX_CONNECTIONS,
+    DEFAULT_MAX_REPLY_BYTES, DEFAULT_MAX_REQUEST_BYTES, OversizedReplyError,
+    PROTOCOL_VERSION, SUPPORTED_PROTOCOL_VERSIONS, oversized_response,
+    parse_endpoints, protocol_error_response,
+)
+
+
+class _Conn:
+    """One registered connection: the socket plus the bookkeeping the
+    eviction policy needs (idleness, and whether a request is being
+    served right now — busy connections are never cap-evicted)."""
+
+    __slots__ = ("sock", "cid", "last_active", "busy")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.cid = 0
+        self.last_active = time.monotonic()
+        self.busy = False
+
+    def close(self) -> None:
+        # shutdown() first: it reliably wakes a handler thread blocked
+        # in recv(), where a bare close() may not
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
 
 
 class LineServer:
@@ -75,8 +107,14 @@ class LineServer:
     #: ops refused while draining and awaited before a drained exit
     WORK_OPS: tuple[str, ...] = ()
 
-    def __init__(self, socket_path: str):
+    def __init__(self, socket_path: str, *,
+                 max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+                 idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+                 max_connections: int = DEFAULT_MAX_CONNECTIONS):
         self.socket_path = str(socket_path)
+        self.max_request_bytes = int(max_request_bytes)
+        self.idle_timeout = float(idle_timeout)
+        self.max_connections = int(max_connections)
         self._owner_pid = os.getpid()
         self._listener: socket.socket | None = None
         self._stop = threading.Event()
@@ -86,6 +124,11 @@ class LineServer:
         self._in_flight = 0
         self._draining = threading.Event()
         self._drain_thread: threading.Thread | None = None
+        self._conns: dict[int, _Conn] = {}
+        self._conn_seq = 0
+        self._conn_counters = {"accepted": 0, "evicted_idle": 0,
+                               "refused": 0, "oversized": 0,
+                               "bad_version": 0}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -154,6 +197,13 @@ class LineServer:
         self._close_listener()
         self._listener = None
         self._teardown()
+        # wake every connection thread still blocked in recv() so the
+        # process exits without waiting on peers to hang up
+        with self._lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for state in conns:
+            state.close()
         try:
             Path(self.socket_path).unlink()
         except OSError:
@@ -210,17 +260,99 @@ class LineServer:
                 conn, _ = self._listener.accept()
             except OSError:
                 return                # listener closed: shutting down
+            state = self._register_conn(conn)
+            if state is None:
+                continue              # refused: cap full of busy conns
             threading.Thread(target=self._handle_connection,
-                             args=(conn,), daemon=True,
+                             args=(conn, state), daemon=True,
                              name=f"{type(self).__name__}-conn").start()
 
-    def _handle_connection(self, conn: socket.socket) -> None:
+    def _register_conn(self, conn: socket.socket) -> _Conn | None:
+        """Admit a connection under the count cap.
+
+        Past the cap the *idlest* non-busy connection is evicted to
+        make room (a slowloris peer loses its slot to a live one); if
+        every held connection is mid-request, the newcomer is refused
+        with a clean close instead."""
+        state = _Conn(conn)
+        victim = None
+        with self._lock:
+            self._conn_seq += 1
+            state.cid = self._conn_seq
+            self._conn_counters["accepted"] += 1
+            if len(self._conns) >= self.max_connections:
+                candidates = [c for c in self._conns.values()
+                              if not c.busy]
+                if not candidates:
+                    self._conn_counters["refused"] += 1
+                    state.close()
+                    return None
+                victim = min(candidates,
+                             key=lambda c: c.last_active)
+                self._conns.pop(victim.cid, None)
+                self._conn_counters["evicted_idle"] += 1
+            self._conns[state.cid] = state
+        if victim is not None:
+            victim.close()
+        return state
+
+    def _unregister_conn(self, state: _Conn) -> None:
+        with self._lock:
+            self._conns.pop(state.cid, None)
+
+    def _count(self, key: str) -> None:
+        with self._lock:
+            self._conn_counters[key] += 1
+
+    def connection_stats(self) -> dict:
+        """The ``connections`` stats block every server reports."""
+        with self._lock:
+            out = dict(self._conn_counters)
+            out["open"] = len(self._conns)
+        out["max_connections"] = self.max_connections
+        out["max_request_bytes"] = self.max_request_bytes
+        out["idle_timeout_s"] = self.idle_timeout
+        return out
+
+    def _handle_connection(self, conn: socket.socket,
+                           state: _Conn) -> None:
         try:
-            reader = conn.makefile("rb")
-            for line in reader:
+            reader = BoundedLineReader(conn, self.max_request_bytes,
+                                       idle_timeout=self.idle_timeout)
+            while True:
+                try:
+                    line, oversized = reader.readline()
+                except TimeoutError:
+                    # idle past the window — including a half-open
+                    # peer that connected and never sent a byte —
+                    # reclaim the thread and the connection slot
+                    self._count("evicted_idle")
+                    return
+                except OSError:
+                    return            # transport died (or evicted)
+                if oversized:
+                    self._count("oversized")
+                    try:
+                        conn.sendall(encode(
+                            oversized_response(self.max_request_bytes)))
+                    except OSError:
+                        return
+                    if line is None:
+                        return        # EOF before the frame ended
+                    continue          # resynced past the bad frame
+                if line is None:
+                    return            # clean EOF
                 if not line.strip():
                     continue
-                resp = self._handle_line(line)
+                with self._lock:
+                    state.last_active = time.monotonic()
+                    state.busy = True
+                try:
+                    resp = self._handle_line(line)
+                finally:
+                    with self._lock:
+                        state.busy = False
+                        state.last_active = time.monotonic()
                 try:
                     conn.sendall(encode(resp))
                 except OSError:
@@ -230,18 +362,37 @@ class LineServer:
                     self._stop.set()
                     return
         finally:
+            self._unregister_conn(state)
             try:
                 conn.close()
             except OSError:
                 pass
+
+    @staticmethod
+    def _stamp(resp: dict) -> dict:
+        resp.setdefault("v", PROTOCOL_VERSION)
+        return resp
 
     def _handle_line(self, line: bytes) -> dict:
         """One request line -> exactly one structured response dict."""
         try:
             raw = decode(line)
         except ProtocolError as exc:
-            return error_response(None, "(unknown)", str(exc),
-                                  detail=exc.detail or None)
+            return self._stamp(error_response(
+                None, "(unknown)", str(exc),
+                detail=exc.detail or None))
+        # version negotiation happens at the transport layer: the `v`
+        # field is stripped before the op schemas ever see it, and an
+        # unsupported version is *answered*, never disconnected
+        v = raw.pop("v", None)
+        if v is not None and (isinstance(v, bool)
+                              or v not in SUPPORTED_PROTOCOL_VERSIONS):
+            self._count("bad_version")
+            return self._stamp(protocol_error_response(
+                raw.get("id"), raw.get("op"), v))
+        return self._stamp(self._handle_versioned(raw))
+
+    def _handle_versioned(self, raw: dict) -> dict:
         req_id = raw.get("id")
         op = raw.get("op")
         if op in self.WORK_OPS:
@@ -297,8 +448,14 @@ class CompileServer(LineServer):
 
     def __init__(self, socket_path: str, supervisor: Supervisor,
                  queue_max: int = 8, tenant_rate: float = 0.0,
-                 tenant_burst: float = 8.0):
-        super().__init__(socket_path)
+                 tenant_burst: float = 8.0,
+                 max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+                 idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+                 max_connections: int = DEFAULT_MAX_CONNECTIONS):
+        super().__init__(socket_path,
+                         max_request_bytes=max_request_bytes,
+                         idle_timeout=idle_timeout,
+                         max_connections=max_connections)
         self.supervisor = supervisor
         self.queue_max = queue_max
         #: bounds compile requests in the system: pool + bounded queue
@@ -500,6 +657,7 @@ class CompileServer(LineServer):
                 "effective_cores": effective_cores(),
             }
         out = {"server": server,
+               "connections": self.connection_stats(),
                "fairness": self.admission.fairness()}
         out.update(self.supervisor.stats())
         return out
@@ -529,6 +687,20 @@ class ServiceClient:
     backoff, up to ``reconnects`` times, and resends the request.
     Non-idempotent ops fail fast instead — a resend could act twice.
 
+    ``socket_path`` may be a **multi-endpoint list** —
+    ``"unix:A,unix:B"`` (or a plain comma-separated pair of paths) —
+    for an active/standby router tier.  Every (re)connect walks the
+    list in order and takes the first endpoint that accepts, so a dead
+    active router costs one failed ``connect()`` (microseconds on a
+    local socket) and a recovered one is rediscovered on the next
+    reconnect.  :attr:`endpoint` names the endpoint currently in use.
+
+    Replies are read through the same :class:`BoundedLineReader` the
+    servers use: a reply line beyond ``max_reply_bytes`` surfaces as a
+    structured :class:`OversizedReplyError` (an ``ApiError``), never a
+    ``MemoryError``.  Outgoing frames are stamped with the protocol
+    version (``"v"``) unless the caller set one explicitly.
+
     When the server provides a ``retry_after`` hint (busy shed, quota
     rejection), the client *honors it*: the hint replaces the jittered
     default for the next reconnect backoff, and with ``retry_busy > 0``
@@ -542,37 +714,50 @@ class ServiceClient:
                  backoff_cap: float = 1.0,
                  jitter_seed: int | None = None,
                  retry_busy: int = 0,
-                 retry_after_cap: float = 5.0):
+                 retry_after_cap: float = 5.0,
+                 max_reply_bytes: int = DEFAULT_MAX_REPLY_BYTES):
         self.socket_path = str(socket_path)
+        self.endpoints = parse_endpoints(socket_path)
+        self.endpoint: str | None = None
         self.timeout = timeout
         self.reconnects = reconnects
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.retry_busy = retry_busy
         self.retry_after_cap = retry_after_cap
+        self.max_reply_bytes = int(max_reply_bytes)
         self._rng = random.Random(jitter_seed)
         self._sock: socket.socket | None = None
-        self._reader = None
+        self._reader: BoundedLineReader | None = None
         #: the most recent server-provided retry_after hint, consumed
         #: by the next backoff instead of the jittered default
         self._retry_hint: float | None = None
 
     def connect(self) -> "ServiceClient":
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        if self.timeout is not None:
-            sock.settimeout(self.timeout)
-        sock.connect(self.socket_path)
-        self._sock = sock
-        self._reader = sock.makefile("rb")
-        return self
+        last_exc: OSError | None = None
+        for endpoint in self.endpoints:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            if self.timeout is not None:
+                sock.settimeout(self.timeout)
+            try:
+                sock.connect(endpoint)
+            except OSError as exc:
+                last_exc = exc
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            self._sock = sock
+            self._reader = BoundedLineReader(sock,
+                                             self.max_reply_bytes)
+            self.endpoint = endpoint
+            return self
+        raise last_exc if last_exc is not None else ConnectionError(
+            f"no reachable endpoint in {self.socket_path!r}")
 
     def close(self) -> None:
-        if self._reader is not None:
-            try:
-                self._reader.close()
-            except OSError:
-                pass
-            self._reader = None
+        self._reader = None
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -632,8 +817,21 @@ class ServiceClient:
     def _request_once(self, payload: dict) -> dict:
         if self._sock is None:
             self.connect()
+        if "v" not in payload:
+            payload = {**payload, "v": PROTOCOL_VERSION}
         self._sock.sendall(encode(payload))
-        line = self._reader.readline()
+        line, oversized = self._reader.readline()
+        if oversized:
+            # the stream can no longer be trusted to frame correctly
+            # from our side mid-line, so drop the connection — but
+            # answer structurally, never with a MemoryError
+            self.close()
+            raise OversizedReplyError(
+                f"server reply exceeds the {self.max_reply_bytes}-byte "
+                f"reply limit",
+                detail={"reason": "oversized_reply",
+                        "max_reply_bytes": self.max_reply_bytes,
+                        "endpoint": self.endpoint})
         if not line:
             raise ConnectionError(
                 "connection closed before a response arrived")

@@ -37,10 +37,10 @@ from repro.core import inject_cache_fault
 from repro.core.summarycache import SummaryCache
 from repro.service import (
     COMPILE_OPS, CacheServer, CacheStore, ClusterConfig, Farm,
-    LineServer, RemoteCache, Router, RouterServer, ServiceClient,
-    ShardSpec, Supervisor, SupervisorConfig, busy_response,
-    error_response, parse_budget, response, single_request,
-    wait_ready,
+    LineServer, RemoteCache, Router, RouterPeer, RouterServer,
+    ServiceClient, ShardSpec, Supervisor, SupervisorConfig,
+    busy_response, error_response, parse_budget, response,
+    single_request, wait_ready,
 )
 
 # AF_UNIX socket paths are limited to ~107 bytes; pytest tmp_path can
@@ -805,5 +805,122 @@ class TestRollingRestartUnderLoad:
             restarts = {s: farm.procs[s].restarts
                         for s in ("s0", "s1")}
             assert all(r >= 1 for r in restarts.values()), restarts
+        finally:
+            farm.stop()
+
+
+# ---------------------------------------------------------------------------
+# router high availability: active/standby pair, takeover, supervision
+# ---------------------------------------------------------------------------
+
+def _ha_pair(tmp, cluster, **kw):
+    """An in-process active/standby router pair over `cluster`."""
+    kw.setdefault("peer_probe_interval", 0.1)
+    kw.setdefault("peer_fail_threshold", 2)
+    kw.setdefault("peer_timeout", 0.5)
+    r0_sock = os.path.join(tmp, "r0.sock")
+    r1_sock = os.path.join(tmp, "r1.sock")
+    r0 = RouterServer(r0_sock, Router(cluster), rank=0,
+                      peers=[RouterPeer(socket=r1_sock, rank=1)], **kw)
+    r1 = RouterServer(r1_sock, Router(cluster), rank=1,
+                      peers=[RouterPeer(socket=r0_sock, rank=0)], **kw)
+    r0.start()
+    r1.start()
+    assert wait_ready(r0_sock) and wait_ready(r1_sock)
+    return r0, r1, r0_sock, r1_sock
+
+
+class TestRouterHA:
+    def test_lowest_rank_is_active_and_both_serve(self):
+        tmp = _tmpdir()
+        cluster = make_cluster(tmp, n=1)
+        shards = start_shards(cluster)
+        r0, r1, r0_sock, r1_sock = _ha_pair(tmp, cluster)
+        try:
+            assert single_request(r0_sock, {"op": "ping"})["active"] \
+                is True
+            assert single_request(r1_sock, {"op": "ping"})["active"] \
+                is False
+            # standby routers still route — the active flag is
+            # preference, not a gate (requests are idempotent)
+            for sock in (r0_sock, r1_sock):
+                resp = single_request(sock, REQ)
+                assert resp["status"] == "ok"
+                assert resp["route"]["shard"] == "s0"
+        finally:
+            r0.shutdown()
+            r1.shutdown()
+            for s in shards:
+                s.shutdown()
+
+    def test_standby_takes_over_within_two_seconds(self):
+        tmp = _tmpdir()
+        cluster = make_cluster(tmp, n=1)
+        shards = start_shards(cluster)
+        r0, r1, r0_sock, r1_sock = _ha_pair(tmp, cluster)
+        try:
+            client = ServiceClient(f"unix:{r0_sock},unix:{r1_sock}",
+                                   timeout=30.0)
+            assert client.request(REQ)["status"] == "ok"
+            assert client.endpoint == r0_sock
+            died = time.monotonic()
+            r0.shutdown()
+            # the same client object keeps working: one reconnect
+            # lands on the standby
+            resp = client.request(REQ)
+            assert resp["status"] == "ok"
+            assert client.endpoint == r1_sock
+            # the standby notices and promotes itself inside the gate
+            while time.monotonic() - died < 2.0:
+                if single_request(r1_sock, {"op": "ping"})["active"]:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("standby never became active within 2 s")
+            assert r1.takeovers == 1
+            ha = r1.stats()["ha"]
+            assert ha["active"] is True and ha["takeovers"] == 1
+            client.close()
+        finally:
+            r1.shutdown()
+            for s in shards:
+                s.shutdown()
+
+    def test_farm_spawns_supervises_and_respawns_router_pair(self):
+        """Real-subprocess HA: `Farm(routers=2)` runs an active +
+        standby router pair, a SIGKILLed active costs the client one
+        retry, and supervision respawns the corpse like a daemon."""
+        tmp = _tmpdir()
+        farm = Farm(tmp, daemons=1, pool_size=1, routers=2)
+        farm.start(ready_timeout=120)
+        try:
+            assert farm.router_endpoints \
+                == f"unix:{tmp}/r0.sock,unix:{tmp}/r1.sock"
+            assert single_request(
+                farm.router_sockets[0], {"op": "ping"})["active"]
+            client = ServiceClient(farm.router_endpoints,
+                                   timeout=120.0)
+            req = {"id": 1, "op": "analyze",
+                   "sources": [["w.c", "struct s { long a; int b; };"
+                                "\nint main() { return 0; }\n"]],
+                   "options": {"cache": False}}
+            assert client.request(req)["status"] == "ok"
+            farm.start_supervision(interval=0.2, ready_timeout=120)
+            farm.kill_proc("r0")
+            # the surviving standby answers the very next request
+            resp = client.request({**req, "id": 2})
+            assert resp["status"] == "ok"
+            # ...and the supervisor brings r0 back on its socket
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if farm.procs["r0"].restarts >= 1 \
+                        and farm.procs["r0"].alive() \
+                        and wait_ready(farm.router_sockets[0],
+                                       timeout=1.0):
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("supervision never respawned r0")
+            client.close()
         finally:
             farm.stop()

@@ -206,7 +206,8 @@ class TestServiceBasics:
                 assert "unknown op" in bad["error"]["message"]
                 # malformed JSON on the same connection
                 client._sock.sendall(b"this is not json\n")
-                line = client._reader.readline()
+                line, oversized = client._reader.readline()
+                assert not oversized
                 garbled = decode(line)
                 assert garbled["status"] == "error"
                 # and the connection still serves real requests
