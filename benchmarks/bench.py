@@ -28,6 +28,11 @@ measurements backing the PR's performance claims:
   any semantic drift in the simulator fast path is caught, not just
   slowdowns.  The committed baseline throughput was measured at the
   growth seed (commit dd3011c) on the same container class.
+- ``search`` — the global layout search: greedy vs seeded-SA vs ILP
+  replay cycles per searched type on mcf/art/moldyn, and the batched
+  cost-oracle economics (ms per candidate, batched vs one-at-a-time).
+  The ``--check`` gates assert SA <= greedy everywhere and a >= 3x
+  per-candidate advantage for batched trace replay.
 
 Absolute times vary across machines; CI gates only on the *ordering*
 assertions (warm < cold, jobs=4 <= jobs=1), which is what
@@ -256,6 +261,90 @@ def bench_simulator(repeats: int) -> dict:
     }
 
 
+def bench_search(repeats: int) -> dict:
+    """Global layout search: greedy vs SA vs ILP replay cycles on the
+    three focus workloads, plus the batched-oracle economics.
+
+    The ``--check`` gates assert (a) seeded SA is never worse than the
+    greedy floor on mcf/art/moldyn — structural, since greedy is in
+    the evaluated set — and (b) batched trace replay costs >= 3x less
+    per candidate than the one-at-a-time alternative (apply the
+    transform, run the full simulator)."""
+    from repro.api import SearchOptions
+    from repro.runtime.replay import (
+        capture_trace, plan_layout, precompile, replay_batch)
+    from repro.transform import apply_decisions
+    from repro.transform.search import Layout, run_layout_search
+
+    out: dict = {"workloads": {}}
+    mcf_ctx = None
+    for short in ("mcf", "art", "moldyn"):
+        wl = next(w for w in ALL_WORKLOADS if short in w.name)
+        res = Compiler(CompilerOptions(transform=False)) \
+            .compile_sources(wl.sources("train"))
+        trace = capture_trace(res.program)
+        entry: dict = {"trace_ops": len(trace),
+                       "trace_cycles": trace.cycles, "types": {}}
+        for engine in ("greedy", "sa", "ilp"):
+            sopts = SearchOptions(engine=engine, budget_s=10.0, seed=7)
+            _, stats = run_layout_search(
+                res.program, res.decisions, res.legality,
+                res.profiles, sopts, trace=trace)
+            for tname in sorted(stats):
+                if tname.startswith("_"):
+                    continue
+                s = stats[tname]
+                row = entry["types"].setdefault(tname, {})
+                row[f"{engine}_cycles"] = s["greedy_cycles"] \
+                    if engine == "greedy" else s["best_cycles"]
+                if engine != "greedy":
+                    row[f"{engine}_evals"] = s["evals"]
+                    row[f"{engine}_s"] = s["elapsed_s"]
+                if short == "mcf" and mcf_ctx is None:
+                    d = next(x for x in res.decisions
+                             if x.type_name == tname)
+                    mcf_ctx = (res.program, trace, d)
+        out["workloads"][wl.name] = entry
+
+    # oracle economics, on mcf's searched type: batched replay cost
+    # per candidate vs transforming + fully simulating one candidate
+    if mcf_ctx is not None:
+        program, trace, decision = mcf_ctx
+        compiled = precompile(trace, decision.type_name)
+        dead = tuple(decision.dead_fields)
+        live = [f.name for f in compiled.fields
+                if f.name not in set(dead)]
+        # distinct single-group candidates: all rotations of the
+        # declaration order (deterministic, no RNG in benchmarks)
+        layouts = [Layout((tuple(live[i:] + live[:i]),), False, dead)
+                   for i in range(min(len(live), 16))]
+        plans = [plan_layout(compiled, l.groups, l.linked, l.dead)
+                 for l in layouts]
+        batched = None
+        for _ in range(max(repeats, 1)):
+            t0 = time.perf_counter()
+            replay_batch(compiled, plans)
+            wall = time.perf_counter() - t0
+            batched = wall if batched is None else min(batched, wall)
+        per_candidate_s = batched / len(plans)
+
+        one_shot = None
+        for _ in range(max(repeats, 1)):
+            t0 = time.perf_counter()
+            run_program(apply_decisions(program, [decision]))
+            wall = time.perf_counter() - t0
+            one_shot = wall if one_shot is None else min(one_shot, wall)
+        out["oracle"] = {
+            "type": decision.type_name,
+            "candidates": len(plans),
+            "batched_ms_per_candidate": round(per_candidate_s * 1e3,
+                                              3),
+            "one_at_a_time_ms": round(one_shot * 1e3, 3),
+            "batched_speedup": round(one_shot / per_candidate_s, 2),
+        }
+    return out
+
+
 def bench_overload(repeats: int, baseline_request_s: float) -> dict:
     """Admission-control overhead on the *uncontended* path: one
     tenant, an empty queue, no quotas — the full
@@ -385,6 +474,7 @@ def main(argv=None) -> int:
     pipeline, scheduler = bench_pipeline(args.units, args.repeats)
     phases = bench_phases(args.units, args.repeats)
     simulator = bench_simulator(args.repeats)
+    search = bench_search(args.repeats)
     overload = bench_overload(args.repeats, pipeline["warm_s"])
     wire = bench_wire(args.repeats, pipeline["warm_s"])
     report = {
@@ -393,6 +483,7 @@ def main(argv=None) -> int:
         "scheduler": scheduler,
         "phases": phases,
         "simulator": simulator,
+        "search": search,
         "overload": overload,
         "wire": wire,
     }
@@ -433,6 +524,26 @@ def main(argv=None) -> int:
             print(f"FAIL: mcf/train cycle count changed "
                   f"({simulator['cycles']:,} != 15,640,398): the "
                   f"simulator fast path altered semantics",
+                  file=sys.stderr)
+            ok = False
+        for wname, entry in search["workloads"].items():
+            for tname, row in entry["types"].items():
+                for eng in ("sa", "ilp"):
+                    if row[f"{eng}_cycles"] > row["greedy_cycles"]:
+                        print(f"FAIL: {wname}/{tname} {eng} search "
+                              f"({row[f'{eng}_cycles']:,}) worse than "
+                              f"greedy ({row['greedy_cycles']:,})",
+                              file=sys.stderr)
+                        ok = False
+        oracle = search.get("oracle")
+        if oracle is None:
+            print("FAIL: no searchable type found on mcf",
+                  file=sys.stderr)
+            ok = False
+        elif oracle["batched_speedup"] < 3.0:
+            print(f"FAIL: batched oracle replay only "
+                  f"{oracle['batched_speedup']}x faster per candidate "
+                  f"than one-at-a-time simulation (< 3x)",
                   file=sys.stderr)
             ok = False
         if overload["uncontended_overhead_pct"] >= 2.0:

@@ -2,7 +2,7 @@
 
 from .report import (
     advisor_report, format_type_report, AdvisorOptions, hotness_bar, rw_bar,
-    phase_cost_footer,
+    phase_cost_footer, search_delta_section,
 )
 from .vcg import affinity_vcg, program_vcg
 from .classify import (
@@ -12,7 +12,7 @@ from .classify import (
 
 __all__ = [
     "advisor_report", "format_type_report", "AdvisorOptions",
-    "phase_cost_footer",
+    "phase_cost_footer", "search_delta_section",
     "hotness_bar", "rw_bar",
     "affinity_vcg", "program_vcg",
     "Advice", "ClassifierParams", "affinity_clusters", "classify_type",

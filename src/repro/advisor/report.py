@@ -127,7 +127,9 @@ def advisor_report(result: CompilationResult,
     grand = sum(totals.values()) or 1.0
     peak = max(totals.values(), default=0.0) or 1.0
 
-    order = sorted(profiles, key=lambda n: -totals[n])
+    # ties in hotness break on the type name, never on dict order —
+    # report bytes must be identical across runs for a fixed seed
+    order = sorted(profiles, key=lambda n: (-totals[n], n))
     if options.skip_cold_types:
         order = [n for n in order if totals[n] > 0.0]
     if options.max_types is not None:
@@ -149,9 +151,41 @@ def advisor_report(result: CompilationResult,
               f"(scheme: {result.weights.scheme}, "
               f"{len(order)} of {len(profiles)} types)\n" + "=" * 69)
     report = header + "\n\n" + "\n\n".join(sections) + "\n"
+    if result.search:
+        report += "\n" + search_delta_section(result)
     if options.phase_costs:
         report += "\n" + phase_cost_footer(result)
     return report
+
+
+def search_delta_section(result: CompilationResult) -> str:
+    """Greedy-vs-search deltas, one block per searched type.
+
+    Byte-deterministic for a fixed seed: types sort by name, the best
+    layout is named by its content fingerprint (candidate ties inside
+    the engine already broke on that fingerprint), and no wall-clock
+    numbers appear — ``elapsed_s`` stays in the machine-readable
+    stats only."""
+    stats = result.search
+    lines = ["layout search (greedy floor vs searched)", "-" * 69]
+    tr = stats.get("_trace")
+    if tr:
+        suffix = " (truncated)" if tr.get("truncated") else ""
+        lines.append(f"  oracle trace: {tr['ops']:,} accesses, "
+                     f"{tr['cycles']:,} cycles{suffix}")
+    for name in sorted(k for k in stats if not k.startswith("_")):
+        s = stats[name]
+        greedy, best = s["greedy_cycles"], s["best_cycles"]
+        gain = 100.0 * (greedy / best - 1.0) if best else 0.0
+        kept = "" if s["improved"] else "  [kept greedy]"
+        lines.append(f"  {name:20s} {s['engine']:>6s}/{s['mode']:5s} "
+                     f"greedy {greedy:,} -> best {best:,} "
+                     f"({gain:+.2f}%){kept}")
+        lines.append(f"    evals: {s['evals']}  "
+                     f"memo hits: {s['memo_hits']}  "
+                     f"cache hits: {s['cache_hits']}  "
+                     f"best layout: {s['best_fingerprint']}")
+    return "\n".join(lines) + "\n"
 
 
 def phase_cost_footer(result: CompilationResult) -> str:
@@ -180,8 +214,9 @@ def phase_cost_footer(result: CompilationResult) -> str:
             f"(jobs={sched.get('jobs', 1)}, "
             f"{sched.get('nodes', 0)} nodes, critical path "
             f"{sched.get('critical_path_ms', 0.0):.1f} ms)")
+    # equal-time passes sort by name so the footer is byte-stable
     passes = sorted(result.pass_timings.items(),
-                    key=lambda kv: -kv[1])[:5]
+                    key=lambda kv: (-kv[1], kv[0]))[:5]
     if passes:
         lines.append("  hottest passes:")
         for name, t in passes:

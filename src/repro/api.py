@@ -43,6 +43,7 @@ from .core.summarycache import fingerprint
 from .frontend.program import Program
 from .obs import MetricsRegistry, NULL_TRACER, Tracer
 from .transform.heuristics import HeuristicParams
+from .transform.search import ENGINES, SEARCH_DEFAULTS
 
 #: compile operations, ladder-governed (the service adds control ops)
 COMPILE_OPS = ("analyze", "advise", "transform", "compare")
@@ -128,6 +129,152 @@ def _reject_unknown(d: dict, known: tuple[str, ...],
 # Options
 # ---------------------------------------------------------------------------
 
+@dataclass(frozen=True)
+class SearchOptions:
+    """Options for the global layout search (SA + exact B&B).
+
+    Immutable so one instance can be shared across request retries,
+    ladder tiers, and DAG nodes without defensive copies.  Defaults
+    mirror :data:`repro.transform.search.SEARCH_DEFAULTS` — the
+    engine reads whichever attributes exist, so this dataclass *is*
+    the knob schema.  ``engine="greedy"`` scores the greedy layout
+    through the replay oracle (useful for reports) without exploring;
+    ``auto`` picks the exact solver for small structs and SA above
+    ``ilp_max_fields`` live fields.
+    """
+
+    engine: str = "sa"                  # greedy|sa|ilp|auto
+    budget_s: float = 10.0              # wall clock per compile, 0 = none
+    seed: int = 0                       # SA rng seed (per-type derived)
+    sa_batch: int = 8                   # proposals scored per oracle call
+    sa_alpha: float = 0.90              # geometric cooling factor
+    sa_tmax: float = 0.02               # start temperature (relative)
+    sa_tmin: float = 1e-4               # floor temperature
+    sa_iters: int = 60                  # batches per restart
+    sa_restarts: int = 2                # re-heats from the incumbent
+    ilp_max_fields: int = 8             # exact-solver field threshold
+    #: greedy-floor knobs the ``--search`` flag absorbed from the old
+    #: ad-hoc ``--ts`` / ``--peel-mode`` flags (None = scheme default)
+    ts: float | None = None             # splitting threshold, percent
+    peel_mode: str | None = None        # auto|per-field|hot-cold|affinity
+
+    WIRE_FIELDS = ("engine", "budget_s", "seed", "sa_batch",
+                   "sa_alpha", "sa_tmax", "sa_tmin", "sa_iters",
+                   "sa_restarts", "ilp_max_fields", "ts", "peel_mode")
+
+    PEEL_MODES = ("auto", "per-field", "hot-cold", "affinity")
+
+    #: CLI spellings accepted by :meth:`from_cli` on top of the wire
+    #: names (``budget=10s`` reads more naturally than ``budget_s=10``)
+    _CLI_ALIASES = {"budget": "budget_s", "restarts": "sa_restarts",
+                    "iters": "sa_iters", "batch": "sa_batch",
+                    "alpha": "sa_alpha", "peel": "peel_mode"}
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ApiError(
+                f"unknown search engine {self.engine!r}; expected one "
+                f"of {', '.join(ENGINES)}",
+                detail={"where": "search.engine",
+                        "known_engines": list(ENGINES)})
+        if self.budget_s < 0:
+            raise ApiError("'search.budget_s' must be >= 0",
+                           detail={"where": "search.budget_s"})
+        for name in ("sa_batch", "sa_iters", "ilp_max_fields"):
+            if getattr(self, name) < 1:
+                raise ApiError(f"'search.{name}' must be >= 1",
+                               detail={"where": f"search.{name}"})
+        if self.sa_restarts < 0:
+            raise ApiError("'search.sa_restarts' must be >= 0",
+                           detail={"where": "search.sa_restarts"})
+        if not 0.0 < self.sa_alpha < 1.0:
+            raise ApiError("'search.sa_alpha' must be in (0, 1)",
+                           detail={"where": "search.sa_alpha"})
+        if self.peel_mode is not None \
+                and self.peel_mode not in self.PEEL_MODES:
+            raise ApiError(
+                f"unknown peel mode {self.peel_mode!r}; expected one "
+                f"of {', '.join(self.PEEL_MODES)}",
+                detail={"where": "search.peel_mode",
+                        "known_modes": list(self.PEEL_MODES)})
+
+    @classmethod
+    def from_dict(cls, d: dict | None) -> "SearchOptions":
+        if d is None:
+            return cls()
+        if not isinstance(d, dict):
+            raise ApiError("'search' must be an object",
+                           detail={"where": "search"})
+        _reject_unknown(d, cls.WIRE_FIELDS, "search")
+        kwargs: dict = {}
+        try:
+            if "engine" in d:
+                kwargs["engine"] = str(d["engine"])
+            for name in ("budget_s", "sa_alpha", "sa_tmax", "sa_tmin"):
+                if name in d:
+                    kwargs[name] = float(d[name])
+            for name in ("seed", "sa_batch", "sa_iters", "sa_restarts",
+                         "ilp_max_fields"):
+                if name in d:
+                    kwargs[name] = int(d[name])
+            if d.get("ts") is not None:
+                kwargs["ts"] = float(d["ts"])
+            if d.get("peel_mode") is not None:
+                kwargs["peel_mode"] = str(d["peel_mode"])
+        except (TypeError, ValueError) as exc:
+            raise ApiError(f"bad search option value: {exc}",
+                           detail={"where": "search"}) from exc
+        return cls(**kwargs)
+
+    def to_dict(self) -> dict:
+        """Only the non-default fields — the compact wire form."""
+        out = {}
+        for f in dc_fields(self):
+            v = getattr(self, f.name)
+            if v != f.default:
+                out[f.name] = v
+        return out
+
+    @classmethod
+    def from_cli(cls, spec: str) -> "SearchOptions":
+        """Parse the ``--search`` flag's compact spec.
+
+        ``--search engine=sa,budget=10s,seed=7`` — comma-separated
+        ``key=value`` items; a bare first item names the engine
+        (``--search ilp``).  ``budget`` accepts a trailing ``s``
+        (seconds).  Unknown keys raise :class:`ApiError` with the
+        known spellings, same contract as the wire validator.
+        """
+        d: dict = {}
+        known = cls.WIRE_FIELDS + tuple(cls._CLI_ALIASES)
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                if "engine" in d:
+                    raise ApiError(
+                        f"bad --search item {item!r}: expected "
+                        f"key=value",
+                        detail={"where": "search",
+                                "known_fields": sorted(known)})
+                d["engine"] = item
+                continue
+            key, _, value = item.partition("=")
+            key = key.strip().replace("-", "_")
+            key = cls._CLI_ALIASES.get(key, key)
+            if key not in cls.WIRE_FIELDS:
+                raise ApiError(
+                    f"unknown --search key {key!r}",
+                    detail={"where": "search",
+                            "known_fields": sorted(known)})
+            value = value.strip()
+            if key == "budget_s" and value.endswith("s"):
+                value = value[:-1]
+            d[key] = value
+        return cls.from_dict(d)
+
+
 @dataclass
 class CompileOptions:
     """The one user-facing options schema.
@@ -144,9 +291,11 @@ class CompileOptions:
     cache: bool = True                 # use the daemon's summary cache
     jobs: int = 1                      # pass-DAG width (0 = auto)
     cycle_limit: int = 2_000_000_000   # simulator budget for compare
+    #: global layout search (None = greedy §2.4 heuristics only)
+    search: SearchOptions | None = None
 
     WIRE_FIELDS = ("scheme", "relax", "ts", "peel_mode", "verify",
-                   "cache", "jobs", "cycle_limit")
+                   "cache", "jobs", "cycle_limit", "search")
 
     @classmethod
     def from_dict(cls, d: dict | None) -> "CompileOptions":
@@ -177,6 +326,8 @@ class CompileOptions:
         except (TypeError, ValueError) as exc:
             raise ApiError(f"bad options value: {exc}",
                            detail={"where": "options"}) from exc
+        if d.get("search") is not None:
+            opts.search = SearchOptions.from_dict(d["search"])
         return opts
 
     def to_dict(self) -> dict:
@@ -185,7 +336,7 @@ class CompileOptions:
         for f in dc_fields(self):
             v = getattr(self, f.name)
             if v != f.default:
-                out[f.name] = v
+                out[f.name] = v.to_dict() if f.name == "search" else v
         return out
 
     def compiler_options(self, tier: str = "full",
@@ -198,6 +349,14 @@ class CompileOptions:
             params.ts_profile = float(self.ts)
         if self.peel_mode:
             params.peel_mode = self.peel_mode
+        if self.search is not None:
+            # greedy-floor knobs riding on the search spec win over
+            # the deprecated top-level fields
+            if self.search.ts is not None:
+                params.ts_static = float(self.search.ts)
+                params.ts_profile = float(self.search.ts)
+            if self.search.peel_mode:
+                params.peel_mode = self.search.peel_mode
         full = tier == "full"
         return CompilerOptions(
             scheme=self.scheme,
@@ -206,7 +365,8 @@ class CompileOptions:
             transform=full,
             verify_transforms=full and self.verify,
             jobs=self.jobs if self.jobs >= 1 else effective_cores(),
-            cache_dir=cache_dir if self.cache else None)
+            cache_dir=cache_dir if self.cache else None,
+            search=self.search)
 
 
 # ---------------------------------------------------------------------------
@@ -514,6 +674,11 @@ def execute_tier(op: str, tier: str, sources: list[tuple[str, str]],
         "types": _type_rows(result),
         "timings": {k: round(v, 4) for k, v in result.timings.items()},
     }
+    if result.search:
+        # per-type search stats (JSON-ready: the refined decisions
+        # themselves already live in the ordinary decision rows)
+        payload["search"] = {k: dict(v) if isinstance(v, dict) else v
+                             for k, v in sorted(result.search.items())}
 
     if op == "advise":
         from .advisor import advisor_report

@@ -37,7 +37,8 @@ from .advisor import (
     AdvisorOptions, advisor_report, classify_report, program_vcg,
 )
 from .api import (
-    ApiError, CompileOptions, CompileReply, CompileRequest, Session,
+    ApiError, CompileOptions, CompileReply, CompileRequest,
+    SearchOptions, Session,
 )
 from .core import (
     CODE_MISMATCH, CompilationResult, CompilerOptions,
@@ -123,13 +124,46 @@ def _resolve_jobs(jobs) -> int:
     return jobs if jobs >= 1 else effective_cores()
 
 
+def _deprecated_flag(old: str, new: str) -> None:
+    """DeprecationWarning shim for flags the ``--search`` spec
+    absorbed (same pattern as the PR 5 ``compile_*`` shims; see the
+    migration table in DESIGN.md)."""
+    import warnings
+    warnings.warn(
+        f"{old} is deprecated; use {new} "
+        f"(see the migration table in DESIGN.md)",
+        DeprecationWarning, stacklevel=3)
+
+
+def _search_options(args) -> SearchOptions | None:
+    """Parse ``--search`` and the deprecated per-transform flags into
+    one :class:`SearchOptions` (None when no search was asked for —
+    the deprecated flags alone keep the greedy pipeline)."""
+    spec = getattr(args, "search", None)
+    if spec is None:
+        return None
+    try:
+        return SearchOptions.from_cli(spec)
+    except ApiError as exc:
+        raise CliError(str(exc), EXIT_USAGE) from exc
+
+
 def _options(args) -> OptionBundle:
     params = HeuristicParams()
     if getattr(args, "ts", None) is not None:
+        _deprecated_flag("--ts", "--search ts=N")
         params.ts_static = args.ts
         params.ts_profile = args.ts
     if getattr(args, "peel_mode", None):
+        _deprecated_flag("--peel-mode", "--search peel=MODE")
         params.peel_mode = args.peel_mode
+    search = _search_options(args)
+    if search is not None:
+        if search.ts is not None:
+            params.ts_static = search.ts
+            params.ts_profile = search.ts
+        if search.peel_mode:
+            params.peel_mode = search.peel_mode
     feedback = None
     scheme = getattr(args, "scheme", "ISPBO")
     if getattr(args, "profile", False):
@@ -146,7 +180,8 @@ def _options(args) -> OptionBundle:
         strict=getattr(args, "strict", False),
         verify_transforms=verify,
         jobs=_resolve_jobs(getattr(args, "jobs", 1)),
-        cache_dir=cache_dir)
+        cache_dir=cache_dir,
+        search=search)
     return OptionBundle(options, feedback)
 
 
@@ -590,13 +625,18 @@ def _client_request(args) -> CompileRequest:
     schema the service validates against — there is no second,
     hand-rolled wire dict to drift out of sync."""
     from .core.faults import ProcessFaultSpec
+    if args.ts is not None:
+        _deprecated_flag("--ts", "--search ts=N")
+    if args.peel_mode:
+        _deprecated_flag("--peel-mode", "--search peel=MODE")
     options = CompileOptions(
         scheme=args.scheme or "ISPBO",
         relax=bool(args.relax),
         ts=args.ts,
         peel_mode=args.peel_mode,
         verify=not args.no_verify,
-        cache=not args.no_cache)
+        cache=not args.no_cache,
+        search=_search_options(args))
     try:
         faults = [ProcessFaultSpec.from_dict(_parse_fault_flag(s))
                   for s in args.inject_fault]
@@ -712,10 +752,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="tolerate CSTT/CSTF/ATKN when "
                                 "points-to proves field safety")
             p.add_argument("--ts", type=float, default=None,
-                           help="splitting threshold T_s in percent")
+                           help="DEPRECATED: use --search ts=N")
             p.add_argument("--peel-mode", default=None,
                            choices=["auto", "per-field", "hot-cold",
-                                    "affinity"])
+                                    "affinity"],
+                           help="DEPRECATED: use --search peel=MODE")
+            p.add_argument("--search", default=None, metavar="SPEC",
+                           help="run the global layout search: "
+                                "comma-separated key=value options, "
+                                "e.g. 'engine=sa,budget=10s,seed=7' "
+                                "(engines: greedy, sa, ilp, auto; "
+                                "also accepts the greedy-floor knobs "
+                                "ts=N and peel=MODE)")
             p.add_argument("--strict", action="store_true",
                            help="abort on the first contained fault "
                                 "instead of degrading gracefully")
@@ -981,10 +1029,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", default=None,
                    choices=["SPBO", "ISPBO", "ISPBO.NO", "ISPBO.W"])
     p.add_argument("--relax", action="store_true")
-    p.add_argument("--ts", type=float, default=None)
+    p.add_argument("--ts", type=float, default=None,
+                   help="DEPRECATED: use --search ts=N")
     p.add_argument("--peel-mode", default=None,
                    choices=["auto", "per-field", "hot-cold",
-                            "affinity"])
+                            "affinity"],
+                   help="DEPRECATED: use --search peel=MODE")
+    p.add_argument("--search", default=None, metavar="SPEC",
+                   help="layout-search options forwarded to the "
+                        "daemon, e.g. 'engine=sa,budget=10s,seed=7'")
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the daemon's summary cache for this "

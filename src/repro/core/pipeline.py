@@ -74,6 +74,10 @@ from ..transform.heuristics import (
     HeuristicParams, TransformDecision, apply_decisions,
     decide_transforms,
 )
+from ..transform.search import (
+    ENGINES, SEARCH_DEFAULTS, search_mode, search_type,
+)
+from ..runtime.replay import capture_trace, precompile
 from ..obs import (
     CAT_COMPILE, CAT_FE_UNIT, CAT_PHASE, MetricsPassObserver,
     MetricsRegistry, NULL_TRACER, PASS_EVENTS, PassEvent, PassProfiler,
@@ -166,6 +170,14 @@ class CompilerOptions:
     #: summaries, and whole-program FE results keyed by source +
     #: options fingerprints
     cache_dir: str | Path | None = None
+    #: global layout-search options (:class:`repro.api.SearchOptions`
+    #: or any object with the same attributes; None = greedy
+    #: heuristics only).  When set, the BE grows ``search.trace`` /
+    #: ``search[T]`` nodes that refine the greedy decisions through
+    #: the replay oracle.  BE-only like the verification knobs, so it
+    #: is excluded from :meth:`fingerprint` and FE/IPA cache entries
+    #: are shared across search configurations.
+    search: Any | None = None
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -175,6 +187,11 @@ class CompilerOptions:
             raise ValueError(f"{self.scheme} requires a feedback file")
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.search is not None:
+            eng = getattr(self.search, "engine", "sa")
+            if eng not in ENGINES:
+                raise ValueError(f"unknown search engine {eng!r}; "
+                                 f"choose from {ENGINES}")
 
     def fingerprint(self) -> str:
         """Hash of every option that can change FE/IPA artifacts.
@@ -223,6 +240,10 @@ class CompilationResult:
     trace_id: str | None = None
     #: how the pass DAG ran: mode, jobs, node count, wall, critical path
     scheduler: dict = field(default_factory=dict)
+    #: per-type layout-search stats keyed by type name, plus a
+    #: ``_trace`` entry describing the captured access trace; empty
+    #: when the compile ran without :attr:`CompilerOptions.search`
+    search: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -656,8 +677,118 @@ class _CompileGraph:
 
         self._add("heuristics", heuristics_fn, deps=tuple(heur_deps),
                   phase="ipa", budget=pb, guard_names=("heuristics",))
-        self._add("be.plan", self._plan_fn,
-                  deps=("fe.assemble", "heuristics"), phase="be")
+        if opts.search is not None:
+            def trace_fn(ctx, e, g):
+                return g.run(
+                    "search.trace",
+                    lambda: capture_trace(ctx["fe.assemble"],
+                                          entry=opts.entry),
+                    lambda: None)
+
+            self._add("search.trace", trace_fn, deps=("fe.assemble",),
+                      phase="be", budget=pb,
+                      guard_names=("search.trace",))
+            self._add("search.plan", self._search_plan_fn,
+                      deps=("fe.assemble", "heuristics", "legality",
+                            "profiles", "search.trace"),
+                      phase="be")
+        else:
+            self._add("be.plan", self._plan_fn,
+                      deps=("fe.assemble", "heuristics"), phase="be")
+
+    def _search_plan_fn(self, ctx, engine, guard):
+        """Grow the search subgraph from the captured trace: one
+        ``search[TypeName]`` node per eligible type (each replays the
+        shared read-only trace against its own candidate batches, so
+        types search concurrently under ``jobs > 1``), a ``search``
+        gather node merging the refined decisions back in decision
+        order, and ``be.plan`` itself — the BE planner must be
+        appended here because a static node cannot depend on
+        dynamically added ones."""
+        opts = self.opts
+        program = ctx["fe.assemble"]
+        decisions = ctx["heuristics"]
+        legality = ctx["legality"]
+        profiles = ctx["profiles"]
+        trace = ctx["search.trace"]
+        sopts = opts.search
+        pb = opts.phase_budget
+
+        eligible = []
+        if trace is not None:
+            for d in decisions:
+                info = legality.types.get(d.type_name)
+                profile = profiles.get(d.type_name)
+                if info is None or profile is None:
+                    continue
+                if d.type_name not in trace.record_fields:
+                    continue
+                if search_mode(program, info, info.record)[0] is None:
+                    continue
+                eligible.append((d, info, profile))
+
+        budget = getattr(sopts, "budget_s", None)
+        if budget is None:
+            budget = SEARCH_DEFAULTS["budget_s"]
+        budget = float(budget)
+        share = budget / len(eligible) if eligible else 0.0
+
+        specs: list[dict] = []
+        snodes: list[str] = []
+        for d, info, profile in eligible:
+            nname = f"search[{d.type_name}]"
+
+            def search_fn(ctx2, e2, g2, d=d, info=info,
+                          profile=profile, nname=nname):
+                def body():
+                    compiled = precompile(trace, d.type_name)
+                    deadline = time.monotonic() + share \
+                        if budget > 0 else None
+                    return search_type(program, compiled, info, d,
+                                       profile, sopts,
+                                       cache=self.cache,
+                                       deadline=deadline)
+
+                return g2.run(nname, body, lambda: None)
+
+            specs.append(self._spec(nname, search_fn,
+                                    deps=("search.plan",), phase="be",
+                                    budget=pb, guard_names=(nname,)))
+            snodes.append(nname)
+
+        def gather_fn(ctx2, e2, g2):
+            def body():
+                refined = {d.type_name: d for d in decisions}
+                stats: dict = {}
+                if trace is not None:
+                    stats["_trace"] = {
+                        "ops": len(trace), "cycles": trace.cycles,
+                        "truncated": trace.truncated,
+                    }
+                for (d, _info, _profile), n in zip(eligible, snodes):
+                    out = ctx2[n]
+                    if out is None:
+                        continue
+                    out = dict(out)
+                    refined[d.type_name] = out.pop("decision")
+                    stats[d.type_name] = out
+                return {"decisions": [refined[d.type_name]
+                                      for d in decisions],
+                        "stats": stats}
+
+            return g2.run(
+                "search", body,
+                lambda: {"decisions": decisions, "stats": {}})
+
+        specs.append(self._spec(
+            "search", gather_fn,
+            deps=tuple(snodes) if snodes else ("search.plan",),
+            phase="be", budget=pb, guard_names=("search",)))
+        specs.append(self._spec(
+            "be.plan", self._plan_fn,
+            deps=("fe.assemble", "heuristics", "search"), phase="be"))
+        ctx.add_nodes(specs)
+        return None
 
     def _plan_fn(self, ctx, engine, guard):
         """Grow the BE subgraph from the decided transforms: one
@@ -665,7 +796,12 @@ class _CompileGraph:
         order), an ``apply`` gather barrier, and ``verify``."""
         c, opts = self.c, self.opts
         program = ctx["fe.assemble"]
-        decisions = ctx["heuristics"]
+        if opts.search is not None:
+            # the search gather already merged its refinements back in
+            # decision order; the greedy decisions are its floor
+            decisions = ctx["search"]["decisions"]
+        else:
+            decisions = ctx["heuristics"]
         if not opts.transform:
             return None
         pb = opts.phase_budget
@@ -922,6 +1058,11 @@ class Compiler:
 
         program_out = results["fe.assemble"]
         decisions = results["heuristics"]
+        search_stats: dict = {}
+        search_out = results.get("search")
+        if search_out:
+            decisions = search_out["decisions"]
+            search_stats = search_out["stats"]
         if "verify" in results:
             transformed = results["verify"]
         elif "apply" in results:
@@ -945,7 +1086,8 @@ class Compiler:
             transformed=transformed, timings=timings,
             pass_timings=pass_timings, diagnostics=diags,
             rolled_back=graph.rolled_back,
-            fe_report=graph.state.get("fe_report"))
+            fe_report=graph.state.get("fe_report"),
+            search=search_stats)
         result.scheduler = {**dreport.to_dict(),
                             "restored_fe": restored}
         return result

@@ -89,7 +89,7 @@ class CacheEvent:
     """One observable cache interaction, for diagnostics and tests."""
 
     kind: str                 # hit | miss | corrupt | store | io-error
-    category: str             # parse | summary | fe
+    category: str             # parse | summary | fe | search
     key: str
     detail: str = ""
 
@@ -114,6 +114,13 @@ class SummaryCache:
     ``category`` namespaces keys (parse artifacts vs analysis summaries
     vs whole-program FE artifacts) so unrelated artifact kinds can never
     collide even if their key material does.
+
+    The layout-search engine adds a ``search`` category: one
+    ``{"cycles": int}`` score memo per (trace fingerprint, layout
+    fingerprint) pair, stored by
+    :class:`repro.transform.search.LayoutOracle`.  Scores go through
+    the ordinary ``load``/``store`` API, so a farm's shared
+    :class:`RemoteCache` serves them across shards unchanged.
     """
 
     root: Path

@@ -11,8 +11,14 @@ from .machine import (
 )
 from .codegen import CompiledProgram, CompiledFunction, CompileError
 from .run import run_program, try_run_program, RunResult, RunOutcome
+from .replay import (
+    AccessTrace, CompiledTrace, LayoutPlan,
+    capture_trace, precompile, plan_layout, replay_batch,
+)
 
 __all__ = [
+    "AccessTrace", "CompiledTrace", "LayoutPlan",
+    "capture_trace", "precompile", "plan_layout", "replay_batch",
     "Memory", "MemoryError_", "Allocation",
     "CacheConfig", "CacheLevelConfig", "CacheHierarchy", "CacheLevel",
     "ITANIUM2_FULL", "ITANIUM2_SCALED",

@@ -13,10 +13,22 @@ from .reorder import (
 )
 from .heuristics import (
     HeuristicParams, TransformDecision, decide_transforms, decide_type,
-    apply_decisions, peel_groups, split_threshold, PROFILE_SCHEMES,
+    apply_decisions, peel_groups, split_threshold, transform_blockers,
+    PROFILE_SCHEMES,
 )
+from .search import (
+    Layout, LayoutOracle, SEARCH_DEFAULTS, ENGINES, anneal, bb_order,
+    exhaustive_order, order_cost, layout_from_decision,
+    decision_from_layout, search_mode, search_type, run_layout_search,
+)
+from .common import layout_fingerprint
 
 __all__ = [
+    "Layout", "LayoutOracle", "SEARCH_DEFAULTS", "ENGINES", "anneal",
+    "bb_order", "exhaustive_order", "order_cost",
+    "layout_from_decision", "decision_from_layout", "search_mode",
+    "search_type", "run_layout_search", "layout_fingerprint",
+    "transform_blockers",
     "TransformError", "extract_alloc_count", "is_alloc_cast",
     "Transformer", "retype",
     "unit_text", "program_sources", "expr_text", "struct_definition",

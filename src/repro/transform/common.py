@@ -11,6 +11,18 @@ class TransformError(Exception):
     excluded — raised loudly instead of miscompiling."""
 
 
+def layout_fingerprint(groups, linked: bool = False, dead=()) -> str:
+    """Content hash of a candidate layout (an ordered field partition
+    plus the linked/dead markers).  Candidate ties everywhere in the
+    layout machinery break on this fingerprint — never on dict or
+    discovery order — so reports stay byte-deterministic for a fixed
+    seed."""
+    import hashlib
+    payload = repr((tuple(tuple(g) for g in groups), bool(linked),
+                    tuple(dead)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
 def is_sizeof_record(e: ast.Expr, rec: RecordType) -> bool:
     if isinstance(e, ast.SizeofType):
         t = e.of.strip()

@@ -25,7 +25,7 @@ from ..frontend.program import Program
 from ..analysis.deadfields import UsageResult
 from ..analysis.legality import LegalityResult, TypeInfo
 from ..profit.affinity import TypeProfile
-from .common import TransformError
+from .common import TransformError, layout_fingerprint
 from .peeling import PeelSpec, check_peelable, peel_structure
 from .reorder import hotness_order
 from .splitting import SplitSpec, split_structure
@@ -100,27 +100,32 @@ def split_threshold(scheme: str, params: HeuristicParams) -> float:
         else params.ts_static
 
 
+def transform_blockers(info: TypeInfo) -> list[str]:
+    """The §2.4 pre-checks every layout change shares: why this type
+    must not be touched, or an empty list.  The search engine reuses
+    these so greedy and searched layouts honor identical legality."""
+    if not info.is_legal():
+        return ["illegal: " + ",".join(sorted(info.invalid_reasons))]
+    if not info.allocated:
+        return ["not dynamically allocated"]
+    if all(s.count is not None and s.count <= 1
+           for s in info.alloc_sites):
+        return ["only single-object allocations"]
+    if any(not s.count_expr_ok for s in info.alloc_sites):
+        return ["unanalyzable allocation site"]
+    if info.realloced:
+        return ["type is realloc'ed"]
+    return []
+
+
 def decide_type(program: Program, info: TypeInfo, usage,
                 profile: TypeProfile, scheme: str,
                 params: HeuristicParams) -> TransformDecision:
     """Apply the §2.4 rules to one record type."""
     d = TransformDecision(type_name=info.name, action="none")
-    if not info.is_legal():
-        d.notes.append(
-            "illegal: " + ",".join(sorted(info.invalid_reasons)))
-        return d
-    if not info.allocated:
-        d.notes.append("not dynamically allocated")
-        return d
-    if all(s.count is not None and s.count <= 1
-           for s in info.alloc_sites):
-        d.notes.append("only single-object allocations")
-        return d
-    if any(not s.count_expr_ok for s in info.alloc_sites):
-        d.notes.append("unanalyzable allocation site")
-        return d
-    if info.realloced:
-        d.notes.append("type is realloc'ed")
+    blockers = transform_blockers(info)
+    if blockers:
+        d.notes.extend(blockers)
         return d
 
     rec = info.record
@@ -273,11 +278,15 @@ def peel_groups(profile: TypeProfile, live: list[str], cold: list[str],
         candidates = candidate_groupings(profile, live, cold, params)
         if not candidates:
             return [list(live)] if live else []
+        # ties break on the grouping's content fingerprint, not on the
+        # candidate dict's insertion order — equal-cost groupings must
+        # resolve identically no matter how candidates are enumerated
         best = min(
             candidates.items(),
             key=lambda kv: (grouping_cost(profile, kv[1],
                                           params.cost_line_size),
-                            len(kv[1])))
+                            len(kv[1]),
+                            layout_fingerprint(kv[1])))
         return best[1]
     if params.peel_mode == "per-field":
         return [[f] for f in live]
